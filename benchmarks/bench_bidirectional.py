@@ -1,0 +1,120 @@
+"""E6 — Section 8.2 Modification 2: bidirectional vs single wavefront.
+
+Paper: "the common case is that one of the ends of the connection is
+heavily congested and can reach only one or two free vias.  The other end
+... can reach most other points on the circuit board.  If the marking
+starts from the free end, the blockage will be detected only after marking
+a very large number of points."
+
+The workload walls one pin into a small box: the single-front search
+(from the free end) floods the board before concluding the connection is
+blocked; the bidirectional search dies on the walled side after marking a
+handful of points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole, sip_package
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.lee import lee_route
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Box
+
+VIA_N = 30
+_stats = {}
+
+
+def _walled_problem():
+    """Pin b sealed inside a 5x5-via box on every layer."""
+    board = Board.create(
+        via_nx=VIA_N, via_ny=VIA_N, n_signal_layers=2, name="walled"
+    )
+    pin_a = board.add_part(
+        sip_package(1), ViaPoint(3, 15), roles=[PinRole.OUTPUT]
+    ).pins[0]
+    pin_b = board.add_part(
+        sip_package(1), ViaPoint(24, 15), roles=[PinRole.INPUT]
+    ).pins[0]
+    board.add_net([pin_a.pin_id, pin_b.pin_id])
+    conn = Connection(
+        0, 0, pin_a.pin_id, pin_b.pin_id, pin_a.position, pin_b.position
+    )
+    ws = RoutingWorkspace(board)
+    g = board.grid.grid_per_via
+    b = ws.grid.via_to_grid(conn.b)
+    lo_x, hi_x = b.gx - 2 * g, b.gx + 2 * g
+    lo_y, hi_y = b.gy - 2 * g, b.gy + 2 * g
+    for layer_index in range(ws.n_layers):
+        ws.fill_free_space(layer_index, Box(lo_x, lo_y, hi_x, lo_y))
+        ws.fill_free_space(layer_index, Box(lo_x, hi_y, hi_x, hi_y))
+        ws.fill_free_space(layer_index, Box(lo_x, lo_y + 1, lo_x, hi_y - 1))
+        ws.fill_free_space(layer_index, Box(hi_x, lo_y + 1, hi_x, hi_y - 1))
+    return ws, conn
+
+
+def _run(single_front: bool):
+    ws, conn = _walled_problem()
+    passable = frozenset(
+        (conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1))
+    )
+    result = lee_route(
+        ws,
+        conn,
+        passable=passable,
+        max_expansions=50000,
+        single_front=single_front,
+    )
+    assert not result.routed and result.blocked
+    return result
+
+
+@pytest.mark.parametrize(
+    "mode", ["single_front", "bidirectional"]
+)
+def test_blocked_detection(mode, benchmark, record):
+    single = mode == "single_front"
+    result = benchmark.pedantic(
+        lambda: _run(single), rounds=1, iterations=1
+    )
+    _stats[mode] = {
+        "marked": result.marked,
+        "expansions": result.expansions,
+        "seconds": benchmark.stats.stats.mean,
+    }
+    if mode == "bidirectional":
+        _report(record)
+
+
+def _report(record):
+    rows = [
+        {
+            "wavefronts": mode,
+            "points_marked": s["marked"],
+            "expansions": s["expansions"],
+            "cpu_s": round(s["seconds"], 4),
+        }
+        for mode, s in _stats.items()
+    ]
+    record(
+        "bidirectional",
+        format_table(
+            rows,
+            title="E6: blocked-connection detection, walled-in pin "
+            "(paper: spread from both ends; the congested end "
+            "exhausts almost immediately)",
+        ),
+    )
+    single = _stats["single_front"]
+    dual = _stats["bidirectional"]
+    # The single wavefront must pop (expand) nearly every reachable point
+    # before concluding the connection is blocked; the dual search stops
+    # as soon as the walled side exhausts.  (Points *marked* are similar
+    # in both modes because the free end's first cross-shaped expansion
+    # already marks most of the board — Figure 11.)
+    assert dual["expansions"] * 4 < single["expansions"]
+    assert dual["seconds"] < single["seconds"]

@@ -1,0 +1,145 @@
+"""E4 — Section 8.2 Modification 3: the three wavefront cost functions.
+
+Paper: ``cost = cost + 1`` (unit) guarantees minimum vias but "the
+algorithm ensures that before any path of length n is examined, all paths
+of length n-1 have been examined" — n-via solutions only after every
+(n-1)-via solution; ``distance(n, b)`` concentrates effort towards the
+target but "can lead to solutions that use many vias to circumvent minor
+obstacles"; the shipped compromise is ``distance(n, b) * hops(n, a)``.
+
+Cost functions only differentiate on searches that need several hops, so
+the workload is a set of maze boards: walls with offset holes between the
+two pins force 3-6-via routes.  Measured: wavefront expansions (search
+effort) and vias in the found route (solution quality).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole, sip_package
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.cost import COST_FUNCTIONS
+from repro.core.lee import lee_route
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Box
+
+COSTS = ["unit", "distance", "distance_hops"]
+VIA_N = 26
+WALLS = [7, 13, 19]
+#: Hole via-row per wall, per scenario (offset so the route must zigzag).
+SCENARIOS = [
+    {7: 4, 13: 21, 19: 6},
+    {7: 22, 13: 3, 19: 20},
+    {7: 12, 13: 2, 19: 23},
+    {7: 20, 13: 11, 19: 2},
+]
+_stats = {}
+
+
+def _maze(scenario):
+    """Two pins separated by three walls with one hole each."""
+    board = Board.create(
+        via_nx=VIA_N, via_ny=VIA_N, n_signal_layers=2, name="maze"
+    )
+    pin_a = board.add_part(
+        sip_package(1), ViaPoint(2, 12), roles=[PinRole.OUTPUT]
+    ).pins[0]
+    pin_b = board.add_part(
+        sip_package(1), ViaPoint(23, 12), roles=[PinRole.INPUT]
+    ).pins[0]
+    board.add_net([pin_a.pin_id, pin_b.pin_id])
+    conn = Connection(
+        0, 0, pin_a.pin_id, pin_b.pin_id, pin_a.position, pin_b.position
+    )
+    ws = RoutingWorkspace(board)
+    g = board.grid.grid_per_via
+    for wall_vx, hole_vy in scenario.items():
+        gx = wall_vx * g
+        hole_lo = hole_vy * g - 1
+        hole_hi = hole_vy * g + 1
+        for layer_index in range(ws.n_layers):
+            if hole_lo > 0:
+                ws.fill_free_space(
+                    layer_index, Box(gx, 0, gx, hole_lo - 1)
+                )
+            ws.fill_free_space(
+                layer_index, Box(gx, hole_hi + 1, gx, board.grid.ny - 1)
+            )
+    return ws, conn
+
+
+def _run(cost_name):
+    expansions = 0
+    vias = 0
+    routed = 0
+    for scenario in SCENARIOS:
+        ws, conn = _maze(scenario)
+        passable = frozenset(
+            (conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1))
+        )
+        result = lee_route(
+            ws,
+            conn,
+            passable=passable,
+            cost_fn=COST_FUNCTIONS[cost_name],
+            max_expansions=20000,
+        )
+        if result.routed:
+            routed += 1
+            vias += result.record.via_count
+        expansions += result.expansions
+    return routed, expansions, vias
+
+
+@pytest.mark.parametrize("cost", COSTS)
+def test_cost_function(cost, benchmark, record):
+    routed, expansions, vias = benchmark.pedantic(
+        lambda: _run(cost), rounds=1, iterations=1
+    )
+    _stats[cost] = {
+        "routed": routed,
+        "expansions": expansions,
+        "vias": vias,
+        "seconds": benchmark.stats.stats.mean,
+    }
+    if cost == COSTS[-1]:
+        _report(record)
+
+
+def _report(record):
+    rows = [
+        {
+            "cost": cost,
+            "routed": s["routed"],
+            "expansions": s["expansions"],
+            "total_vias": s["vias"],
+            "cpu_s": round(s["seconds"], 3),
+        }
+        for cost, s in _stats.items()
+    ]
+    record(
+        "cost_function",
+        format_table(
+            rows,
+            title=f"E4: Lee cost functions over {len(SCENARIOS)} maze "
+            "scenarios (paper: unit = min vias, slow; distance = "
+            "goal-greedy; distance*hops = shipped compromise)",
+        ),
+    )
+    unit = _stats["unit"]
+    dist = _stats["distance"]
+    comp = _stats["distance_hops"]
+    assert unit["routed"] == dist["routed"] == comp["routed"] == len(SCENARIOS)
+    # The breadth-first guarantee costs a much wider search.
+    assert unit["expansions"] > 1.5 * comp["expansions"]
+    assert unit["expansions"] > 2 * dist["expansions"]
+    # The goal-greedy function circumvents obstacles with extra vias.
+    assert dist["vias"] >= comp["vias"]
+    # ...in exchange for the fewest vias (small tolerance: bidirectional
+    # meeting can add one via over the true optimum).
+    assert unit["vias"] <= comp["vias"] + len(SCENARIOS)
+    assert unit["vias"] <= dist["vias"] + len(SCENARIOS)

@@ -1,0 +1,155 @@
+"""F1/F20/F21/F22 — regenerate the paper's figure artifacts.
+
+* Figure 3/4/5 (grid model and channel representation) — rendered as an
+  annotated ASCII sample of an example trace stored on both layer types.
+* Figure 20 — the routing problem plot (one line per connection).
+* Figure 21 — one signal layer of the routed solution (photoplot style).
+* Figure 22 — the generated ground plane (photographic negative).
+
+Artifacts are written to ``benchmarks/out/``; the benchmark times the full
+generate-string-route-render pipeline for the coproc-style board.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter
+from repro.extensions.power_plane import generate_power_plane
+from repro.grid.coords import GridPoint
+from repro.grid.geometry import Box
+from repro.stringer import Stringer
+from repro.viz import (
+    render_layer,
+    render_postprocessed_layer,
+    render_power_plane,
+    render_problem,
+    render_signal_layer,
+)
+from repro.workloads import make_titan_board
+
+_cache = {}
+
+
+def _routed_coproc():
+    if "coproc" not in _cache:
+        board = make_titan_board("coproc", scale=0.25, seed=1)
+        connections = Stringer(board).string_all()
+        router = GreedyRouter(board)
+        result = router.route(connections)
+        _cache["coproc"] = (board, connections, router.workspace, result)
+    return _cache["coproc"]
+
+
+def test_figure_3_4_5_grid_model(benchmark, record, out_dir):
+    """F1: the example trace of Figure 4 on both layer orientations."""
+
+    def build():
+        board = Board.create(via_nx=5, via_ny=4, n_signal_layers=2)
+        ws = RoutingWorkspace(board)
+        # The Figure 4 trace: a dogleg crossing a via site.
+        ws.add_segment(0, 3, 1, 7, owner=0)   # horizontal run, row 3
+        ws.add_segment(0, 4, 7, 7, owner=0)
+        ws.add_segment(0, 5, 7, 7, owner=0)
+        ws.add_segment(0, 6, 7, 10, owner=0)  # upper run, row 6
+        ws.add_segment(1, 1, 3, 3, owner=1)   # same shape, vertical layer
+        ws.add_segment(1, 2, 3, 3, owner=1)
+        return ws
+
+    ws = benchmark(build)
+    text = (
+        "F1 (Figures 3-5): one dogleg trace represented on a horizontal\n"
+        "layer (stored as row segments) and a second trace on a vertical\n"
+        "layer (stored as column segments); 'o' marks via sites.\n\n"
+        "horizontal layer:\n"
+        + render_layer(ws, 0)
+        + "\n\nvertical layer:\n"
+        + render_layer(ws, 1)
+    )
+    record("figures_f1", text)
+    # The horizontal layer stores the dogleg in 4 channels.
+    used = sum(1 for c in ws.layers[0].channels if len(c))
+    assert used == 4
+
+
+def test_figure_20_problem(benchmark, record, out_dir):
+    """F20: the stringer-output plot — one straight line per connection."""
+    board, connections, ws, result = _routed_coproc()
+    path = str(out_dir / "figure20_problem.ppm")
+    canvas = benchmark.pedantic(
+        lambda: render_problem(board, connections, path=path),
+        rounds=1, iterations=1,
+    )
+    assert (canvas.pixels == 0).any()
+    record(
+        "figures",
+        f"F20: routing problem plot -> {path} "
+        f"({len(connections)} connections)",
+    )
+
+
+def test_figure_21_signal_layer(benchmark, record, out_dir):
+    """F21: one routed signal layer, photoplot-positive style."""
+    board, connections, ws, result = _routed_coproc()
+    assert result.complete
+    path = str(out_dir / "figure21_layer.ppm")
+    canvas = benchmark.pedantic(
+        lambda: render_signal_layer(board, ws, 0, path=path),
+        rounds=1, iterations=1,
+    )
+    assert (canvas.pixels == 0).any()
+    record(
+        "figures",
+        f"F21: signal layer 0 of the routed solution -> {path} "
+        f"({result.routed_count} routes, {result.vias_added} vias)",
+    )
+
+
+def test_figure_21b_postprocessed(benchmark, record, out_dir):
+    """F21 (postprocessed): the Figure 21 footnote's diagonal smoothing."""
+    board, connections, ws, result = _routed_coproc()
+    path = str(out_dir / "figure21_postprocessed.ppm")
+    canvas = benchmark.pedantic(
+        lambda: render_postprocessed_layer(board, ws, 0, path=path),
+        rounds=1, iterations=1,
+    )
+    assert (canvas.pixels == 0).any()
+    record(
+        "figures",
+        f"F21b: postprocessed (chamfered) signal layer 0 -> {path}",
+    )
+
+
+def test_figure_22_ground_plane(benchmark, record, out_dir):
+    """F22: the generated ground plane, photographic negative."""
+    board, connections, ws, result = _routed_coproc()
+    gnd = board.power_nets[0]
+    path = str(out_dir / "figure22_plane.ppm")
+
+    def build():
+        pattern = generate_power_plane(board, ws, gnd.net_id)
+        render_power_plane(board, pattern, path=path)
+        return pattern
+
+    pattern = benchmark.pedantic(build, rounds=1, iterations=1)
+    from repro.extensions.power_plane import FeatureKind
+
+    clearances = pattern.count(FeatureKind.CLEARANCE)
+    reliefs = pattern.count(FeatureKind.THERMAL_RELIEF)
+    # Every drilled hole on the board is either cleared or relieved.
+    assert clearances + reliefs == len(ws.via_map.drilled_sites()) - len(
+        [
+            h
+            for h in __import__(
+                "repro.extensions.power_plane", fromlist=["x"]
+            ).default_mounting_holes(board)
+            if ws.via_map.is_drilled(h)
+        ]
+    )
+    record(
+        "figures",
+        f"F22: ground plane -> {path} "
+        f"({clearances} clearances, {reliefs} thermal reliefs)",
+    )

@@ -1,0 +1,98 @@
+"""E5 — Section 8.2 Modification 1: via-graph Lee vs grid-point Lee.
+
+Paper: defining neighbors as adjacent grid points "leads to very slow
+searches, since many individual grid points must be scanned to advance a
+small distance across the board surface"; grr's neighbors are the via
+sites reachable in one single-layer hop.
+
+Both routers run the same batch of connections on the same board; compare
+points marked and wall-clock.  The factor grows with board size — this is
+the asymptotic win that makes full-board routing feasible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.baseline import GridLeeRouter
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.lee import lee_route
+from repro.stringer import Stringer
+from repro.workloads import make_titan_board
+
+NAME, SCALE, SEED = "tna", 0.25, 2
+N_CONNS = 40
+_stats = {}
+
+
+def _problem():
+    board = make_titan_board(NAME, scale=SCALE, seed=SEED)
+    connections = Stringer(board).string_all()[:N_CONNS]
+    return board, connections
+
+
+def _run_grid():
+    board, connections = _problem()
+    ws = RoutingWorkspace(board)
+    router = GridLeeRouter(ws)
+    marked = 0
+    routed = 0
+    for conn in connections:
+        stats = router.route(conn)
+        marked += stats.cells_marked
+        routed += int(stats.routed)
+    return routed, marked
+
+
+def _run_grr():
+    board, connections = _problem()
+    ws = RoutingWorkspace(board)
+    marked = 0
+    routed = 0
+    for conn in connections:
+        passable = frozenset(
+            (conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1))
+        )
+        result = lee_route(ws, conn, passable=passable)
+        marked += result.marked
+        routed += int(result.routed)
+    return routed, marked
+
+
+@pytest.mark.parametrize("kind", ["grid_point", "via_graph"])
+def test_lee_baseline(kind, benchmark, record):
+    run = _run_grid if kind == "grid_point" else _run_grr
+    routed, marked = benchmark.pedantic(run, rounds=1, iterations=1)
+    _stats[kind] = {
+        "routed": routed,
+        "marked": marked,
+        "seconds": benchmark.stats.stats.mean,
+    }
+    if kind == "via_graph":
+        _report(record)
+
+
+def _report(record):
+    rows = [
+        {
+            "neighbors": kind,
+            "routed": s["routed"],
+            "points_marked": s["marked"],
+            "cpu_s": round(s["seconds"], 3),
+        }
+        for kind, s in _stats.items()
+    ]
+    record(
+        "lee_baseline",
+        format_table(
+            rows,
+            title=f"E5: Modification 1 on {N_CONNS} connections of {NAME} "
+            "(paper: grid-point neighbors are 'very slow')",
+        ),
+    )
+    grid, grr = _stats["grid_point"], _stats["via_graph"]
+    assert grr["routed"] >= grid["routed"]
+    # The via-graph search must mark at least 10x fewer points.
+    assert grr["marked"] * 10 < grid["marked"]
+    assert grr["seconds"] < grid["seconds"]

@@ -1,0 +1,139 @@
+"""E8 — Section 10.1 length tuning: detour stretching vs cost-mod Lee.
+
+Paper: the shipped implementation "starts from a path created by the
+standard method, and then attempts to stretch it by adding a detour ...
+This algorithm leads to acceptable performance if there are a few tens of
+length-tuned wires on a board."  The first attempt — a delay-targeted Lee
+cost function — "was overwhelmed with false solutions" and "turned out to
+be unacceptably slow".
+
+The workload tunes a batch of clock-style wires to a common target delay
+with both implementations and compares success rate and cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole, sip_package
+from repro.core.router import GreedyRouter
+from repro.extensions.length_tuning import (
+    route_delay_ns,
+    tune_connection,
+    tune_with_cost_mod,
+)
+from repro.grid.coords import ViaPoint
+
+N_WIRES = 12
+TARGET_NS = 0.9
+_stats = {}
+
+
+def _clock_board():
+    """A sparse board with N_WIRES two-pin nets of varying length."""
+    board = Board.create(
+        via_nx=60, via_ny=44, n_signal_layers=4, name="clock"
+    )
+    connections = []
+    for i in range(N_WIRES):
+        y = 3 + i * 3
+        length = 10 + (i * 7) % 25
+        pin_a = board.add_part(
+            sip_package(1), ViaPoint(4, y), roles=[PinRole.OUTPUT]
+        ).pins[0]
+        pin_b = board.add_part(
+            sip_package(1), ViaPoint(4 + length, y), roles=[PinRole.INPUT]
+        ).pins[0]
+        net = board.add_net([pin_a.pin_id, pin_b.pin_id])
+        connections.append(
+            Connection(
+                i, net.net_id, pin_a.pin_id, pin_b.pin_id,
+                pin_a.position, pin_b.position,
+            )
+        )
+    return board, connections
+
+
+def _run_detour():
+    board, connections = _clock_board()
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    assert result.complete
+    ok = 0
+    detours = 0
+    for conn in connections:
+        tuning = tune_connection(
+            router.workspace, board, conn,
+            target_ns=TARGET_NS, tolerance_ns=0.05,
+        )
+        ok += int(tuning.success)
+        detours += tuning.detours_added
+    return ok, detours
+
+
+def _run_cost_mod():
+    board, connections = _clock_board()
+    from repro.channels.workspace import RoutingWorkspace
+
+    ws = RoutingWorkspace(board)
+    ok = 0
+    attempts = 0
+    for conn in connections:
+        tuning = tune_with_cost_mod(
+            ws, board, conn,
+            target_ns=TARGET_NS, tolerance_ns=0.05, max_candidates=8,
+        )
+        ok += int(tuning.success)
+        attempts += tuning.candidates_tried
+        if not ws.is_routed(conn.conn_id) and tuning.success:
+            pass
+        # Leave successful routes installed; failed ones were ripped by
+        # the tuner itself.
+    return ok, attempts
+
+
+@pytest.mark.parametrize("method", ["detour", "cost_mod"])
+def test_length_tuning(method, benchmark, record):
+    run = _run_detour if method == "detour" else _run_cost_mod
+    ok, effort = benchmark.pedantic(run, rounds=1, iterations=1)
+    _stats[method] = {
+        "tuned_ok": ok,
+        "effort": effort,
+        "seconds": benchmark.stats.stats.mean,
+    }
+    if method == "cost_mod":
+        _report(record)
+
+
+def _report(record):
+    rows = [
+        {
+            "method": method,
+            "tuned_ok": f"{s['tuned_ok']}/{N_WIRES}",
+            "detours_or_candidates": s["effort"],
+            "cpu_s": round(s["seconds"], 3),
+        }
+        for method, s in _stats.items()
+    ]
+    record(
+        "length_tuning",
+        format_table(
+            rows,
+            title=f"E8: tuning {N_WIRES} wires to {TARGET_NS} ns "
+            "(paper: detours acceptable for tens of wires; "
+            "cost-mod Lee overwhelmed by false solutions)",
+        ),
+    )
+    detour = _stats["detour"]
+    cost_mod = _stats["cost_mod"]
+    # The shipped method tunes everything.
+    assert detour["tuned_ok"] == N_WIRES
+    # The cost-mod variant does strictly worse (fewer successes, or the
+    # same successes bought with many candidate re-routes).
+    assert (
+        cost_mod["tuned_ok"] < detour["tuned_ok"]
+        or cost_mod["effort"] > 2 * N_WIRES
+    )

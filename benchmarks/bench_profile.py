@@ -1,0 +1,67 @@
+"""E12 — Section 8.2's profile claim: Lee dominates CPU on hard boards.
+
+Paper: "After 90% of the connections are completed with optimal zero- and
+one-via solutions, hundreds of connections may remain.  Finding solutions
+for these represents well over 90% of CPU time for difficult boards."
+
+The per-phase router profile (Section 12's own tooling, rebuilt) is
+measured on an easy board and on a difficult one; the Lee share of CPU
+must be small on the former and dominant on the latter even though Lee
+routes only a minority of connections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.router import GreedyRouter
+from repro.stringer import Stringer
+from repro.workloads import make_titan_board
+
+BOARDS = [("easy", "dcache"), ("difficult", "kdj11_2l")]
+_stats = {}
+
+
+def _run(name):
+    board = make_titan_board(name, scale=0.30, seed=1)
+    connections = Stringer(board).string_all()
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    return result, router.profile
+
+
+@pytest.mark.parametrize("label,name", BOARDS)
+def test_profile(label, name, benchmark, record):
+    result, profile = benchmark.pedantic(
+        lambda: _run(name), rounds=1, iterations=1
+    )
+    _stats[label] = {
+        "board": name,
+        "pct_lee_conns": result.percent_lee,
+        "lee_cpu_share": profile.fraction("lee"),
+        "rows": profile.rows(),
+    }
+    if label == BOARDS[-1][0]:
+        _report(record)
+
+
+def _report(record):
+    lines = []
+    for label, s in _stats.items():
+        lines.append(
+            format_table(
+                s["rows"],
+                title=f"E12 profile — {label} board ({s['board']}): "
+                f"{s['pct_lee_conns']:.1f}% of connections routed by Lee",
+            )
+        )
+    record("profile", "\n\n".join(lines))
+    easy = _stats["easy"]
+    hard = _stats["difficult"]
+    # Lee routes a small minority of connections everywhere...
+    assert easy["pct_lee_conns"] < 30
+    # ...but dominates CPU on the difficult board (the paper's "well over
+    # 90%"; the rip-up/putback machinery is driven by Lee failures too).
+    assert hard["lee_cpu_share"] > 0.5
+    assert hard["lee_cpu_share"] > easy["lee_cpu_share"]

@@ -1,0 +1,101 @@
+"""E10 — Section 8.1's rejected strategy: divide-and-conquer two-via.
+
+Paper: "It is tempting to consider extending this method to two-via
+solutions, and in fact this strategy was tried early in the development of
+grr. ... Unfortunately there are usually too many possibilities to examine
+exhaustively.  The problem is that the large number of candidate vias is
+tried in a pre-determined order without concern for local congestion.  The
+approach becomes combinatorially intractable for three-via solutions."
+
+The benchmark sweeps connection spans: the two-via candidate enumeration
+grows with the bounding rectangle, while the congestion-aware Lee search's
+frontier stays small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole, sip_package
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.lee import lee_route
+from repro.core.optimal import TwoViaStats, try_two_via, two_via_candidates
+from repro.grid.coords import ViaPoint
+
+SPANS = [6, 12, 20, 30]
+_stats = {}
+
+
+def _problem(span: int):
+    board = Board.create(
+        via_nx=span + 6, via_ny=16, n_signal_layers=2, name="span"
+    )
+    pin_a = board.add_part(
+        sip_package(1), ViaPoint(2, 4), roles=[PinRole.OUTPUT]
+    ).pins[0]
+    pin_b = board.add_part(
+        sip_package(1), ViaPoint(2 + span, 11), roles=[PinRole.INPUT]
+    ).pins[0]
+    board.add_net([pin_a.pin_id, pin_b.pin_id])
+    conn = Connection(
+        0, 0, pin_a.pin_id, pin_b.pin_id, pin_a.position, pin_b.position
+    )
+    return RoutingWorkspace(board), conn
+
+
+def _run(span: int):
+    ws, conn = _problem(span)
+    passable = frozenset((conn.conn_id, -1, -2))
+    stats = TwoViaStats()
+    record = try_two_via(ws, conn, 1, passable, stats=stats)
+    candidates_total = len(two_via_candidates(ws, conn.a, conn.b, 1))
+    if record is not None:
+        ws.remove_connection(conn.conn_id)
+    search = lee_route(ws, conn, radius=1, passable=passable)
+    return candidates_total, stats, search
+
+
+@pytest.mark.parametrize("span", SPANS)
+def test_two_via_vs_lee(span, benchmark, record):
+    candidates_total, stats, search = benchmark.pedantic(
+        lambda: _run(span), rounds=1, iterations=1
+    )
+    _stats[span] = {
+        "candidates_total": candidates_total,
+        "examined": stats.candidates,
+        "lee_expansions": search.expansions,
+        "lee_routed": search.routed,
+    }
+    if span == SPANS[-1]:
+        _report(record)
+
+
+def _report(record):
+    rows = [
+        {
+            "span_vias": span,
+            "two_via_candidates": s["candidates_total"],
+            "examined_until_hit": s["examined"],
+            "lee_expansions": s["lee_expansions"],
+        }
+        for span, s in sorted(_stats.items())
+    ]
+    record(
+        "two_via",
+        format_table(
+            rows,
+            title="E10: rejected two-via enumeration vs Lee "
+            "(paper: too many candidates, no congestion awareness)",
+        ),
+    )
+    # The candidate space grows linearly+ with span...
+    first, last = _stats[SPANS[0]], _stats[SPANS[-1]]
+    assert (
+        last["candidates_total"] > 2 * first["candidates_total"]
+    )
+    # ...while the Lee frontier stays flat (within a small constant).
+    assert last["lee_expansions"] <= first["lee_expansions"] + 10
+    assert all(s["lee_routed"] for s in _stats.values())

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures and the experiment-results collector.
+
+Every benchmark writes its paper-vs-measured comparison into
+``benchmarks/out/<experiment>.txt`` so the numbers quoted in
+EXPERIMENTS.md can be regenerated with a single command:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    """Directory for benchmark artifacts (tables, figure renders)."""
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def record(out_dir):
+    """Append a named experiment report to its artifact file."""
+
+    def _record(experiment: str, text: str) -> None:
+        path = out_dir / f"{experiment}.txt"
+        with open(path, "a") as f:
+            f.write(text.rstrip() + "\n")
+
+    # Truncate all report files once per session.
+    for stale in out_dir.glob("*.txt"):
+        stale.unlink()
+    return _record
+
+
+def routed_problem(name: str, scale: float = 0.30, seed: int = 1):
+    """Generate-and-string one Titan-style problem (not yet routed)."""
+    from repro.stringer import Stringer
+    from repro.workloads import make_titan_board
+
+    board = make_titan_board(name, scale=scale, seed=seed)
+    connections = Stringer(board).string_all()
+    return board, connections

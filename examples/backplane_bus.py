@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Routing a backplane: connector slots and multi-drop buses.
+
+The Titan's thirteen boards include a 15x15 inch backplane (Section 9).
+Backplane wiring is dominated by buses that visit every slot in order —
+after stringing, each bus becomes a chain of identical slot-to-slot hops,
+which compete for the same channels and exercise the channel model's
+"irregular crossing connections" trade-off (Section 11).
+
+Run:  python examples/backplane_bus.py [out_dir]
+"""
+
+import sys
+
+from repro import GreedyRouter
+from repro.analysis import (
+    format_table,
+    hotspots,
+    percent_chan,
+    table1_row,
+)
+from repro.stringer import Stringer
+from repro.verify import check_connectivity, run_drc
+from repro.viz import render_problem, render_signal_layer
+from repro.workloads import BackplaneSpec, generate_backplane
+
+
+def main(out_dir: str = ".") -> None:
+    spec = BackplaneSpec(
+        n_slots=6, pin_rows=24, bus_width=12, n_point_to_point=20, seed=2
+    )
+    board = generate_backplane(spec)
+    slots = [p for p in board.parts if p.name.startswith("slot")]
+    buses = [n for n in board.signal_nets if n.name.startswith("bus")]
+    print(
+        f"backplane: {len(slots)} slots, {len(buses)} bus nets, "
+        f"{len(board.signal_nets) - len(buses)} other nets"
+    )
+
+    connections = Stringer(board).string_all()
+    bus_hops = [
+        c for c in connections if board.nets[c.net_id].name.startswith("bus")
+    ]
+    print(
+        f"{len(connections)} connections after stringing "
+        f"({len(bus_hops)} of them bus hops); "
+        f"%chan {percent_chan(board, connections):.1f}"
+    )
+
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    print(format_table([table1_row(board, connections, result)]))
+
+    print("\nhot channels (bus corridors):")
+    for spot in hotspots(router.workspace, top_n=5):
+        print(
+            f"  layer {spot.layer_index} channel {spot.channel_index}: "
+            f"{spot.occupancy:.0%}"
+        )
+
+    drc = run_drc(board, router.workspace)
+    connectivity = check_connectivity(board, router.workspace, connections)
+    buses_ok = all(
+        n.connected and n.is_chain
+        for n in connectivity.nets
+        if n.name.startswith("bus")
+    )
+    print(
+        f"\nverify: DRC {'clean' if drc.clean else 'ERRORS'}; "
+        f"buses {'all connected as chains' if buses_ok else 'BROKEN'}"
+    )
+
+    render_problem(board, connections, path=f"{out_dir}/backplane_problem.ppm")
+    render_signal_layer(
+        board, router.workspace, 0, path=f"{out_dir}/backplane_layer0.ppm"
+    )
+    print(f"wrote {out_dir}/backplane_{{problem,layer0}}.ppm")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

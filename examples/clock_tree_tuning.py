@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Clock-tree delay matching by length tuning (Section 10.1, Figure 16).
+
+A buffer fans a clock out to four registers at different distances.  The
+raw routes have unequal delays; length tuning stretches the short branches
+until every register sees the clock within a 100 ps window — "length tuning
+can be used to adjust propagation delays to accuracies of a few hundred
+picoseconds".
+
+Run:  python examples/clock_tree_tuning.py
+"""
+
+from repro import (
+    Board,
+    Connection,
+    GreedyRouter,
+    PinRole,
+    ViaPoint,
+    sip_package,
+)
+from repro.extensions import route_delay_ns, tune_connection
+
+
+def main() -> None:
+    board = Board.create(
+        via_nx=50, via_ny=40, n_signal_layers=4, name="clock_tree"
+    )
+
+    # One buffer output pin, four register clock inputs at varied radii.
+    buffer_pin = board.add_part(
+        sip_package(1), ViaPoint(25, 20), roles=[PinRole.OUTPUT], name="buf"
+    ).pins[0]
+    register_positions = [
+        ViaPoint(40, 20),  # near
+        ViaPoint(10, 22),  # medium
+        ViaPoint(25, 35),  # medium
+        ViaPoint(44, 36),  # far
+    ]
+    register_pins = [
+        board.add_part(
+            sip_package(1), pos, roles=[PinRole.INPUT], name=f"reg{i}"
+        ).pins[0]
+        for i, pos in enumerate(register_positions)
+    ]
+
+    # One clock net over all five pins, hand-strung as a star: the router
+    # only ever sees pin-to-pin connections (Section 3), so tree topologies
+    # are just a different stringing.
+    net = board.add_net(
+        [buffer_pin.pin_id] + [r.pin_id for r in register_pins], name="clk"
+    )
+    connections = [
+        Connection(
+            i, net.net_id, buffer_pin.pin_id, reg.pin_id,
+            buffer_pin.position, reg.position,
+        )
+        for i, reg in enumerate(register_pins)
+    ]
+
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    assert result.complete, result.failed
+
+    delays = {
+        c.conn_id: route_delay_ns(board, router.workspace.records[c.conn_id])
+        for c in connections
+    }
+    print("raw branch delays (ns):")
+    for conn_id, delay in sorted(delays.items()):
+        print(f"  clk{conn_id}: {delay:.3f}")
+
+    # Match everything to the slowest branch (plus margin).
+    target = max(delays.values()) + 0.05
+    print(f"\ntuning every branch to {target:.3f} ns (+/- 50 ps)...")
+    for conn in connections:
+        tuning = tune_connection(
+            router.workspace, board, conn,
+            target_ns=target, tolerance_ns=0.05,
+        )
+        print(
+            f"  clk{conn.conn_id}: {delays[conn.conn_id]:.3f} -> "
+            f"{tuning.achieved_ns:.3f} ns "
+            f"({tuning.detours_added} detours, "
+            f"{'ok' if tuning.success else 'FAILED: ' + tuning.reason})"
+        )
+
+    final = [
+        route_delay_ns(board, router.workspace.records[c.conn_id])
+        for c in connections
+    ]
+    skew_ps = (max(final) - min(final)) * 1000
+    print(f"\nfinal clock skew: {skew_ps:.0f} ps")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""File-based workflow: board file -> stringer -> router -> route dump.
+
+The real grr consumed stringer output files and produced a wiring
+database; this example exercises the equivalent text formats end to end,
+including reloading a solution into a fresh workspace (e.g. for a
+post-processing or verification step in a larger CAD flow).
+
+Run:  python examples/netlist_workflow.py [work_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import GreedyRouter
+from repro.channels import RoutingWorkspace
+from repro.io import (
+    load_routes,
+    read_board,
+    read_connections,
+    save_routes,
+    write_board,
+    write_connections,
+)
+from repro.stringer import Stringer
+from repro.workloads import BoardSpec, generate_board
+
+
+def main(work_dir: str = ".") -> None:
+    work = Path(work_dir)
+    board_file = work / "demo.board"
+    conn_file = work / "demo.conns"
+    route_file = work / "demo.routes"
+
+    # 1. A placement tool writes the board description.
+    board = generate_board(BoardSpec(name="demo", via_nx=36, via_ny=36, seed=6))
+    with open(board_file, "w") as f:
+        write_board(board, f)
+    print(f"wrote {board_file} ({len(board.parts)} parts, "
+          f"{len(board.nets)} nets)")
+
+    # 2. The stringer reads it back and writes the connection list.
+    with open(board_file) as f:
+        board = read_board(f)
+    connections = Stringer(board).string_all()
+    with open(conn_file, "w") as f:
+        write_connections(connections, f)
+    print(f"wrote {conn_file} ({len(connections)} connections)")
+
+    # 3. The router consumes the connection list and dumps the solution.
+    with open(conn_file) as f:
+        connections = read_connections(f)
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    print(f"routed {result.routed_count}/{result.total_count} "
+          f"({result.summary()['cpu_seconds']}s)")
+    with open(route_file, "w") as f:
+        save_routes(router.workspace, f)
+    print(f"wrote {route_file}")
+
+    # 4. A downstream tool (photoplot postprocessor, verifier, ...)
+    #    reloads the exact wiring into a fresh workspace.
+    fresh = RoutingWorkspace(board)
+    with open(route_file) as f:
+        restored = load_routes(fresh, f)
+    assert fresh.used_cells() == router.workspace.used_cells()
+    print(f"reloaded {len(restored)} routes; occupancy matches exactly")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

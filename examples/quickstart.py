@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: build a small board by hand, route it, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Board,
+    Connection,
+    GreedyRouter,
+    PinRole,
+    RouterConfig,
+    ViaPoint,
+    sip_package,
+)
+from repro.viz import render_layer
+
+
+def main() -> None:
+    # A 20x15 via-site board (2.0in x 1.5in at 100-mil pitch) with four
+    # signal layers (H/V/H/V) and the paper's Figure 1 process rules.
+    board = Board.create(
+        via_nx=20, via_ny=15, n_signal_layers=4, name="quickstart"
+    )
+
+    # Place four single-pin parts and wire them as two nets.  (Real flows
+    # use repro.workloads to generate placements and repro.stringer to
+    # turn nets into pin-to-pin connections; here we do it by hand.)
+    pins = []
+    for (x, y), role in [
+        ((2, 3), PinRole.OUTPUT),
+        ((15, 10), PinRole.INPUT),
+        ((3, 12), PinRole.OUTPUT),
+        ((16, 2), PinRole.INPUT),
+    ]:
+        part = board.add_part(sip_package(1), ViaPoint(x, y), roles=[role])
+        pins.append(part.pins[0])
+    net_a = board.add_net([pins[0].pin_id, pins[1].pin_id], name="sig_a")
+    net_b = board.add_net([pins[2].pin_id, pins[3].pin_id], name="sig_b")
+
+    connections = [
+        Connection(0, net_a.net_id, pins[0].pin_id, pins[1].pin_id,
+                   pins[0].position, pins[1].position),
+        Connection(1, net_b.net_id, pins[2].pin_id, pins[3].pin_id,
+                   pins[2].position, pins[3].position),
+    ]
+
+    # Route with the paper's defaults: radius 1, distance*hops cost,
+    # easiest connections first.
+    router = GreedyRouter(board, RouterConfig(radius=1))
+    result = router.route(connections)
+
+    print(f"routed {result.routed_count}/{result.total_count} connections")
+    print(f"strategies: {result.summary()}")
+    for conn_id, record in sorted(router.workspace.records.items()):
+        hops = " -> ".join(
+            f"L{link.layer_index}[{tuple(link.a)}..{tuple(link.b)}]"
+            for link in record.links
+        )
+        print(f"  connection {conn_id}: {hops} vias={record.vias}")
+
+    print("\nlayer 0 (horizontal):")
+    print(render_layer(router.workspace, 0))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Surface-mount parts via dispersion patterns (Section 11).
+
+The paper's grid model assumes through-hole pins on the via grid; SMD pads
+sit off-grid and connect only to the top layer.  grr handled them with "a
+hand-designed dispersion pattern ... to connect the pads to a regular
+array of vias by traces lying only on the top surface.  The router was
+told to consider the vias as the end points of the connections."  This
+example automates that pattern and routes through it.
+
+Run:  python examples/surface_mount.py
+"""
+
+from repro import Board, Connection, GreedyRouter, PinRole
+from repro.channels import RoutingWorkspace
+from repro.extensions import PadSpec, disperse_pads
+from repro.grid.coords import GridPoint
+from repro.viz import render_layer
+
+
+def main() -> None:
+    board = Board.create(
+        via_nx=24, via_ny=18, n_signal_layers=4, name="smd"
+    )
+    workspace = RoutingWorkspace(board)
+
+    # An SMD package with 4 pads at off-grid positions (fine pad pitch)
+    # on the left, and a second one on the right.
+    left_pads = [
+        PadSpec(GridPoint(7, 20 + 2 * i), PinRole.OUTPUT if i == 0 else PinRole.UNUSED)
+        for i in range(4)
+    ]
+    right_pads = [
+        PadSpec(GridPoint(58, 20 + 2 * i), PinRole.INPUT)
+        for i in range(4)
+    ]
+
+    left = disperse_pads(board, workspace, left_pads, part_name="u1")
+    right = disperse_pads(board, workspace, right_pads, part_name="u2")
+    print("dispersion pattern:")
+    for d in left + right:
+        print(
+            f"  pad {tuple(d.pad.position)} -> via {tuple(d.via)} "
+            f"({d.trace_cells} top-layer cells)"
+        )
+
+    # Wire each left pad's via to the matching right pad's via.
+    connections = []
+    for i, (a, b) in enumerate(zip(left, right)):
+        net = board.add_net([a.pin.pin_id, b.pin.pin_id], name=f"s{i}")
+        connections.append(
+            Connection(
+                i, net.net_id, a.pin.pin_id, b.pin.pin_id, a.via, b.via
+            )
+        )
+    result = GreedyRouter(board, workspace=workspace).route(connections)
+    print(
+        f"\nrouted {result.routed_count}/{result.total_count} connections "
+        f"between dispersed endpoints"
+    )
+
+    from repro.grid.geometry import Box
+
+    print("\ntop layer around the left part:")
+    print(render_layer(workspace, 0, Box(0, 14, 30, 30)))
+
+
+if __name__ == "__main__":
+    main()

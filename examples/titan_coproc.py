@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The full grr flow on a Titan-coprocessor-style board (paper Appendix).
+
+Generates a scaled synthetic stand-in for the coproc board of Table 1,
+strings its nets, routes it, prints the Table 1 row, generates a ground
+plane, and writes the Figure 20/21/22 renderings as PPM files.
+
+Run:  python examples/titan_coproc.py [out_dir]
+"""
+
+import sys
+
+from repro import GreedyRouter
+from repro.analysis import format_table, table1_row
+from repro.extensions import generate_power_plane
+from repro.extensions.power_plane import FeatureKind
+from repro.stringer import Stringer
+from repro.viz import render_power_plane, render_problem, render_signal_layer
+from repro.workloads import TITAN_CONFIGS, make_titan_board
+
+
+def main(out_dir: str = ".") -> None:
+    config = TITAN_CONFIGS["coproc"]
+    print("generating coproc-style board (scale 0.30)...")
+    board = make_titan_board("coproc", scale=0.30, seed=1)
+    print(
+        f"  {board.grid.via_nx}x{board.grid.via_ny} via sites, "
+        f"{len(board.parts)} parts, {len(board.pins)} pins, "
+        f"{len(board.signal_nets)} signal nets"
+    )
+
+    print("stringing (Section 3)...")
+    connections = Stringer(board).string_all()
+    print(f"  {len(connections)} pin-to-pin connections")
+
+    print("routing (Sections 6-8)...")
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    row = table1_row(board, connections, result)
+    paper = config.paper
+    print(
+        format_table(
+            [
+                {
+                    "source": "paper (full scale)",
+                    "layers": paper.layers,
+                    "conn": paper.connections,
+                    "pct_lee": paper.percent_lee,
+                    "rip_ups": paper.rip_ups,
+                    "vias": paper.vias_per_conn,
+                },
+                {
+                    "source": "this run (scaled)",
+                    "layers": row["layers"],
+                    "conn": row["conn"],
+                    "pct_lee": row["pct_lee"],
+                    "rip_ups": row["rip_ups"],
+                    "vias": row["vias"],
+                },
+            ],
+            title="\ncoproc: paper vs reproduction",
+        )
+    )
+
+    print("\ngenerating ground plane (Appendix)...")
+    gnd = board.power_nets[0]
+    pattern = generate_power_plane(board, router.workspace, gnd.net_id)
+    print(
+        f"  {pattern.count(FeatureKind.CLEARANCE)} clearance disks, "
+        f"{pattern.count(FeatureKind.THERMAL_RELIEF)} thermal reliefs"
+    )
+
+    print("rendering Figures 20/21/22...")
+    render_problem(board, connections, path=f"{out_dir}/figure20_problem.ppm")
+    render_signal_layer(
+        board, router.workspace, 0, path=f"{out_dir}/figure21_layer.ppm"
+    )
+    render_power_plane(
+        board, pattern, path=f"{out_dir}/figure22_plane.ppm"
+    )
+    print(f"  wrote figure2{{0,1,2}}_*.ppm to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

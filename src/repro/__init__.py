@@ -1,0 +1,80 @@
+"""repro — a faithful reproduction of "Fast Printed Circuit Board Routing"
+(Jeremy Dion, DAC 1987 / DEC WRL research report 88-1): the *grr* greedy
+printed-circuit-board router and every substrate it depends on.
+
+Quickstart::
+
+    from repro import Board, GreedyRouter, RouterConfig, string_board
+
+    board = Board.create(via_nx=40, via_ny=30, n_signal_layers=4)
+    ...  # place parts, add nets (see repro.workloads for generators)
+    connections = string_board(board)
+    result = GreedyRouter(board, RouterConfig(radius=1)).route(connections)
+    print(result.summary())
+"""
+
+from repro.board import (
+    Board,
+    Connection,
+    Layer,
+    LayerKind,
+    LayerStack,
+    LogicFamily,
+    Net,
+    NetKind,
+    Package,
+    Part,
+    Pin,
+    PinRole,
+    TechRules,
+    dip_package,
+    sip_package,
+)
+from repro.channels import RoutingWorkspace
+from repro.core import (
+    GreedyRouter,
+    RouterConfig,
+    RoutingResult,
+    Strategy,
+    sort_connections,
+)
+from repro.grid import Box, GridPoint, Orientation, RoutingGrid, ViaPoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Board",
+    "Box",
+    "Connection",
+    "GreedyRouter",
+    "GridPoint",
+    "Layer",
+    "LayerKind",
+    "LayerStack",
+    "LogicFamily",
+    "Net",
+    "NetKind",
+    "Orientation",
+    "Package",
+    "Part",
+    "Pin",
+    "PinRole",
+    "RouterConfig",
+    "RoutingGrid",
+    "RoutingResult",
+    "RoutingWorkspace",
+    "Strategy",
+    "TechRules",
+    "ViaPoint",
+    "dip_package",
+    "sip_package",
+    "sort_connections",
+    "string_board",
+]
+
+
+def string_board(board):
+    """Run the stringer on a board's signal nets (convenience wrapper)."""
+    from repro.stringer import Stringer
+
+    return Stringer(board).string_all()

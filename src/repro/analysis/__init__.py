@@ -1,0 +1,34 @@
+"""Metrics, congestion analysis and reporting (Table 1 quantities plus
+the Section 12 "statistical measures of routing patterns")."""
+
+from repro.analysis.congestion import (
+    Hotspot,
+    cell_usage_grid,
+    channel_occupancy,
+    hotspots,
+    region_utilization,
+    render_congestion,
+    wire_length_stats,
+)
+from repro.analysis.metrics import (
+    channel_demand,
+    channel_supply,
+    percent_chan,
+    table1_row,
+)
+from repro.analysis.report import format_table
+
+__all__ = [
+    "Hotspot",
+    "cell_usage_grid",
+    "channel_demand",
+    "channel_occupancy",
+    "channel_supply",
+    "format_table",
+    "hotspots",
+    "percent_chan",
+    "region_utilization",
+    "render_congestion",
+    "table1_row",
+    "wire_length_stats",
+]

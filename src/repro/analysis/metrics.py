@@ -1,0 +1,65 @@
+"""Problem- and solution-level metrics (Section 9).
+
+The "% chan" column of Table 1 "is calculated by dividing the total
+Manhattan length of all connections to be made by the total available
+channel space on all layers.  This gives the percentage channel demand to
+channel supply.  As a rough estimate, it is clear that completely automatic
+routing will fail where channel demand is much more than 50% of channel
+supply."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.core.result import RoutingResult
+
+
+def channel_demand(board: Board, connections: Sequence[Connection]) -> int:
+    """Total Manhattan length of all connections, in routing-grid cells."""
+    per_via = board.grid.grid_per_via
+    return sum(c.manhattan_length * per_via for c in connections)
+
+
+def channel_supply(board: Board) -> int:
+    """Total routable channel space over all signal layers, in grid cells."""
+    grid = board.grid
+    return board.stack.n_signal * grid.nx * grid.ny
+
+
+def percent_chan(board: Board, connections: Sequence[Connection]) -> float:
+    """Channel demand as a percentage of channel supply."""
+    supply = channel_supply(board)
+    if supply == 0:
+        return 0.0
+    return 100.0 * channel_demand(board, connections) / supply
+
+
+def table1_row(
+    board: Board,
+    connections: Sequence[Connection],
+    result: Optional[RoutingResult] = None,
+) -> Dict[str, object]:
+    """One Table 1 row for a board: problem metrics plus, if routed,
+    solution metrics."""
+    row: Dict[str, object] = {
+        "board": board.name,
+        "layers": board.stack.n_signal,
+        "conn": len(connections),
+        "pins_in2": round(board.pin_density_per_sq_inch, 1),
+        "pct_chan": round(percent_chan(board, connections), 1),
+    }
+    if result is not None:
+        row.update(
+            {
+                "pct_lee": round(result.percent_lee, 1),
+                "rip_ups": result.rip_up_count,
+                "vias": round(result.vias_per_connection, 2),
+                "cpu_s": round(result.cpu_seconds, 1),
+                "complete": result.complete,
+                "routed": result.routed_count,
+            }
+        )
+    return row

@@ -1,0 +1,50 @@
+"""Plain-text table formatting in the style of the paper's Table 1."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Align a list of dict rows into a monospace table.
+
+    Columns default to the union of keys in first-appearance order.
+    """
+    if not rows:
+        return title
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        rendered.append([_cell(row.get(c)) for c in columns])
+    widths = [
+        max(len(line[i]) for line in rendered) for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.rjust(w) for h, w in zip(rendered[0], widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in rendered[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    """Render one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)

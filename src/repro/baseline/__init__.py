@@ -1,0 +1,12 @@
+"""Baseline routers the paper improves on.
+
+:mod:`repro.baseline.lee_grid` is classic Lee maze routing over raw
+routing-grid points (pre-Modification-1): neighbors at distance 1, single
+breadth-first wavefront.  The paper: "This choice leads to very slow
+searches, since many individual grid points must be scanned to advance a
+small distance across the board surface."
+"""
+
+from repro.baseline.lee_grid import GridLeeRouter, GridLeeStats
+
+__all__ = ["GridLeeRouter", "GridLeeStats"]

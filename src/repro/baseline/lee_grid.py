@@ -1,0 +1,180 @@
+"""Classic grid-point Lee maze router (the E5 comparison baseline).
+
+This is Lee's algorithm as described at the top of Section 8.2, *before*
+the paper's modifications: the neighbors of a point are the four adjacent
+routing-grid points on the same layer (plus a layer change at a free via
+site), a single wavefront spreads breadth-first from one end, and the
+first path found has minimum grid length.
+
+It shares the channel workspace with grr so routed boards remain coherent,
+but its search cost is proportional to the *area* swept rather than to the
+number of free-space segments — the contrast measured by
+``benchmarks/bench_lee_baseline.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.board.nets import Connection
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Orientation
+
+#: Search state: (layer index, gx, gy).
+_State = Tuple[int, int, int]
+
+
+@dataclass
+class GridLeeStats:
+    """Cost counters for one search."""
+
+    cells_marked: int = 0
+    routed: bool = False
+    path_cells: int = 0
+
+
+class GridLeeRouter:
+    """Single-front, unit-step Lee router on the routing grid."""
+
+    def __init__(
+        self, workspace: RoutingWorkspace, max_cells: int = 2_000_000
+    ) -> None:
+        self.workspace = workspace
+        self.max_cells = max_cells
+
+    def route(
+        self, conn: Connection, passable: Optional[FrozenSet[int]] = None
+    ) -> GridLeeStats:
+        """Route one connection by breadth-first wavefront expansion."""
+        ws = self.workspace
+        if passable is None:
+            passable = frozenset(
+                (conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1))
+            )
+        grid = ws.grid
+        a = grid.via_to_grid(conn.a)
+        b = grid.via_to_grid(conn.b)
+        stats = GridLeeStats()
+        # A pin connects to all layers, so the start states are a's cell on
+        # every layer; likewise any layer's arrival at b terminates.
+        parents: Dict[_State, Optional[_State]] = {}
+        frontier: deque = deque()
+        for layer_index in range(ws.n_layers):
+            state = (layer_index, a.gx, a.gy)
+            parents[state] = None
+            frontier.append(state)
+        goal: Optional[_State] = None
+        while frontier and goal is None:
+            state = frontier.popleft()
+            for neighbor in self._neighbors(state, passable):
+                if neighbor in parents:
+                    continue
+                parents[neighbor] = state
+                stats.cells_marked += 1
+                if stats.cells_marked > self.max_cells:
+                    return stats
+                if neighbor[1] == b.gx and neighbor[2] == b.gy:
+                    goal = neighbor
+                    break
+                frontier.append(neighbor)
+            if goal is not None:
+                break
+        if goal is None:
+            return stats
+        path: List[_State] = []
+        node: Optional[_State] = goal
+        while node is not None:
+            path.append(node)
+            node = parents[node]
+        path.reverse()
+        stats.path_cells = len(path)
+        stats.routed = self._install(conn, path, passable)
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _neighbors(self, state: _State, passable: FrozenSet[int]):
+        """Unit steps on the same layer, plus layer changes at via sites."""
+        ws = self.workspace
+        grid = ws.grid
+        layer_index, gx, gy = state
+        layer = ws.layers[layer_index]
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = gx + dx, gy + dy
+            point = GridPoint(nx, ny)
+            if not grid.contains_grid(point):
+                continue
+            if layer.is_point_free(point, passable):
+                yield (layer_index, nx, ny)
+        point = GridPoint(gx, gy)
+        if grid.is_via_site(point):
+            via = grid.grid_to_via(point)
+            if ws.via_map.is_available(via, passable):
+                for other in range(ws.n_layers):
+                    if other != layer_index:
+                        if ws.layers[other].is_point_free(point, passable):
+                            yield (other, gx, gy)
+
+    def _install(
+        self, conn: Connection, path: List[_State], passable: FrozenSet[int]
+    ) -> bool:
+        """Convert a grid-state path into channel pieces and vias."""
+        ws = self.workspace
+        grid = ws.grid
+        builder = ws.route_builder(conn.conn_id, passable)
+        # Split the path at layer changes; each run becomes one link.
+        runs: List[List[_State]] = [[path[0]]]
+        for state in path[1:]:
+            if state[0] != runs[-1][-1][0]:
+                # Layer change happens in place: the new run starts at the
+                # same cell on the new layer.
+                runs.append([state])
+            else:
+                runs[-1].append(state)
+        try:
+            for i, run in enumerate(runs):
+                layer_index = run[0][0]
+                layer = ws.layers[layer_index]
+                pieces = _run_to_pieces(layer.orientation, run)
+                a_point = GridPoint(run[0][1], run[0][2])
+                b_point = GridPoint(run[-1][1], run[-1][2])
+                builder.add_link(layer_index, a_point, b_point, pieces)
+                if i < len(runs) - 1:
+                    # Layer change: drill at the junction (a via site).
+                    junction = GridPoint(run[-1][1], run[-1][2])
+                    via = grid.grid_to_via(junction)
+                    if ws.via_map.drilled_owner(via) is None:
+                        builder.drill(via)
+        except Exception:
+            builder.abort()
+            return False
+        builder.commit()
+        return True
+
+
+def _run_to_pieces(
+    orientation: Orientation, run: List[_State]
+) -> List[Tuple[int, int, int]]:
+    """Merge a same-layer cell run into channel pieces."""
+    def cc(state: _State) -> Tuple[int, int]:
+        _, gx, gy = state
+        if orientation is Orientation.HORIZONTAL:
+            return gy, gx
+        return gx, gy
+
+    pieces: List[Tuple[int, int, int]] = []
+    c0, x0 = cc(run[0])
+    lo = hi = x0
+    current = c0
+    for state in run[1:]:
+        c, x = cc(state)
+        if c == current:
+            lo, hi = min(lo, x), max(hi, x)
+        else:
+            pieces.append((current, lo, hi))
+            current, lo, hi = c, x, x
+    pieces.append((current, lo, hi))
+    return pieces

@@ -1,0 +1,30 @@
+"""Printed-circuit-board substrate: technology rules, parts, nets, layers.
+
+Models Section 2 of the paper: a board is a stack of layer pairs, parts have
+through-hole pins on the via grid, nets divide into power nets (routed as
+solid planes) and signal nets (routed as traces and vias by the router).
+"""
+
+from repro.board.board import Board
+from repro.board.layers import Layer, LayerKind, LayerStack
+from repro.board.nets import Connection, Net, NetKind
+from repro.board.parts import Package, Part, Pin, PinRole, dip_package, sip_package
+from repro.board.technology import LogicFamily, TechRules
+
+__all__ = [
+    "Board",
+    "Connection",
+    "Layer",
+    "LayerKind",
+    "LayerStack",
+    "LogicFamily",
+    "Net",
+    "NetKind",
+    "Package",
+    "Part",
+    "Pin",
+    "PinRole",
+    "TechRules",
+    "dip_package",
+    "sip_package",
+]

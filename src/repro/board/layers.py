@@ -1,0 +1,111 @@
+"""Layer stack: signal layers with orientation, power layers as planes.
+
+Section 2: boards are stacks of layer pairs; in multi-layer boards often
+half the copper layers are power planes.  Section 4: every signal layer has
+a preferred orientation, and a board needs at least one horizontal and one
+vertical layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.grid.geometry import Orientation
+
+
+class LayerKind(enum.Enum):
+    """Signal layers carry traces; power layers are solid planes."""
+
+    SIGNAL = "signal"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One manufactured copper layer."""
+
+    index: int
+    kind: LayerKind
+    name: str = ""
+    #: Preferred trace direction; only meaningful for signal layers.
+    orientation: Optional[Orientation] = None
+    #: Net id the plane belongs to; only meaningful for power layers.
+    power_net_id: Optional[int] = None
+    #: Outer layers propagate signals ~10% faster (Section 10.1).
+    is_outer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is LayerKind.SIGNAL and self.orientation is None:
+            raise ValueError("signal layers need an orientation")
+        if self.kind is LayerKind.POWER and self.orientation is not None:
+            raise ValueError("power layers have no routing orientation")
+
+
+@dataclass
+class LayerStack:
+    """An ordered stack of layers, outermost first."""
+
+    layers: List[Layer] = field(default_factory=list)
+
+    @classmethod
+    def signal_stack(cls, n_signal: int, n_power: int = 0) -> "LayerStack":
+        """Build a conventional stack of alternating-orientation signal layers.
+
+        The two outermost signal layers are flagged ``is_outer`` (they carry
+        faster signals, Section 10.1).  Power planes, if any, are interleaved
+        in the middle of the stack; their patterns are generated after
+        routing (Appendix) and they do not participate in routing.
+        """
+        if n_signal < 1:
+            raise ValueError("need at least one signal layer")
+        layers: List[Layer] = []
+        index = 0
+        orientations = [Orientation.HORIZONTAL, Orientation.VERTICAL]
+        for i in range(n_signal):
+            layers.append(
+                Layer(
+                    index=index,
+                    kind=LayerKind.SIGNAL,
+                    name=f"sig{i}",
+                    orientation=orientations[i % 2],
+                    is_outer=(i == 0 or i == n_signal - 1),
+                )
+            )
+            index += 1
+        for i in range(n_power):
+            layers.append(
+                Layer(index=index, kind=LayerKind.POWER, name=f"pwr{i}")
+            )
+            index += 1
+        return cls(layers)
+
+    @property
+    def signal_layers(self) -> List[Layer]:
+        """Signal layers in stack order."""
+        return [l for l in self.layers if l.kind is LayerKind.SIGNAL]
+
+    @property
+    def power_layers(self) -> List[Layer]:
+        """Power layers in stack order."""
+        return [l for l in self.layers if l.kind is LayerKind.POWER]
+
+    @property
+    def n_signal(self) -> int:
+        """Number of routing layers."""
+        return len(self.signal_layers)
+
+    def __post_init__(self) -> None:
+        signal = self.signal_layers
+        if len(signal) >= 2:
+            orientations = {l.orientation for l in signal}
+            if len(orientations) < 2:
+                raise ValueError(
+                    "a multi-layer board needs both horizontal and vertical "
+                    "signal layers (Section 4)"
+                )
+
+    def signal_by_orientation(self, orientation: Orientation) -> List[Layer]:
+        """Signal layers with the given preferred orientation."""
+        return [l for l in self.signal_layers if l.orientation is orientation]

@@ -1,0 +1,82 @@
+"""Nets and pin-to-pin connections.
+
+Section 2: nets split into *power nets* (routed as solid planes, not by the
+router) and *signal nets* (routed as traces and vias).  Section 3: before
+routing, the stringer reduces each signal net to a chain of independent
+pin-to-pin :class:`Connection` objects, which is all the router ever sees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.board.technology import LogicFamily
+from repro.grid.coords import ViaPoint, manhattan
+
+
+class NetKind(enum.Enum):
+    """Power nets get planes; signal nets get traces (Section 2)."""
+
+    SIGNAL = "signal"
+    POWER = "power"
+
+
+@dataclass
+class Net:
+    """A collection of pins that must be electrically interconnected."""
+
+    net_id: int
+    name: str = ""
+    kind: NetKind = NetKind.SIGNAL
+    family: LogicFamily = LogicFamily.ECL
+    pin_ids: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Connection:
+    """One pin-to-pin connection produced by the stringer (Section 3).
+
+    Connections "can be considered independently and in any order"; the
+    router never needs the net topology back.  Positions are in via-grid
+    coordinates because both endpoints are pins, and pins lie on the via
+    grid (Section 11).
+    """
+
+    conn_id: int
+    net_id: int
+    pin_a: int
+    pin_b: int
+    a: ViaPoint
+    b: ViaPoint
+    family: LogicFamily = LogicFamily.ECL
+    #: Target propagation delay in nanoseconds for length tuning
+    #: (Section 10.1); ``None`` means untuned.
+    target_delay_ns: Optional[float] = None
+
+    @property
+    def dx(self) -> int:
+        """Horizontal separation in via units."""
+        return abs(self.a.vx - self.b.vx)
+
+    @property
+    def dy(self) -> int:
+        """Vertical separation in via units."""
+        return abs(self.a.vy - self.b.vy)
+
+    @property
+    def manhattan_length(self) -> int:
+        """Minimal path length in via units."""
+        return manhattan(self.a, self.b)
+
+    def sort_key(self) -> tuple:
+        """The paper's two sort keys (Section 6): straightness then length.
+
+        ``min(dx, dy)`` approximates the number of minimal Manhattan paths —
+        straight connections have exactly one — and ``max(dx, dy)`` breaks
+        ties by length, so the shortest straight connections come first and
+        the longest diagonal ones last.
+        """
+        small, large = sorted((self.dx, self.dy))
+        return (small, large, self.conn_id)

@@ -1,0 +1,115 @@
+"""Parts, packages and pins.
+
+A part is an instance of a package placed at a via-grid location.  Packages
+model the two shapes the Titan boards used (Section 9 and Figure 19): DIP
+integrated circuits (two parallel pin rows) and SIP resistor packs (a single
+pin row, supplying the terminating resistors that end every ECL net).
+
+All pins are through-hole: each pin occupies one via site and connects to
+every routing layer (Section 11 lists surface mount as out of scope).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.grid.coords import ViaPoint
+
+
+class PinRole(enum.Enum):
+    """Electrical role of a pin, as the stringer sees it (Section 3)."""
+
+    OUTPUT = "output"
+    INPUT = "input"
+    #: Free terminating-resistor pin; the stringer appends the nearest one
+    #: to the end of each ECL chain.
+    TERMINATOR = "terminator"
+    POWER = "power"
+    #: Placed but electrically unused pin; still blocks its via site.
+    UNUSED = "unused"
+
+
+@dataclass(frozen=True)
+class Package:
+    """Geometric pin pattern of a part, in via-grid offsets from its origin."""
+
+    name: str
+    pin_offsets: Tuple[Tuple[int, int], ...]
+
+    @property
+    def pin_count(self) -> int:
+        """Number of pins in the package."""
+        return len(self.pin_offsets)
+
+    @property
+    def extent(self) -> Tuple[int, int]:
+        """(width, height) of the pin pattern in via units, inclusive."""
+        xs = [dx for dx, _ in self.pin_offsets]
+        ys = [dy for _, dy in self.pin_offsets]
+        return max(xs) - min(xs) + 1, max(ys) - min(ys) + 1
+
+
+def dip_package(pin_count: int, row_separation: int = 3) -> Package:
+    """Dual in-line package: two parallel horizontal rows of pins.
+
+    ``row_separation`` is the via-grid distance between the rows (300 mils
+    for a classic DIP at 100-mil via pitch).
+    """
+    if pin_count < 2 or pin_count % 2:
+        raise ValueError("DIP pin count must be an even number >= 2")
+    per_row = pin_count // 2
+    offsets: List[Tuple[int, int]] = []
+    # Pins numbered counterclockwise like a real DIP: bottom row left to
+    # right, then top row right to left.
+    for i in range(per_row):
+        offsets.append((i, 0))
+    for i in range(per_row - 1, -1, -1):
+        offsets.append((i, row_separation))
+    return Package(f"dip{pin_count}", tuple(offsets))
+
+
+def sip_package(pin_count: int) -> Package:
+    """Single in-line package: one horizontal row (resistor packs)."""
+    if pin_count < 1:
+        raise ValueError("SIP pin count must be >= 1")
+    return Package(f"sip{pin_count}", tuple((i, 0) for i in range(pin_count)))
+
+
+@dataclass
+class Pin:
+    """A placed pin: one via site, one net (or none), one role."""
+
+    pin_id: int
+    part_id: int
+    position: ViaPoint
+    role: PinRole = PinRole.UNUSED
+    net_id: int = -1
+
+    @property
+    def owner_token(self) -> int:
+        """Immovable negative segment-owner id for this pin's via.
+
+        Connection owners are >= 0; pins use ``-(pin_id + 1)`` so that the
+        rip-up machinery can never select a pin as a victim.
+        """
+        return -(self.pin_id + 1)
+
+
+@dataclass
+class Part:
+    """A package instance placed at a via-grid origin."""
+
+    part_id: int
+    package: Package
+    origin: ViaPoint
+    name: str = ""
+    pins: List[Pin] = field(default_factory=list)
+
+    def pin_positions(self) -> List[ViaPoint]:
+        """Absolute via-grid positions of every pin."""
+        return [
+            ViaPoint(self.origin.vx + dx, self.origin.vy + dy)
+            for dx, dy in self.package.pin_offsets
+        ]

@@ -1,0 +1,88 @@
+"""Manufacturing rules and logic families.
+
+Figure 1 of the paper gives the reference process: 8-mil traces, 8-mil
+spacing, 60-mil via pads for a 37-mil drilled via, 100-mil via pitch.  The
+rules here feed the grid model and the power-plane generator; the router
+itself only sees the grid they imply.
+
+Logic families matter to routing in two ways (Sections 3 and 10):
+
+* **ECL** nets are transmission lines — pins must be chained output-first
+  with a terminating resistor at the far end, and trace length controls
+  delay (length tuning);
+* **TTL** nets may be connected in any order, but TTL traces must be kept
+  away from ECL traces (tesselation separation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LogicFamily(enum.Enum):
+    """Signal family of a net; drives stringing and tesselation rules."""
+
+    ECL = "ecl"
+    TTL = "ttl"
+
+    @property
+    def needs_termination(self) -> bool:
+        """ECL chains end in a terminating resistor (Section 3)."""
+        return self is LogicFamily.ECL
+
+    @property
+    def order_matters(self) -> bool:
+        """ECL pins must be chained with all outputs before inputs."""
+        return self is LogicFamily.ECL
+
+
+@dataclass(frozen=True)
+class TechRules:
+    """Physical process rules (mils), defaulting to the paper's Figure 1."""
+
+    trace_width: float = 8.0
+    trace_spacing: float = 8.0
+    via_pad_diameter: float = 60.0
+    via_drill_diameter: float = 37.0
+    via_pitch: float = 100.0
+    #: Clearance-disk diameter etched around a non-connected via on a power
+    #: layer (Appendix); pad diameter plus spacing on both sides.
+    power_clearance_diameter: float = 76.0
+    #: Signal propagation speed on inner layers, inches per nanosecond
+    #: (Section 10.1: "around six inches per nanosecond").
+    inner_speed_in_per_ns: float = 6.0
+    #: Outer layers are about 10% faster (Section 10.1).
+    outer_speed_factor: float = 1.10
+
+    def __post_init__(self) -> None:
+        if self.trace_width <= 0 or self.trace_spacing <= 0:
+            raise ValueError("trace width/spacing must be positive")
+        if self.via_pad_diameter < self.via_drill_diameter:
+            raise ValueError("via pad must be at least as large as the drill")
+        if self.via_pitch <= self.via_pad_diameter:
+            raise ValueError("via pitch must exceed the via pad diameter")
+
+    @property
+    def tracks_between_vias(self) -> int:
+        """How many minimum-pitch traces fit between adjacent via pads.
+
+        With the Figure 1 numbers: pitch 100, pad 60 leaves 40 mils; each
+        track needs width + spacing = 16 mils with 8-mil clearance to each
+        pad, giving 2 tracks — hence the paper's 3-steps-per-via grid.
+        """
+        gap = self.via_pitch - self.via_pad_diameter
+        track = self.trace_width + self.trace_spacing
+        count = int((gap - self.trace_spacing) // track)
+        return max(count, 0)
+
+    @property
+    def grid_per_via(self) -> int:
+        """Routing-grid steps per via pitch implied by the rules."""
+        return self.tracks_between_vias + 1
+
+    def layer_speed(self, is_outer: bool) -> float:
+        """Signal speed (in/ns) on an outer or inner layer (Section 10.1)."""
+        if is_outer:
+            return self.inner_speed_in_per_ns * self.outer_speed_factor
+        return self.inner_speed_in_per_ns

@@ -1,0 +1,214 @@
+"""Command-line interface: the grr flow as a tool.
+
+Subcommands mirror the original toolchain:
+
+* ``grr generate`` — synthesise a Table-1-style board file;
+* ``grr string``   — run the stringer: board file -> connection file;
+* ``grr route``    — route a connection file, write the route dump and a
+  Table-1-style report;
+* ``grr render``   — regenerate the Figure 20/21/22 artifacts from a
+  board + connections + routes;
+* ``grr table1``   — run the whole Table 1 reproduction.
+
+Every command reads/writes the text formats of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table, table1_row
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.io import (
+    load_routes,
+    read_board,
+    read_connections,
+    save_routes,
+    write_board,
+    write_connections,
+)
+from repro.stringer import Stringer
+from repro.workloads import TITAN_CONFIGS, make_titan_board
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    board = make_titan_board(args.config, scale=args.scale, seed=args.seed)
+    with open(args.board, "w") as f:
+        write_board(board, f)
+    print(
+        f"wrote {args.board}: {board.grid.via_nx}x{board.grid.via_ny} via "
+        f"sites, {len(board.parts)} parts, {len(board.signal_nets)} "
+        f"signal nets"
+    )
+    return 0
+
+
+def _cmd_string(args: argparse.Namespace) -> int:
+    with open(args.board) as f:
+        board = read_board(f)
+    connections = Stringer(board).string_all()
+    with open(args.connections, "w") as f:
+        write_connections(connections, f)
+    print(f"wrote {args.connections}: {len(connections)} connections")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    with open(args.board) as f:
+        board = read_board(f)
+    with open(args.connections) as f:
+        connections = read_connections(f)
+    config = RouterConfig(radius=args.radius, cost=args.cost)
+    router = GreedyRouter(board, config)
+    result = router.route(connections)
+    with open(args.routes, "w") as f:
+        save_routes(router.workspace, f)
+    print(format_table([table1_row(board, connections, result)]))
+    if not result.complete:
+        print(
+            f"FAILED: {len(result.failed)} connections unrouted",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"wrote {args.routes}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.extensions.power_plane import generate_power_plane
+    from repro.viz import (
+        render_power_plane,
+        render_problem,
+        render_signal_layer,
+    )
+
+    with open(args.board) as f:
+        board = read_board(f)
+    with open(args.connections) as f:
+        connections = read_connections(f)
+    workspace = RoutingWorkspace(board)
+    with open(args.routes) as f:
+        load_routes(workspace, f)
+    prefix = args.prefix
+    render_problem(board, connections, path=f"{prefix}_problem.ppm")
+    render_signal_layer(board, workspace, 0, path=f"{prefix}_layer0.ppm")
+    outputs = [f"{prefix}_problem.ppm", f"{prefix}_layer0.ppm"]
+    if board.power_nets:
+        pattern = generate_power_plane(
+            board, workspace, board.power_nets[0].net_id
+        )
+        render_power_plane(board, pattern, path=f"{prefix}_plane.ppm")
+        outputs.append(f"{prefix}_plane.ppm")
+    print("wrote " + ", ".join(outputs))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import check_connectivity, run_drc
+
+    with open(args.board) as f:
+        board = read_board(f)
+    with open(args.connections) as f:
+        connections = read_connections(f)
+    workspace = RoutingWorkspace(board)
+    with open(args.routes) as f:
+        restored = load_routes(workspace, f)
+    drc = run_drc(board, workspace)
+    connectivity = check_connectivity(board, workspace, connections)
+    print(f"routes loaded: {len(restored)}")
+    print(
+        f"DRC: {len(drc.errors)} errors, {len(drc.warnings)} warnings"
+    )
+    for violation in drc.errors[:20]:
+        print(f"  ERROR {violation.rule}: {violation.message}")
+    for violation in drc.warnings[:5]:
+        print(f"  warn  {violation.rule}: {violation.message}")
+    disconnected = [n for n in connectivity.nets if not n.connected]
+    print(
+        f"connectivity: {len(connectivity.nets)} nets, "
+        f"{len(disconnected)} disconnected, "
+        f"{len(connectivity.broken_connections)} broken routes"
+    )
+    ok = drc.clean and connectivity.fully_connected
+    print("VERDICT:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for name in TITAN_CONFIGS:
+        board = make_titan_board(name, scale=args.scale, seed=args.seed)
+        connections = Stringer(board).string_all()
+        result = GreedyRouter(board).route(connections)
+        rows.append(table1_row(board, connections, result))
+    print(format_table(rows, title="Table 1 reproduction"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The grr argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="grr",
+        description="greedy printed-circuit-board router (Dion, DAC 1987)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesise a Table-1-style board")
+    p.add_argument("board", help="output board file")
+    p.add_argument(
+        "--config", default="tna", choices=sorted(TITAN_CONFIGS)
+    )
+    p.add_argument("--scale", type=float, default=0.30)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("string", help="net stringing (Section 3)")
+    p.add_argument("board", help="input board file")
+    p.add_argument("connections", help="output connection file")
+    p.set_defaults(func=_cmd_string)
+
+    p = sub.add_parser("route", help="route a connection list")
+    p.add_argument("board", help="input board file")
+    p.add_argument("connections", help="input connection file")
+    p.add_argument("routes", help="output route dump")
+    p.add_argument("--radius", type=int, default=1)
+    p.add_argument(
+        "--cost",
+        default="distance_hops",
+        choices=["unit", "distance", "distance_hops"],
+    )
+    p.set_defaults(func=_cmd_route)
+
+    p = sub.add_parser("render", help="Figure 20/21/22 artifacts")
+    p.add_argument("board")
+    p.add_argument("connections")
+    p.add_argument("routes")
+    p.add_argument("--prefix", default="grr")
+    p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser("verify", help="DRC + connectivity verification")
+    p.add_argument("board")
+    p.add_argument("connections")
+    p.add_argument("routes")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("table1", help="run the Table 1 reproduction")
+    p.add_argument("--scale", type=float, default=0.30)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``grr`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

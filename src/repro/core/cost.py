@@ -1,0 +1,50 @@
+"""Wavefront cost functions for the generalized Lee search (Section 8.2).
+
+Modification 3 replaces Lee's breadth-first guarantee with a cost-ordered
+frontier.  Three cost functions from the paper:
+
+* ``unit_cost`` — ``cost(n) = cost(p) + 1``, i.e. the hop count.  This is
+  the original Lee behaviour under Modification 1: it guarantees the
+  minimum number of vias but examines every (k-1)-via solution before any
+  k-via one.
+* ``distance_cost`` — ``cost(n) = distance(n, target)``.  Greedy; fast but
+  "can lead to solutions that use many vias to circumvent minor obstacles".
+* ``distance_hops_cost`` — ``cost(n) = distance(n, target) * hops(n)``,
+  the compromise grr ships with: every via used in a path must bring
+  progress towards the target.
+
+Distances are Manhattan distances in via-grid units.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.grid.coords import ViaPoint, manhattan
+
+#: cost(neighbor, target, hops_from_source) -> ordering key.
+CostFunction = Callable[[ViaPoint, ViaPoint, int], float]
+
+
+def unit_cost(neighbor: ViaPoint, target: ViaPoint, hops: int) -> float:
+    """Original Lee ordering: frontier ordered by via count."""
+    return float(hops)
+
+
+def distance_cost(neighbor: ViaPoint, target: ViaPoint, hops: int) -> float:
+    """Pure goal-directed ordering: remaining Manhattan distance."""
+    return float(manhattan(neighbor, target))
+
+
+def distance_hops_cost(
+    neighbor: ViaPoint, target: ViaPoint, hops: int
+) -> float:
+    """The paper's compromise: remaining distance magnified by via count."""
+    return float(manhattan(neighbor, target) * hops)
+
+
+COST_FUNCTIONS: Dict[str, CostFunction] = {
+    "unit": unit_cost,
+    "distance": distance_cost,
+    "distance_hops": distance_hops_cost,
+}

@@ -1,0 +1,88 @@
+"""Post-routing improvement: re-route the worst detours.
+
+Section 12 describes the development loop: "careful analysis of the router
+output to find inefficient routing patterns".  This pass automates the
+obvious cleanup — connections whose installed wire is much longer than
+their Manhattan bound are ripped up and re-routed on the finished board
+(where congestion that forced the detour may have moved); the new route is
+kept only if strictly shorter, otherwise the old one is restored exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.board.nets import Connection
+from repro.core.router import GreedyRouter
+
+
+@dataclass
+class ImproveStats:
+    """Outcome of one improvement pass."""
+
+    examined: int = 0
+    attempted: int = 0
+    improved: int = 0
+    wire_before: int = 0
+    wire_after: int = 0
+    improved_ids: List[int] = field(default_factory=list)
+
+    @property
+    def wire_saved(self) -> int:
+        """Grid cells of trace removed by the pass."""
+        return self.wire_before - self.wire_after
+
+
+def improve_routes(
+    router: GreedyRouter,
+    connections: Sequence[Connection],
+    detour_threshold: float = 1.3,
+    max_attempts: Optional[int] = None,
+) -> ImproveStats:
+    """Re-route the connections with the largest detours, keep wins only.
+
+    ``detour_threshold`` is the minimum installed-wire / Manhattan ratio
+    for a connection to be reconsidered.  The pass never leaves the board
+    worse: a failed or longer re-route restores the original exactly.
+    """
+    workspace = router.workspace
+    grid = workspace.grid
+    stats = ImproveStats()
+    candidates = []
+    for conn in connections:
+        record = workspace.records.get(conn.conn_id)
+        if record is None:
+            continue
+        stats.examined += 1
+        bound = conn.manhattan_length * grid.grid_per_via
+        if bound == 0:
+            continue
+        ratio = record.wire_length / bound
+        if ratio >= detour_threshold:
+            candidates.append((ratio, conn))
+    candidates.sort(key=lambda item: -item[0])
+    if max_attempts is not None:
+        candidates = candidates[:max_attempts]
+    for _, conn in candidates:
+        stats.attempted += 1
+        old_record = workspace.remove_connection(conn.conn_id)
+        stats.wire_before += old_record.wire_length
+        new_record, strategy, _search = router._try_strategies(
+            conn, router.passable_for(conn)
+        )
+        if (
+            new_record is not None
+            and new_record.wire_length < old_record.wire_length
+        ):
+            stats.improved += 1
+            stats.improved_ids.append(conn.conn_id)
+            stats.wire_after += new_record.wire_length
+            continue
+        # Not better: undo and put the original back exactly.
+        if new_record is not None:
+            workspace.remove_connection(conn.conn_id)
+        restored = workspace.restore_record(old_record)
+        assert restored, "original route must always fit back"
+        stats.wire_after += old_record.wire_length
+    return stats

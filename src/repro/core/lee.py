@@ -1,0 +1,272 @@
+"""The generalized Lee maze search (Section 8.2), with all three
+modifications from the paper:
+
+1. the neighbors of a via are the via sites reachable from it by a trace
+   on one layer (the *Vias* procedure) — neighbors radiate in a cross of
+   radius strips (Figure 11), generalizing Hightower's line search;
+2. wavefronts spread from both ends simultaneously; if either wavefront is
+   exhausted the connection is blocked, and the point that made the most
+   progress is remembered for rip-up victim selection;
+3. wavefront lists are kept in increasing order of a pluggable cost
+   function (``distance(n, target) * hops(n, source)`` by default).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.board.nets import Connection
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.cost import CostFunction, distance_hops_cost
+from repro.core.single_layer import DEFAULT_MAX_GAPS, reachable_vias, trace
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box, Orientation
+
+#: Per-side wavefront mark: (hops from source, parent via, layer index used).
+Mark = Tuple[int, Optional[ViaPoint], Optional[int]]
+
+
+@dataclass
+class LeeSearchResult:
+    """Outcome of one bidirectional Lee search."""
+
+    routed: bool
+    record: Optional[RouteRecord] = None
+    expansions: int = 0
+    marked: int = 0
+    blocked: bool = False
+    reason: str = ""
+    #: Least-cost point ever inserted into each wavefront (a-side, b-side);
+    #: the rip-up strategy removes obstacles around these (Section 8.3).
+    best_points: Tuple[Optional[ViaPoint], Optional[ViaPoint]] = (None, None)
+    #: Which side exhausted first ("a", "b" or "" if not blocked).
+    exhausted_side: str = ""
+
+
+def _strip_axis(orientation: Orientation) -> str:
+    """Strip direction for ``RoutingGrid.via_strip`` on a layer."""
+    return "x" if orientation is Orientation.HORIZONTAL else "y"
+
+
+def _neighbors(
+    workspace: RoutingWorkspace,
+    via: ViaPoint,
+    radius: int,
+    passable: FrozenSet[int],
+    max_gaps: int,
+) -> List[Tuple[ViaPoint, int]]:
+    """All (neighbor via, layer index) pairs reachable in one hop.
+
+    "To find the neighbors of a via, Vias is called once for each layer,
+    and the result added to an accumulating list" — the cross of Figure 11.
+    """
+    point = workspace.grid.via_to_grid(via)
+    result: List[Tuple[ViaPoint, int]] = []
+    for layer_index, layer in enumerate(workspace.layers):
+        box = workspace.grid.via_strip(
+            via, radius, _strip_axis(layer.orientation)
+        )
+        for n in reachable_vias(
+            layer, point, box, passable, workspace.via_map, max_gaps
+        ):
+            result.append((n, layer_index))
+    return result
+
+
+def _back_chain(
+    marks: Dict[ViaPoint, Mark], via: ViaPoint
+) -> List[Tuple[ViaPoint, Optional[int]]]:
+    """Chain from the wavefront source to ``via``: [(via, layer to reach it)]."""
+    chain: List[Tuple[ViaPoint, Optional[int]]] = []
+    current: Optional[ViaPoint] = via
+    while current is not None:
+        hops, parent, layer_index = marks[current]
+        chain.append((current, layer_index))
+        current = parent
+    chain.reverse()
+    return chain
+
+
+def lee_route(
+    workspace: RoutingWorkspace,
+    conn: Connection,
+    radius: int = 1,
+    passable: Optional[FrozenSet[int]] = None,
+    cost_fn: CostFunction = distance_hops_cost,
+    max_expansions: int = 4000,
+    max_gaps: int = DEFAULT_MAX_GAPS,
+    single_front: bool = False,
+) -> LeeSearchResult:
+    """Route one connection with the generalized bidirectional Lee search.
+
+    ``single_front=True`` disables Modification 2: only the a-side
+    wavefront spreads (the pre-modification behaviour benchmarked in
+    ``benchmarks/bench_bidirectional.py``); the search still terminates
+    when a neighbor of the frontier is the target pin.
+    """
+    if passable is None:
+        passable = frozenset((conn.conn_id,))
+    a, b = conn.a, conn.b
+    sources = (a, b)
+    targets = (b, a)
+    marks: Tuple[Dict[ViaPoint, Mark], Dict[ViaPoint, Mark]] = (
+        {a: (0, None, None)},
+        {b: (0, None, None)},
+    )
+    heaps: Tuple[list, list] = ([(0.0, 0, a)], [(0.0, 0, b)])
+    counter = itertools.count(1)
+    best: List[Tuple[float, ViaPoint]] = [
+        (float("inf"), a),
+        (float("inf"), b),
+    ]
+    expansions = 0
+    meet: Optional[Tuple[int, ViaPoint, ViaPoint, int]] = None
+    reason = ""
+    exhausted = ""
+    while meet is None:
+        if not heaps[0] or not heaps[1]:
+            # Modification 2: one exhausted wavefront means blocked.
+            exhausted = "a" if not heaps[0] else "b"
+            reason = "wavefront exhausted"
+            break
+        if expansions >= max_expansions:
+            reason = "expansion limit"
+            break
+        if single_front:
+            side = 0
+        else:
+            side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+        _, _, p = heappop(heaps[side])
+        expansions += 1
+        hops_p = marks[side][p][0]
+        found_meet = None
+        for n, layer_index in _neighbors(
+            workspace, p, radius, passable, max_gaps
+        ):
+            if n in marks[side]:
+                continue
+            hops_n = hops_p + 1
+            marks[side][n] = (hops_n, p, layer_index)
+            if n in marks[1 - side]:
+                found_meet = (side, p, n, layer_index)
+                break
+            cost = cost_fn(n, targets[side], hops_n)
+            heappush(heaps[side], (cost, next(counter), n))
+            if cost < best[side][0]:
+                best[side] = (cost, n)
+        if found_meet is not None:
+            meet = found_meet
+    best_points = (best[0][1], best[1][1])
+    marked = len(marks[0]) + len(marks[1])
+    if meet is None:
+        return LeeSearchResult(
+            routed=False,
+            expansions=expansions,
+            marked=marked,
+            blocked=True,
+            reason=reason,
+            best_points=best_points,
+            exhausted_side=exhausted,
+        )
+    record = _retrace(
+        workspace, conn, meet, marks, radius, passable, max_gaps
+    )
+    if record is None:
+        return LeeSearchResult(
+            routed=False,
+            expansions=expansions,
+            marked=marked,
+            blocked=True,
+            reason="retrace failed",
+            best_points=best_points,
+        )
+    return LeeSearchResult(
+        routed=True,
+        record=record,
+        expansions=expansions,
+        marked=marked,
+        best_points=best_points,
+    )
+
+
+def _retrace(
+    workspace: RoutingWorkspace,
+    conn: Connection,
+    meet: Tuple[int, ViaPoint, ViaPoint, int],
+    marks: Tuple[Dict[ViaPoint, Mark], Dict[ViaPoint, Mark]],
+    radius: int,
+    passable: FrozenSet[int],
+    max_gaps: int,
+) -> Optional[RouteRecord]:
+    """Retrace from the meeting point to the two sources (Figure 15).
+
+    "The links in the retraced path are constructed with Trace.  They may
+    all be on different layers."  Each hop's trace is searched in the strip
+    of the via it was discovered from; installed hop by hop so later hops
+    treat earlier ones as passable.  On any failure the partial route is
+    rolled back.
+    """
+    side, p, n, meet_layer = meet
+    # Edges as (u, v, layer, strip anchor): anchor is the via whose radius
+    # strip the hop was discovered in (the parent in the original search).
+    edges: List[Tuple[ViaPoint, ViaPoint, int, ViaPoint]] = []
+    left = _back_chain(marks[side], p)
+    for i in range(len(left) - 1):
+        u, _ = left[i]
+        v, layer_index = left[i + 1]
+        edges.append((u, v, layer_index, u))
+    edges.append((p, n, meet_layer, p))
+    right = _back_chain(marks[1 - side], n)
+    # right runs source_other .. n; reverse it to continue n .. source_other.
+    for i in range(len(right) - 1, 0, -1):
+        u, layer_index = right[i]
+        v, _ = right[i - 1]
+        # The hop u<-v was discovered from parent v's strip.
+        edges.append((u, v, layer_index, v))
+    if side == 1:
+        # The chains ran from b towards a; normalize the route to a -> b.
+        edges = [
+            (v, u, layer_index, anchor)
+            for u, v, layer_index, anchor in reversed(edges)
+        ]
+    builder = workspace.route_builder(conn.conn_id, passable)
+    grid = workspace.grid
+    last = edges[-1][1]
+    for u, v, layer_index, anchor in edges:
+        pieces = None
+        attempts = [(layer_index, anchor)]
+        # Fallbacks: same layer anchored at either end, then any layer.
+        attempts.append((layer_index, u))
+        attempts.append((layer_index, v))
+        for other_index in range(workspace.n_layers):
+            if other_index != layer_index:
+                attempts.append((other_index, u))
+                attempts.append((other_index, v))
+        for try_layer, try_anchor in attempts:
+            layer = workspace.layers[try_layer]
+            box = grid.via_strip(
+                try_anchor, radius, _strip_axis(layer.orientation)
+            )
+            pieces = trace(
+                layer,
+                grid.via_to_grid(u),
+                grid.via_to_grid(v),
+                box,
+                passable,
+                max_gaps,
+            )
+            if pieces is not None:
+                layer_index = try_layer
+                break
+        if pieces is None:
+            builder.abort()
+            return None
+        builder.add_link(
+            layer_index, grid.via_to_grid(u), grid.via_to_grid(v), pieces
+        )
+        if v != last and v != conn.a and v != conn.b:
+            builder.drill(v)
+    return builder.commit()

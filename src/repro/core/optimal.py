@@ -1,0 +1,298 @@
+"""Optimal zero-via and one-via connection strategies (Section 8.1).
+
+The ``radius`` control parameter bounds orthogonal movement on a layer
+(Figure 9): a direct connection from a to b may be attempted on a
+horizontal layer only if the endpoints' via rows differ by at most
+``radius``, and on a vertical layer only if their via columns do.  Typical
+values are 1 or 2; large values reach more vias but block more channels
+for later connections.
+
+One-via solutions (Figure 10) pick an intermediate via v from the two
+(2·radius+1)² squares at diagonally opposite corners of the bounding
+rectangle, enumerated best-to-worst (square centers first), and solve two
+zero-via subproblems a→v and v→b.
+
+As a matter of practical experience (the paper, Section 8.1), about 90% of
+connections must be routed by these optimal strategies for a board to be
+completable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.board.nets import Connection
+from repro.channels.layer_data import ChannelPiece
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.single_layer import DEFAULT_MAX_GAPS, trace
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box, Orientation
+
+
+def direct_layers(
+    workspace: RoutingWorkspace, a: ViaPoint, b: ViaPoint, radius: int
+) -> List[int]:
+    """Signal layers on which a direct (zero-via) a→b trace is permitted.
+
+    Ordered best-first: layers whose orientation matches the connection's
+    major axis come before the others, so a mostly-horizontal connection
+    tries horizontal layers first.
+    """
+    dx = abs(a.vx - b.vx)
+    dy = abs(a.vy - b.vy)
+    ranked: List[Tuple[int, int]] = []
+    for index, layer in enumerate(workspace.layers):
+        if layer.orientation is Orientation.HORIZONTAL:
+            if dy <= radius:
+                ranked.append((0 if dx >= dy else 1, index))
+        else:
+            if dx <= radius:
+                ranked.append((0 if dy >= dx else 1, index))
+    ranked.sort()
+    return [index for _, index in ranked]
+
+
+def direct_box(
+    workspace: RoutingWorkspace,
+    a: GridPoint,
+    b: GridPoint,
+    orientation: Orientation,
+    radius: int,
+) -> Box:
+    """Search box for a direct trace: the bounding box widened by the
+    radius strip in the layer's orthogonal direction (Figure 9)."""
+    box = Box.bounding(a, b)
+    r = radius * workspace.grid.grid_per_via
+    if orientation is Orientation.HORIZONTAL:
+        box = box.expanded(0, r)
+    else:
+        box = box.expanded(r, 0)
+    return box.clipped_to(workspace.grid.bounds)
+
+
+def find_zero_via(
+    workspace: RoutingWorkspace,
+    a: ViaPoint,
+    b: ViaPoint,
+    radius: int,
+    passable: FrozenSet[int],
+    max_gaps: int = DEFAULT_MAX_GAPS,
+) -> Optional[Tuple[int, List[ChannelPiece]]]:
+    """Search (without installing) a direct trace between two via points.
+
+    Returns ``(layer_index, pieces)`` for the first layer that admits one,
+    or None.  "We stop after the first successful call."
+    """
+    a_g = workspace.grid.via_to_grid(a)
+    b_g = workspace.grid.via_to_grid(b)
+    for index in direct_layers(workspace, a, b, radius):
+        layer = workspace.layers[index]
+        box = direct_box(workspace, a_g, b_g, layer.orientation, radius)
+        pieces = trace(layer, a_g, b_g, box, passable, max_gaps)
+        if pieces is not None:
+            return index, pieces
+    return None
+
+
+def try_zero_via(
+    workspace: RoutingWorkspace,
+    conn: Connection,
+    radius: int,
+    passable: FrozenSet[int],
+    max_gaps: int = DEFAULT_MAX_GAPS,
+) -> Optional[RouteRecord]:
+    """Route a connection as a single trace on one layer, if possible."""
+    found = find_zero_via(workspace, conn.a, conn.b, radius, passable, max_gaps)
+    if found is None:
+        return None
+    layer_index, pieces = found
+    builder = workspace.route_builder(conn.conn_id, passable)
+    builder.add_link(
+        layer_index,
+        workspace.grid.via_to_grid(conn.a),
+        workspace.grid.via_to_grid(conn.b),
+        pieces,
+    )
+    return builder.commit()
+
+
+def one_via_candidates(
+    workspace: RoutingWorkspace, a: ViaPoint, b: ViaPoint, radius: int
+) -> List[ViaPoint]:
+    """Candidate intermediate vias, best-to-worst (Figure 10).
+
+    Two (2·radius+1)² squares centered on the diagonal corners of the
+    bounding rectangle; "the vias at the center of each square are the best
+    since connections to them will block the fewest channels", so candidates
+    are enumerated by growing Chebyshev ring, alternating between squares.
+    """
+    corners = [ViaPoint(a.vx, b.vy), ViaPoint(b.vx, a.vy)]
+    if corners[0] == corners[1]:
+        corners = corners[:1]
+    grid = workspace.grid
+    seen = set()
+    ordered: List[ViaPoint] = []
+    for ring in range(radius + 1):
+        for corner in corners:
+            if ring == 0:
+                offsets = [(0, 0)]
+            else:
+                offsets = []
+                for d in range(-ring, ring + 1):
+                    offsets.extend(
+                        [(d, -ring), (d, ring), (-ring, d), (ring, d)]
+                    )
+            for dx, dy in offsets:
+                v = ViaPoint(corner.vx + dx, corner.vy + dy)
+                if v in seen or v == a or v == b:
+                    continue
+                seen.add(v)
+                if grid.contains_via(v):
+                    ordered.append(v)
+    return ordered
+
+
+def try_one_via(
+    workspace: RoutingWorkspace,
+    conn: Connection,
+    radius: int,
+    passable: FrozenSet[int],
+    max_gaps: int = DEFAULT_MAX_GAPS,
+) -> Optional[RouteRecord]:
+    """Route a connection as two traces joined by one via (Figure 10)."""
+    via_map = workspace.via_map
+    grid = workspace.grid
+    for v in one_via_candidates(workspace, conn.a, conn.b, radius):
+        drilled = via_map.drilled_owner(v)
+        if drilled is not None and drilled != conn.conn_id:
+            continue
+        if not via_map.is_available(v, passable):
+            continue
+        leg1 = find_zero_via(workspace, conn.a, v, radius, passable, max_gaps)
+        if leg1 is None:
+            continue
+        leg2 = find_zero_via(workspace, v, conn.b, radius, passable, max_gaps)
+        if leg2 is None:
+            continue
+        builder = workspace.route_builder(conn.conn_id, passable)
+        builder.add_link(
+            leg1[0], grid.via_to_grid(conn.a), grid.via_to_grid(v), leg1[1]
+        )
+        builder.drill(v)
+        builder.add_link(
+            leg2[0], grid.via_to_grid(v), grid.via_to_grid(conn.b), leg2[1]
+        )
+        return builder.commit()
+    return None
+
+
+@dataclass
+class TwoViaStats:
+    """Effort counters for the rejected two-via strategy (Section 8.1)."""
+
+    candidates: int = 0
+    leg_searches: int = 0
+
+
+def two_via_candidates(
+    workspace: RoutingWorkspace, a: ViaPoint, b: ViaPoint, radius: int
+) -> List[ViaPoint]:
+    """Intermediate-via candidates for the two-via strategy.
+
+    "One might choose an intermediate via and attempt a zero-via
+    connection to one of the pins and a one-via connection to the other."
+    The candidates are every via reachable from ``a`` by a direct trace
+    under the radius discipline — the cross-shaped strips around ``a``
+    clipped to the (expanded) bounding rectangle.  They are enumerated
+    "in a pre-determined order without concern for local congestion",
+    nearest-to-the-corner first; the point of the experiment is that
+    there are too many of them.
+    """
+    grid = workspace.grid
+    lo_x = min(a.vx, b.vx) - radius
+    hi_x = max(a.vx, b.vx) + radius
+    lo_y = min(a.vy, b.vy) - radius
+    hi_y = max(a.vy, b.vy) + radius
+    candidates = []
+    seen = set()
+    for vx in range(lo_x, hi_x + 1):
+        for vy in range(lo_y, hi_y + 1):
+            v = ViaPoint(vx, vy)
+            if v in seen or v == a or v == b:
+                continue
+            if abs(vx - a.vx) > radius and abs(vy - a.vy) > radius:
+                continue  # not direct-reachable from a on any layer
+            if not grid.contains_via(v):
+                continue
+            seen.add(v)
+            candidates.append(v)
+    # Pre-determined order: distance from a, then row-major.
+    candidates.sort(
+        key=lambda v: (abs(v.vx - a.vx) + abs(v.vy - a.vy), v.vy, v.vx)
+    )
+    return candidates
+
+
+def try_two_via(
+    workspace: RoutingWorkspace,
+    conn: Connection,
+    radius: int,
+    passable: FrozenSet[int],
+    max_gaps: int = DEFAULT_MAX_GAPS,
+    stats: Optional[TwoViaStats] = None,
+) -> Optional[RouteRecord]:
+    """The two-via divide-and-conquer strategy grr tried and rejected.
+
+    Kept for the E10 ablation: it works, but the candidate set explodes
+    ("combinatorially intractable for three-via solutions"), which is why
+    the paper replaces it with the generalized Lee search.
+    """
+    if stats is None:
+        stats = TwoViaStats()
+    via_map = workspace.via_map
+    grid = workspace.grid
+    for v in two_via_candidates(workspace, conn.a, conn.b, radius):
+        stats.candidates += 1
+        drilled = via_map.drilled_owner(v)
+        if drilled is not None and drilled != conn.conn_id:
+            continue
+        if not via_map.is_available(v, passable):
+            continue
+        stats.leg_searches += 1
+        leg1 = find_zero_via(workspace, conn.a, v, radius, passable, max_gaps)
+        if leg1 is None:
+            continue
+        # Second part: a one-via subproblem v -> b.
+        for w in one_via_candidates(workspace, v, conn.b, radius):
+            stats.candidates += 1
+            w_drilled = via_map.drilled_owner(w)
+            if w_drilled is not None and w_drilled != conn.conn_id:
+                continue
+            if not via_map.is_available(w, passable):
+                continue
+            stats.leg_searches += 1
+            leg2 = find_zero_via(workspace, v, w, radius, passable, max_gaps)
+            if leg2 is None:
+                continue
+            leg3 = find_zero_via(
+                workspace, w, conn.b, radius, passable, max_gaps
+            )
+            if leg3 is None:
+                continue
+            builder = workspace.route_builder(conn.conn_id, passable)
+            builder.add_link(
+                leg1[0], grid.via_to_grid(conn.a), grid.via_to_grid(v),
+                leg1[1],
+            )
+            builder.drill(v)
+            builder.add_link(
+                leg2[0], grid.via_to_grid(v), grid.via_to_grid(w), leg2[1]
+            )
+            builder.drill(w)
+            builder.add_link(
+                leg3[0], grid.via_to_grid(w), grid.via_to_grid(conn.b),
+                leg3[1],
+            )
+            return builder.commit()
+    return None

@@ -1,0 +1,76 @@
+"""CPU profiling of the router's strategy stack.
+
+Section 12: "The most effective tools for improving program performance
+were ... profiles of the CPU usage of each procedure in the program.  The
+profiles allowed design effort to be concentrated in that small part of
+the program where there were large potential performance gains."
+
+Section 8.2's headline profile result: once the optimal strategies have
+routed ~90% of the connections, "finding solutions for [the rest]
+represents well over 90% of CPU time for difficult boards" — i.e. Lee
+dominates the profile.  ``benchmarks/bench_profile.py`` (E12) checks that.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class PhaseTiming:
+    """Accumulated calls and wall time of one router phase."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class RouterProfile:
+    """Per-phase timing of a routing run."""
+
+    phases: Dict[str, PhaseTiming] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Time one call of a phase."""
+        timing = self.phases.setdefault(phase, PhaseTiming())
+        timing.calls += 1
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            timing.seconds += time.perf_counter() - started
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time across all measured phases."""
+        return sum(t.seconds for t in self.phases.values())
+
+    def fraction(self, phase: str) -> float:
+        """Share of measured time spent in one phase (0..1)."""
+        total = self.total_seconds
+        if total == 0:
+            return 0.0
+        return self.phases.get(phase, PhaseTiming()).seconds / total
+
+    def rows(self) -> list:
+        """Table rows sorted by time, for reporting."""
+        total = self.total_seconds
+        rows = []
+        for phase, timing in sorted(
+            self.phases.items(), key=lambda item: -item[1].seconds
+        ):
+            rows.append(
+                {
+                    "phase": phase,
+                    "calls": timing.calls,
+                    "seconds": round(timing.seconds, 3),
+                    "pct": round(
+                        100 * timing.seconds / total if total else 0.0, 1
+                    ),
+                }
+            )
+        return rows

@@ -1,0 +1,116 @@
+"""Routing results and statistics — everything Table 1 reports per board."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.board.nets import Connection
+from repro.channels.workspace import RoutingWorkspace
+
+
+class Strategy(enum.Enum):
+    """Which strategy finally routed a connection (Section 8.4 loop)."""
+
+    ZERO_VIA = "zero_via"
+    ONE_VIA = "one_via"
+    #: Optional divide-and-conquer strategy (off by default; E10 ablation).
+    TWO_VIA = "two_via"
+    LEE = "lee"
+    #: Restored unchanged during putback after a rip-up.
+    PUTBACK = "putback"
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of routing one board's connection list."""
+
+    workspace: RoutingWorkspace
+    connections: List[Connection]
+    routed_by: Dict[int, Strategy] = field(default_factory=dict)
+    failed: List[int] = field(default_factory=list)
+    rip_up_count: int = 0
+    passes: int = 0
+    cpu_seconds: float = 0.0
+    lee_expansions: int = 0
+
+    @property
+    def routed_count(self) -> int:
+        """Connections successfully routed."""
+        return len(self.routed_by)
+
+    @property
+    def total_count(self) -> int:
+        """Connections in the problem."""
+        return len(self.connections)
+
+    @property
+    def complete(self) -> bool:
+        """True if every connection was routed."""
+        return not self.failed and self.routed_count == self.total_count
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of connections routed."""
+        if not self.connections:
+            return 1.0
+        return self.routed_count / self.total_count
+
+    def strategy_count(self, strategy: Strategy) -> int:
+        """Connections whose final route came from ``strategy``."""
+        return sum(1 for s in self.routed_by.values() if s is strategy)
+
+    @property
+    def percent_lee(self) -> float:
+        """The '% lee' column of Table 1.
+
+        Percentage of all connections that were routed by Lee's algorithm;
+        higher on denser boards where congestion blocks optimal solutions.
+        """
+        if not self.connections:
+            return 0.0
+        return 100.0 * self.strategy_count(Strategy.LEE) / self.total_count
+
+    @property
+    def vias_added(self) -> int:
+        """Total vias drilled for signal routing (pins excluded)."""
+        return sum(
+            record.via_count for record in self.workspace.records.values()
+        )
+
+    @property
+    def vias_per_connection(self) -> float:
+        """The 'vias' column of Table 1: vias added per connection.
+
+        "This number is below 1 for all examples, which indicates that most
+        connections are routed with zero or one vias."
+        """
+        if not self.routed_by:
+            return 0.0
+        return self.vias_added / self.routed_count
+
+    @property
+    def total_wire_length(self) -> int:
+        """Installed trace length in routing-grid units."""
+        return sum(
+            record.wire_length for record in self.workspace.records.values()
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict of the headline numbers (one Table 1 row's worth)."""
+        return {
+            "connections": self.total_count,
+            "routed": self.routed_count,
+            "complete": self.complete,
+            "percent_lee": round(self.percent_lee, 1),
+            "rip_ups": self.rip_up_count,
+            "vias_per_conn": round(self.vias_per_connection, 2),
+            "passes": self.passes,
+            "cpu_seconds": round(self.cpu_seconds, 2),
+            "zero_via": self.strategy_count(Strategy.ZERO_VIA),
+            "one_via": self.strategy_count(Strategy.ONE_VIA),
+            "two_via": self.strategy_count(Strategy.TWO_VIA),
+            "lee": self.strategy_count(Strategy.LEE),
+            "putback": self.strategy_count(Strategy.PUTBACK),
+        }

@@ -1,0 +1,73 @@
+"""Rip-up and putback (Section 8.3).
+
+When both optimal strategies and Lee's algorithm fail, the point that made
+the most progress towards the target (the least-cost point ever inserted
+into the exhausted wavefront) is known.  *Obstructions* is called around it
+once per routing layer; the connections using vias or traces in that
+neighborhood are ripped up, the current connection is retried from the
+beginning, and afterwards the ripped-up connections are put back exactly
+where they were — the few that no longer fit are marked for re-routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.channels.segment import is_rippable_owner
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.single_layer import obstructions
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Box
+
+
+def select_victims(
+    workspace: RoutingWorkspace,
+    point: ViaPoint,
+    rip_radius: int,
+    passable: FrozenSet[int] = frozenset(),
+) -> Set[int]:
+    """Connections obstructing the neighborhood of ``point``.
+
+    ``rip_radius`` is in via-grid units.  Only routed connections are
+    returned; pins and tesselation fill are immovable.
+    """
+    grid = workspace.grid
+    center = grid.via_to_grid(point)
+    r = rip_radius * grid.grid_per_via
+    box = Box(
+        center.gx - r, center.gy - r, center.gx + r, center.gy + r
+    ).clipped_to(grid.bounds)
+    owners: Set[int] = set()
+    for layer in workspace.layers:
+        owners |= obstructions(layer, center, box, passable)
+    return {
+        owner
+        for owner in owners
+        if is_rippable_owner(owner) and workspace.is_routed(owner)
+    }
+
+
+def rip_up(
+    workspace: RoutingWorkspace, victims: Set[int]
+) -> Dict[int, RouteRecord]:
+    """Remove the victims' routes, keeping their records for putback."""
+    return {
+        conn_id: workspace.remove_connection(conn_id) for conn_id in victims
+    }
+
+
+def put_back(
+    workspace: RoutingWorkspace, ripped: Dict[int, RouteRecord]
+) -> List[int]:
+    """Re-insert ripped-up routes exactly where they were.
+
+    Returns the connection ids that could not be restored and must be
+    marked for re-routing in the connection list.
+    """
+    failed: List[int] = []
+    for conn_id, record in ripped.items():
+        if workspace.is_routed(conn_id):
+            continue  # already re-routed meanwhile
+        if not workspace.restore_record(record):
+            failed.append(conn_id)
+    return failed

@@ -1,0 +1,257 @@
+"""The complete routing algorithm (Section 8.4).
+
+Per connection, a collection of strategies of increasing desperation:
+already-routed check, zero-via, one-via, Lee, rip-up-and-retry.  Around
+that, passes over the (sorted) connection list continue while each pass
+leaves fewer unrouted connections — "progress is true only while each
+successive pass through the connection list leaves fewer unrouted
+connections.  This stops infinite looping on impossible problems."
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.cost import COST_FUNCTIONS, CostFunction
+from repro.core.lee import LeeSearchResult, lee_route
+from repro.core.optimal import try_one_via, try_two_via, try_zero_via
+from repro.core.profiling import RouterProfile
+from repro.core.result import RoutingResult, Strategy
+from repro.core.ripup import put_back, rip_up, select_victims
+from repro.core.sorting import sort_connections
+from repro.grid.coords import ViaPoint
+
+
+@dataclass
+class RouterConfig:
+    """Tuning knobs of the router; defaults follow the paper.
+
+    ``radius`` (Section 8.1) bounds orthogonal movement per layer — typical
+    values are 1 or 2, and "large values of radius are counterproductive".
+    The ``enable_*`` switches exist for the ablation benchmarks.
+    """
+
+    radius: int = 1
+    cost: str = "distance_hops"
+    sort: bool = True
+    enable_zero_via: bool = True
+    enable_one_via: bool = True
+    #: The divide-and-conquer two-via strategy the paper tried and
+    #: rejected (Section 8.1); off by default, available for ablation.
+    enable_two_via: bool = False
+    enable_lee: bool = True
+    enable_ripup: bool = True
+    max_lee_expansions: int = 4000
+    max_gaps: int = 20000
+    max_ripup_rounds: int = 10
+    rip_radius: int = 2
+    max_passes: int = 24
+    #: Extra passes tolerated without reducing the unrouted count.  The
+    #: paper's guard is strict ("fewer unrouted connections"); allowing a
+    #: short stall lets pass N+1 profit from space freed by pass N's
+    #: rip-ups before declaring the problem impossible.
+    max_stalled_passes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("radius must be non-negative")
+        if self.cost not in COST_FUNCTIONS:
+            raise ValueError(
+                f"unknown cost function {self.cost!r}; "
+                f"choose from {sorted(COST_FUNCTIONS)}"
+            )
+
+    @property
+    def cost_fn(self) -> CostFunction:
+        """The resolved wavefront cost function."""
+        return COST_FUNCTIONS[self.cost]
+
+
+class GreedyRouter:
+    """grr: the greedy printed-circuit-board router."""
+
+    def __init__(
+        self,
+        board: Board,
+        config: Optional[RouterConfig] = None,
+        workspace: Optional[RoutingWorkspace] = None,
+    ) -> None:
+        self.board = board
+        self.config = config or RouterConfig()
+        self.workspace = workspace or RoutingWorkspace(board)
+        #: Per-phase CPU profile (Section 12), refreshed by each route().
+        self.profile = RouterProfile()
+
+    # ------------------------------------------------------------------
+    # the outer pass loop (Section 8.4)
+    # ------------------------------------------------------------------
+
+    def route(self, connections: Sequence[Connection]) -> RoutingResult:
+        """Route a connection list; returns the result with statistics."""
+        started = time.perf_counter()
+        self.profile = RouterProfile()
+        cfg = self.config
+        ordered = (
+            sort_connections(connections) if cfg.sort else list(connections)
+        )
+        result = RoutingResult(
+            workspace=self.workspace, connections=list(connections)
+        )
+        unrouted = [
+            c for c in ordered if not self.workspace.is_routed(c.conn_id)
+        ]
+        previous = len(unrouted) + 1
+        stalled = 0
+        while unrouted and result.passes < cfg.max_passes:
+            if len(unrouted) < previous:
+                stalled = 0
+            else:
+                stalled += 1
+                if stalled > cfg.max_stalled_passes:
+                    break  # no progress: the problem is too hard (§8.4)
+            previous = len(unrouted)
+            result.passes += 1
+            for conn in unrouted:
+                if self.workspace.is_routed(conn.conn_id):
+                    continue  # restored during an earlier putback
+                self._route_connection(conn, result)
+            unrouted = [
+                c for c in ordered if not self.workspace.is_routed(c.conn_id)
+            ]
+        result.failed = [c.conn_id for c in unrouted]
+        result.cpu_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # per-connection strategy stack
+    # ------------------------------------------------------------------
+
+    def passable_for(self, conn: Connection) -> FrozenSet[int]:
+        """Owners this connection may route over: itself and its two pins."""
+        return frozenset(
+            (conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1))
+        )
+
+    def _try_strategies(
+        self, conn: Connection, passable: FrozenSet[int]
+    ) -> Tuple[Optional[RouteRecord], Optional[Strategy], Optional[LeeSearchResult]]:
+        """One attempt through zero-via, one-via and Lee."""
+        cfg = self.config
+        ws = self.workspace
+        if conn.a == conn.b:
+            # Degenerate connection (both pins on one via site — possible
+            # for stacked pin models); it is trivially connected.
+            builder = ws.route_builder(conn.conn_id, passable)
+            return builder.commit(), Strategy.ZERO_VIA, None
+        if cfg.enable_zero_via:
+            with self.profile.measure("zero_via"):
+                record = try_zero_via(
+                    ws, conn, cfg.radius, passable, cfg.max_gaps
+                )
+            if record is not None:
+                return record, Strategy.ZERO_VIA, None
+        if cfg.enable_one_via:
+            with self.profile.measure("one_via"):
+                record = try_one_via(
+                    ws, conn, cfg.radius, passable, cfg.max_gaps
+                )
+            if record is not None:
+                return record, Strategy.ONE_VIA, None
+        if cfg.enable_two_via:
+            with self.profile.measure("two_via"):
+                record = try_two_via(
+                    ws, conn, cfg.radius, passable, cfg.max_gaps
+                )
+            if record is not None:
+                return record, Strategy.TWO_VIA, None
+        if cfg.enable_lee:
+            with self.profile.measure("lee"):
+                search = lee_route(
+                    ws,
+                    conn,
+                    radius=cfg.radius,
+                    passable=passable,
+                    cost_fn=cfg.cost_fn,
+                    max_expansions=cfg.max_lee_expansions,
+                    max_gaps=cfg.max_gaps,
+                )
+            if search.routed:
+                return search.record, Strategy.LEE, search
+            return None, None, search
+        return None, None, None
+
+    def _rip_points(
+        self, conn: Connection, search: Optional[LeeSearchResult]
+    ) -> List[ViaPoint]:
+        """Points around which to rip, most promising first.
+
+        The least-cost point of the exhausted wavefront made the most
+        progress towards the target (Section 8.3); the other side's best
+        point is the fallback.  Without a Lee result (strategy disabled)
+        the endpoints themselves are used.
+        """
+        if search is None:
+            return [conn.a, conn.b]
+        best_a, best_b = search.best_points
+        if search.exhausted_side == "b":
+            points = [best_b, best_a]
+        else:
+            points = [best_a, best_b]
+        points.extend([conn.a, conn.b])
+        return [p for p in points if p is not None]
+
+    def _route_connection(
+        self, conn: Connection, result: RoutingResult
+    ) -> bool:
+        """Route one connection, ripping up obstacles if necessary."""
+        cfg = self.config
+        ws = self.workspace
+        passable = self.passable_for(conn)
+        ripped: Dict[int, Tuple[RouteRecord, Optional[Strategy]]] = {}
+        routed = False
+        for attempt in range(cfg.max_ripup_rounds + 1):
+            record, strategy, search = self._try_strategies(conn, passable)
+            if search is not None:
+                result.lee_expansions += search.expansions
+            if record is not None:
+                result.routed_by[conn.conn_id] = strategy
+                routed = True
+                break
+            if not cfg.enable_ripup or attempt == cfg.max_ripup_rounds:
+                break
+            victims: set = set()
+            with self.profile.measure("ripup"):
+                # Widen the rip neighborhood as attempts fail: "this
+                # process of ripping up and restarting continues until
+                # enough obstacles have been removed" (Section 8.3).
+                rip_radius = cfg.rip_radius + attempt // 2
+                for point in self._rip_points(conn, search):
+                    victims = select_victims(
+                        ws, point, rip_radius, passable
+                    )
+                    if victims:
+                        break
+            if not victims:
+                break  # nothing movable is in the way; truly stuck
+            removed = rip_up(ws, victims)
+            result.rip_up_count += len(removed)
+            for conn_id, route_record in removed.items():
+                previous = result.routed_by.pop(conn_id, None)
+                ripped[conn_id] = (route_record, previous)
+        # Putback (Section 8.3): most ripped-up connections fit back
+        # unchanged; the rest stay unrouted and a later pass re-routes them.
+        if ripped:
+            with self.profile.measure("putback"):
+                for conn_id, (route_record, previous) in ripped.items():
+                    if ws.is_routed(conn_id):
+                        continue
+                    if ws.restore_record(route_record):
+                        result.routed_by[conn_id] = (
+                            previous or Strategy.PUTBACK
+                        )
+        return routed

@@ -1,0 +1,305 @@
+"""The three single-layer algorithms (Section 7): Trace, Vias, Obstructions.
+
+All three are variations of one underlying method: a depth-first search of
+the *free space* of a single layer, viewed as a graph of free gaps — maximal
+free intervals in each channel — where two gaps are adjacent when they lie
+in neighboring channels and overlap.  The cost of a search is proportional
+to the number of gaps examined, not to the distance between the end points:
+"in the absence of obstacles, it is just as fast to make a connection across
+the board as to the neighboring pin".
+
+* :func:`trace` — "Is there a trace between a and b on layer l lying
+  entirely within box?"  Returns the trimmed list of channel pieces.
+* :func:`reachable_vias` — "What via sites are reachable from point a on
+  layer l by paths lying entirely within box?"  (The paper's *Vias*.)
+* :func:`obstructions` — "What connections are near point a on layer l
+  lying in box?"  Victim selection for rip-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.channels.layer_data import ChannelPiece, LayerData
+from repro.channels.via_map import ViaMap
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box
+
+#: Identity of a free gap: (channel index, index in the channel's gap list).
+GapKey = Tuple[int, int]
+
+#: Default cap on gaps examined per search, a safety net against
+#: pathological congestion (failures count as "no path in box").
+DEFAULT_MAX_GAPS = 20000
+
+
+class _FreeSpace:
+    """Cached free-gap view of one layer region for the duration of a search.
+
+    The board does not change during a single search, so each channel's gap
+    list (clipped to the box, with passable owners treated as free) is
+    computed at most once.
+    """
+
+    def __init__(
+        self, layer: LayerData, box: Box, passable: FrozenSet[int]
+    ) -> None:
+        self.layer = layer
+        self.passable = passable
+        c_lo, c_hi, lo, hi = layer.box_cc(box)
+        self.c_lo = max(c_lo, 0)
+        self.c_hi = min(c_hi, layer.n_channels - 1)
+        self.lo = max(lo, 0)
+        self.hi = min(hi, layer.channel_length - 1)
+        self._gaps: Dict[int, List[Tuple[int, int]]] = {}
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the box misses the layer entirely."""
+        return self.c_lo > self.c_hi or self.lo > self.hi
+
+    def in_box(self, channel_index: int, coord: int) -> bool:
+        """True if channel coordinates lie inside the clipped box."""
+        return (
+            self.c_lo <= channel_index <= self.c_hi
+            and self.lo <= coord <= self.hi
+        )
+
+    def gaps(self, channel_index: int) -> List[Tuple[int, int]]:
+        """Free gaps of one channel, clipped to the box (cached)."""
+        cached = self._gaps.get(channel_index)
+        if cached is None:
+            cached = self.layer.channel(channel_index).free_gaps(
+                self.lo, self.hi, self.passable
+            )
+            self._gaps[channel_index] = cached
+        return cached
+
+    def gap_index_at(self, channel_index: int, coord: int) -> Optional[int]:
+        """Index of the gap containing ``coord``, or None if blocked."""
+        for i, (glo, ghi) in enumerate(self.gaps(channel_index)):
+            if glo <= coord <= ghi:
+                return i
+            if glo > coord:
+                return None
+        return None
+
+
+def _interval_distance(lo: int, hi: int, x: int) -> int:
+    """Distance from coordinate ``x`` to the interval ``[lo, hi]``."""
+    if x < lo:
+        return lo - x
+    if x > hi:
+        return x - hi
+    return 0
+
+
+def _adjacent_gaps(
+    fs: _FreeSpace, channel_index: int, glo: int, ghi: int
+) -> Iterator[Tuple[GapKey, Tuple[int, int]]]:
+    """Gaps in the two neighboring channels overlapping ``[glo, ghi]``."""
+    for nc in (channel_index - 1, channel_index + 1):
+        if not fs.c_lo <= nc <= fs.c_hi:
+            continue
+        for ngi, (nglo, nghi) in enumerate(fs.gaps(nc)):
+            if nghi < glo:
+                continue
+            if nglo > ghi:
+                break
+            yield (nc, ngi), (nglo, nghi)
+
+
+def trace(
+    layer: LayerData,
+    a: GridPoint,
+    b: GridPoint,
+    box: Box,
+    passable: FrozenSet[int] = frozenset(),
+    max_gaps: int = DEFAULT_MAX_GAPS,
+) -> Optional[List[ChannelPiece]]:
+    """Find a rectilinear path from ``a`` to ``b`` on one layer inside ``box``.
+
+    Returns the path as channel pieces ``(channel_index, lo, hi)`` with the
+    large gap overlaps already trimmed back to single junction points
+    (Figure 7), or None if no path exists within the box.
+    """
+    ca, xa = layer.point_cc(a)
+    cb, xb = layer.point_cc(b)
+    fs = _FreeSpace(layer, box, passable)
+    if fs.is_empty or not fs.in_box(ca, xa) or not fs.in_box(cb, xb):
+        return None
+    start_index = fs.gap_index_at(ca, xa)
+    if start_index is None:
+        return None
+    start: GapKey = (ca, start_index)
+    parents: Dict[GapKey, Optional[GapKey]] = {start: None}
+    goal: Optional[GapKey] = None
+    slo, shi = fs.gaps(ca)[start_index]
+    if ca == cb and slo <= xb <= shi:
+        goal = start
+    stack: List[GapKey] = [start]
+    examined = 0
+    while stack and goal is None:
+        key = stack.pop()
+        examined += 1
+        if examined > max_gaps:
+            return None
+        c, gi = key
+        glo, ghi = fs.gaps(c)[gi]
+        children: List[Tuple[int, GapKey]] = []
+        for nkey, (nglo, nghi) in _adjacent_gaps(fs, c, glo, ghi):
+            if nkey in parents:
+                continue
+            parents[nkey] = key
+            if nkey[0] == cb and nglo <= xb <= nghi:
+                goal = nkey
+                break
+            # Best-to-worst: nearest the destination searched first
+            # (pushed last so the DFS pops it first).
+            distance = abs(nkey[0] - cb) + _interval_distance(nglo, nghi, xb)
+            children.append((distance, nkey))
+        if goal is not None:
+            break
+        children.sort(key=lambda item: -item[0])
+        stack.extend(k for _, k in children)
+    if goal is None:
+        return None
+    chain: List[GapKey] = []
+    node: Optional[GapKey] = goal
+    while node is not None:
+        chain.append(node)
+        node = parents[node]
+    chain.reverse()
+    return _trim_chain(fs, chain, xa, xb)
+
+
+def _trim_chain(
+    fs: _FreeSpace, chain: List[GapKey], xa: int, xb: int
+) -> List[ChannelPiece]:
+    """Trim gap overlaps back to single junction points (Section 7.1).
+
+    Junctions are chosen by clamping the destination coordinate into each
+    overlap, working backwards from the target, which funnels the trace
+    towards ``b`` and keeps it short.
+    """
+    channels = [c for c, _ in chain]
+    gaps = [fs.gaps(c)[gi] for c, gi in chain]
+    n = len(chain)
+    if n == 1:
+        return [(channels[0], min(xa, xb), max(xa, xb))]
+    overlaps: List[Tuple[int, int]] = []
+    for i in range(n - 1):
+        (l1, h1), (l2, h2) = gaps[i], gaps[i + 1]
+        overlaps.append((max(l1, l2), min(h1, h2)))
+    junctions = [0] * (n - 1)
+    desired = xb
+    for i in range(n - 2, -1, -1):
+        lo, hi = overlaps[i]
+        junctions[i] = min(max(desired, lo), hi)
+        desired = junctions[i]
+    pieces: List[ChannelPiece] = []
+    prev = xa
+    for i in range(n - 1):
+        j = junctions[i]
+        pieces.append((channels[i], min(prev, j), max(prev, j)))
+        prev = j
+    pieces.append((channels[-1], min(prev, xb), max(prev, xb)))
+    return pieces
+
+
+def _explore_all(
+    fs: _FreeSpace, start: GapKey, max_gaps: int
+) -> Iterator[GapKey]:
+    """Exhaustively enumerate all gaps reachable from ``start``."""
+    seen: Set[GapKey] = {start}
+    stack = [start]
+    while stack:
+        key = stack.pop()
+        yield key
+        if len(seen) > max_gaps:
+            return
+        c, gi = key
+        glo, ghi = fs.gaps(c)[gi]
+        for nkey, _ in _adjacent_gaps(fs, c, glo, ghi):
+            if nkey not in seen:
+                seen.add(nkey)
+                stack.append(nkey)
+
+
+def reachable_vias(
+    layer: LayerData,
+    a: GridPoint,
+    box: Box,
+    passable: FrozenSet[int],
+    via_map: ViaMap,
+    max_gaps: int = DEFAULT_MAX_GAPS,
+) -> List[ViaPoint]:
+    """All free via sites reachable from ``a`` on one layer within ``box``.
+
+    This is the paper's *Vias* procedure: it defines the "neighbors" of a
+    via in the generalized Lee algorithm (Modification 1).  A site counts
+    as free when the via map allows drilling for a passable owner.
+    """
+    ca, xa = layer.point_cc(a)
+    fs = _FreeSpace(layer, box, passable)
+    if fs.is_empty or not fs.in_box(ca, xa):
+        return []
+    start_index = fs.gap_index_at(ca, xa)
+    if start_index is None:
+        return []
+    a_via = (
+        layer.grid.grid_to_via(a) if layer.grid.is_via_site(a) else None
+    )
+    found: List[ViaPoint] = []
+    for c, gi in _explore_all(fs, (ca, start_index), max_gaps):
+        if not layer.is_via_channel(c):
+            continue
+        glo, ghi = fs.gaps(c)[gi]
+        for via in layer.via_sites_in(c, glo, ghi):
+            if via != a_via and via_map.is_available(via, passable):
+                found.append(via)
+    return found
+
+
+def obstructions(
+    layer: LayerData,
+    a: GridPoint,
+    box: Box,
+    passable: FrozenSet[int] = frozenset(),
+    max_gaps: int = DEFAULT_MAX_GAPS,
+) -> Set[int]:
+    """Owners of the used segments immediately surrounding ``a`` (Section 7.3).
+
+    Enumerates the free space around ``a`` exhaustively and collects the
+    owner of every used segment bounding or flanking a visited gap — "the
+    list of immediate obstacles that surround a point on a given layer",
+    used to select victims to be ripped up.
+    """
+    ca, xa = layer.point_cc(a)
+    fs = _FreeSpace(layer, box, passable)
+    if fs.is_empty or not fs.in_box(ca, xa):
+        return set()
+    owners: Set[int] = set()
+    channel_a = layer.channel(ca)
+    start_index = fs.gap_index_at(ca, xa)
+    if start_index is None:
+        # The point itself is buried under another connection: that owner
+        # is the obstruction.
+        blocker = channel_a.owner_at(xa)
+        if blocker is not None and blocker not in passable:
+            owners.add(blocker)
+        return owners
+    for c, gi in _explore_all(fs, (ca, start_index), max_gaps):
+        channel = layer.channel(c)
+        glo, ghi = fs.gaps(c)[gi]
+        # Used segments bounding the gap along the channel.
+        for x in (glo - 1, ghi + 1):
+            if 0 <= x < layer.channel_length:
+                owner = channel.owner_at(x)
+                if owner is not None and owner not in passable:
+                    owners.add(owner)
+        # Used segments flanking the gap in the neighboring channels.
+        for nc in (c - 1, c + 1):
+            if 0 <= nc < layer.n_channels:
+                owners |= layer.channel(nc).owners_in(glo, ghi, passable)
+    return owners

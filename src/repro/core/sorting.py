@@ -1,0 +1,33 @@
+"""Connection sorting (Section 6): attempt the easiest connections first.
+
+"The easiest connection to route is the one that has the fewest
+possibilities for a minimal path between its end points."  The number of
+minimal Manhattan paths between points separated by (dx, dy) is
+C(dx + dy, dx); the paper approximates that ordering with two sort keys,
+``min(dx, dy)`` (straightness) then ``max(dx, dy)`` (length), so the
+shortest straight connections come first and the longest diagonal ones
+last.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import List, Sequence
+
+from repro.board.nets import Connection
+
+
+def minimal_path_count(dx: int, dy: int) -> int:
+    """Exact number of minimal rectilinear paths for a (dx, dy) separation.
+
+    Any minimal path makes dx horizontal and dy vertical unit steps in some
+    order: C(dx + dy, dx) of them.
+    """
+    if dx < 0 or dy < 0:
+        raise ValueError("separations must be non-negative")
+    return comb(dx + dy, dx)
+
+
+def sort_connections(connections: Sequence[Connection]) -> List[Connection]:
+    """Return connections in the paper's routing order (easiest first)."""
+    return sorted(connections, key=lambda c: c.sort_key())

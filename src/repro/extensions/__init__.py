@@ -1,0 +1,61 @@
+"""Extensions needed to build real high-speed boards (Section 10 + Appendix):
+length tuning, ECL/TTL tesselation separation, and power-plane generation.
+"""
+
+from repro.extensions.dispersion import (
+    DispersedPad,
+    DispersionError,
+    PadSpec,
+    disperse_pads,
+)
+from repro.extensions.length_tuning import (
+    DelayModel,
+    TuningResult,
+    route_delay_ns,
+    tune_connection,
+    tune_with_cost_mod,
+)
+from repro.extensions.postprocess import (
+    TracePolyline,
+    chamfer,
+    link_polyline,
+    postprocess_board,
+    postprocess_connection,
+)
+from repro.extensions.power_plane import (
+    PlaneFeature,
+    PowerPlanePattern,
+    generate_power_plane,
+)
+from repro.extensions.tesselation import (
+    MixedRoutingResult,
+    Tesselation,
+    Tile,
+    route_mixed,
+    split_tesselation,
+)
+
+__all__ = [
+    "DelayModel",
+    "DispersedPad",
+    "DispersionError",
+    "PadSpec",
+    "TracePolyline",
+    "chamfer",
+    "disperse_pads",
+    "link_polyline",
+    "postprocess_board",
+    "postprocess_connection",
+    "MixedRoutingResult",
+    "PlaneFeature",
+    "PowerPlanePattern",
+    "Tesselation",
+    "Tile",
+    "TuningResult",
+    "generate_power_plane",
+    "route_delay_ns",
+    "route_mixed",
+    "split_tesselation",
+    "tune_connection",
+    "tune_with_cost_mod",
+]

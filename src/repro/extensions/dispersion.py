@@ -1,0 +1,158 @@
+"""Dispersion patterns for surface-mount and off-grid pins (Section 11).
+
+"Surface mount devices have been used with grr, though in a somewhat
+clumsy way.  A hand-designed dispersion pattern was generated to connect
+the pads to a regular array of vias by traces lying only on the top
+surface.  The router was told to consider the vias as the end points of
+the connections."  The paper also suggests the fix for off-grid pins:
+"generalizing Trace to connect arbitrary grid points rather than only via
+points" — which our :func:`repro.core.single_layer.trace` already does.
+
+This module automates the hand-designed pattern: each pad (an arbitrary
+routing-grid point on the top layer) is assigned the nearest usable via
+site and connected to it by a top-layer trace.  The via becomes a regular
+on-grid pin that the router treats like any through-hole pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.board.board import Board
+from repro.board.parts import Pin, PinRole, sip_package
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.single_layer import trace
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box
+
+
+class DispersionError(ValueError):
+    """A pad could not be dispersed to any nearby via site."""
+
+
+@dataclass(frozen=True)
+class PadSpec:
+    """One surface pad: an arbitrary top-layer routing-grid point."""
+
+    position: GridPoint
+    role: PinRole = PinRole.INPUT
+
+
+@dataclass
+class DispersedPad:
+    """The result of dispersing one pad."""
+
+    pad: PadSpec
+    pin: Pin  # the on-grid pin the router will use
+    via: ViaPoint
+    trace_cells: int  # length of the top-layer dispersion trace
+
+
+def _spiral_vias(
+    board: Board, center: GridPoint, max_radius: int
+) -> List[ViaPoint]:
+    """Via sites near a grid point, nearest Chebyshev ring first."""
+    base = board.grid.grid_to_via(center)
+    found: List[ViaPoint] = []
+    for ring in range(max_radius + 1):
+        ring_sites = []
+        for dx in range(-ring, ring + 1):
+            for dy in range(-ring, ring + 1):
+                if max(abs(dx), abs(dy)) != ring:
+                    continue
+                via = ViaPoint(base.vx + dx, base.vy + dy)
+                if board.grid.contains_via(via):
+                    ring_sites.append(via)
+        g = board.grid
+        ring_sites.sort(
+            key=lambda v: abs(g.via_to_grid(v).gx - center.gx)
+            + abs(g.via_to_grid(v).gy - center.gy)
+        )
+        found.extend(ring_sites)
+    return found
+
+
+def disperse_pads(
+    board: Board,
+    workspace: RoutingWorkspace,
+    pads: Sequence[PadSpec],
+    part_name: str = "smd",
+    max_radius: int = 3,
+    top_layer: int = 0,
+) -> List[DispersedPad]:
+    """Connect surface pads to nearby via sites with top-layer traces.
+
+    For each pad: pick the nearest free via site reachable by a top-layer
+    trace, place a single-pin part there (the router's view of the pad),
+    drill it, and install the dispersion trace under the pin's immovable
+    owner.  Raises :class:`DispersionError` if any pad cannot be placed —
+    "an irregular via pattern ... would almost certainly create blockages"
+    is exactly what the nearest-first search avoids.
+    """
+    results: List[DispersedPad] = []
+    layer = workspace.layers[top_layer]
+    for pad in pads:
+        if not board.grid.contains_grid(pad.position):
+            raise DispersionError(f"pad {pad.position} is off the board")
+        placed = _disperse_one(
+            board, workspace, layer, top_layer, pad, part_name, max_radius
+        )
+        if placed is None:
+            raise DispersionError(
+                f"no usable via site within {max_radius} of {pad.position}"
+            )
+        results.append(placed)
+    return results
+
+
+def _disperse_one(
+    board: Board,
+    workspace: RoutingWorkspace,
+    layer,
+    top_layer: int,
+    pad: PadSpec,
+    part_name: str,
+    max_radius: int,
+) -> Optional[DispersedPad]:
+    package = sip_package(1)
+    r = max_radius * board.grid.grid_per_via
+    box = Box(
+        pad.position.gx - r,
+        pad.position.gy - r,
+        pad.position.gx + r,
+        pad.position.gy + r,
+    ).clipped_to(board.grid.bounds)
+    for via in _spiral_vias(board, pad.position, max_radius):
+        if not board.part_can_fit(package, via):
+            continue
+        if not workspace.via_map.is_available(via):
+            continue
+        via_point = board.grid.via_to_grid(via)
+        pieces = trace(layer, pad.position, via_point, box)
+        if pieces is None:
+            continue
+        part = board.add_part(
+            package,
+            via,
+            name=f"{part_name}_pad{len(board.pins)}",
+            roles=[pad.role],
+        )
+        pin = part.pins[0]
+        # The workspace installed pins at construction; this one arrives
+        # later, so drill it explicitly, then lay the dispersion trace
+        # under the same immovable owner.
+        workspace.drill_via(via, pin.owner_token)
+        cells = 0
+        for channel_index, lo, hi in pieces:
+            installed = workspace.add_segment(
+                top_layer,
+                channel_index,
+                lo,
+                hi,
+                pin.owner_token,
+                passable=frozenset((pin.owner_token,)),
+            )
+            cells += sum(seg[3] - seg[2] + 1 for seg in installed)
+        return DispersedPad(pad=pad, pin=pin, via=via, trace_cells=cells)
+    return None

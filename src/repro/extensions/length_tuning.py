@@ -1,0 +1,325 @@
+"""Length tuning (Section 10.1): making connections *longer* on purpose.
+
+ECL nets are transmission lines, so trace length controls delay; matching
+root-to-leaf delays in a clock tree requires stretching the short branches.
+"In common epoxy/glass printed circuit boards, signals propagate at around
+six inches per nanosecond", about 10% faster on the two outer layers.
+
+Two implementations, as in the paper:
+
+* :func:`tune_connection` — the shipping method: start from the standard
+  route and repeatedly add two-via detours between consecutive path nodes
+  (Figure 17) until the target delay is reached.
+* :func:`tune_with_cost_mod` — the *failed first attempt*: a Lee cost
+  function aimed at the target delay.  Kept as the E8 ablation; it
+  generates many plausible-but-wrong candidate paths because the per-layer
+  speed variation makes the estimate inaccurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.lee import lee_route
+from repro.core.optimal import find_zero_via
+from repro.grid.coords import ViaPoint, manhattan
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Per-layer propagation speeds derived from the board's tech rules."""
+
+    inches_per_cell: float
+    layer_speeds: Tuple[float, ...]  # inches per nanosecond per signal layer
+
+    @classmethod
+    def for_board(cls, board: Board) -> "DelayModel":
+        """Build the model from the board's rules and layer stack."""
+        rules = board.rules
+        inches_per_cell = (
+            board.grid.via_pitch_mils / board.grid.grid_per_via / 1000.0
+        )
+        speeds = tuple(
+            rules.layer_speed(layer.is_outer)
+            for layer in board.stack.signal_layers
+        )
+        return cls(inches_per_cell=inches_per_cell, layer_speeds=speeds)
+
+    def link_delay_ns(self, layer_index: int, cells: int) -> float:
+        """Delay of ``cells`` grid units of trace on one layer."""
+        inches = cells * self.inches_per_cell
+        return inches / self.layer_speeds[layer_index]
+
+    def min_delay_ns(self, a: ViaPoint, b: ViaPoint, grid_per_via: int) -> float:
+        """Lower bound: Manhattan length on the fastest layer."""
+        cells = manhattan(a, b) * grid_per_via
+        return cells * self.inches_per_cell / max(self.layer_speeds)
+
+
+def route_delay_ns(board: Board, record: RouteRecord) -> float:
+    """Total propagation delay of a routed connection."""
+    model = DelayModel.for_board(board)
+    return sum(
+        model.link_delay_ns(link.layer_index, link.wire_length)
+        for link in record.links
+    )
+
+
+@dataclass
+class TuningResult:
+    """Outcome of tuning one connection to a target delay."""
+
+    success: bool
+    achieved_ns: float
+    target_ns: float
+    detours_added: int = 0
+    candidates_tried: int = 0
+    reason: str = ""
+
+
+#: Detour offsets (via units) tried around each path node, nearest first —
+#: "the stretching algorithm attempts to add a two-via detour" one via away.
+_DETOUR_OFFSETS = ((0, 1), (0, -1), (1, 0), (-1, 0), (0, 2), (0, -2), (2, 0), (-2, 0))
+
+
+def _detour_candidates(
+    u: ViaPoint, v: ViaPoint, max_candidates: int = 48
+) -> List[Tuple[ViaPoint, ViaPoint]]:
+    """Two-via detours between consecutive path nodes (Figure 17).
+
+    For an axis-aligned link, detours bump sideways anywhere along the
+    span — candidates ordered by bump depth, then by distance from the
+    link midpoint.  Skewed links fall back to whole-link parallel shifts.
+    """
+    candidates: List[Tuple[int, int, ViaPoint, ViaPoint]] = []
+    if u.vy == v.vy and u.vx != v.vx:
+        lo, hi = sorted((u.vx, v.vx))
+        mid = (lo + hi) // 2
+        for depth in (1, -1, 2, -2):
+            for s in range(lo, hi):
+                w1 = ViaPoint(s, u.vy + depth)
+                w2 = ViaPoint(s + 1, u.vy + depth)
+                candidates.append((abs(depth), abs(s - mid), w1, w2))
+    elif u.vx == v.vx and u.vy != v.vy:
+        lo, hi = sorted((u.vy, v.vy))
+        mid = (lo + hi) // 2
+        for depth in (1, -1, 2, -2):
+            for s in range(lo, hi):
+                w1 = ViaPoint(u.vx + depth, s)
+                w2 = ViaPoint(u.vx + depth, s + 1)
+                candidates.append((abs(depth), abs(s - mid), w1, w2))
+    else:
+        for dx, dy in _DETOUR_OFFSETS:
+            w1 = ViaPoint(u.vx + dx, u.vy + dy)
+            w2 = ViaPoint(v.vx + dx, v.vy + dy)
+            candidates.append((abs(dx) + abs(dy), 0, w1, w2))
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    return [(w1, w2) for _, _, w1, w2 in candidates[:max_candidates]]
+
+
+def _chain_nodes(conn: Connection, record: RouteRecord, grid) -> List[ViaPoint]:
+    """Via-point chain of a route: endpoints plus intermediate vias in order."""
+    nodes = [conn.a]
+    for link in record.links[:-1]:
+        nodes.append(grid.grid_to_via(link.b))
+    nodes.append(conn.b)
+    return nodes
+
+
+def _rebuild_chain(
+    workspace: RoutingWorkspace,
+    conn: Connection,
+    nodes: List[ViaPoint],
+    radius: int,
+    passable: FrozenSet[int],
+) -> Optional[RouteRecord]:
+    """Install a route following a via chain with direct traces per hop."""
+    builder = workspace.route_builder(conn.conn_id, passable)
+    grid = workspace.grid
+    for i in range(len(nodes) - 1):
+        u, v = nodes[i], nodes[i + 1]
+        found = find_zero_via(workspace, u, v, radius, passable)
+        if found is None:
+            builder.abort()
+            return None
+        layer_index, pieces = found
+        builder.add_link(
+            layer_index, grid.via_to_grid(u), grid.via_to_grid(v), pieces
+        )
+        if i < len(nodes) - 2:
+            drilled = workspace.via_map.drilled_owner(v)
+            if drilled is None:
+                builder.drill(v)
+            elif drilled != conn.conn_id:
+                builder.abort()
+                return None
+    return builder.commit()
+
+
+def tune_connection(
+    workspace: RoutingWorkspace,
+    board: Board,
+    conn: Connection,
+    target_ns: float,
+    radius: int = 1,
+    tolerance_ns: float = 0.05,
+    max_detours: int = 40,
+) -> TuningResult:
+    """Stretch a routed connection to the target delay by adding detours.
+
+    The connection must already be routed.  The target "must of course be
+    greater than the propagation time on the minimum-length path on the
+    fastest layer".  Each round inserts a two-via detour between some pair
+    of consecutive path nodes; rounds repeat using the newly added vias
+    until the delay is within tolerance or no detour helps.
+    """
+    if not workspace.is_routed(conn.conn_id):
+        raise ValueError(f"connection {conn.conn_id} is not routed")
+    passable = frozenset(
+        (conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1))
+    )
+    model = DelayModel.for_board(board)
+    grid = workspace.grid
+    record = workspace.records[conn.conn_id]
+    delay = route_delay_ns(board, record)
+    if delay > target_ns + tolerance_ns:
+        return TuningResult(
+            False, delay, target_ns, reason="already slower than target"
+        )
+    detours = 0
+    tried = 0
+    while delay < target_ns - tolerance_ns and detours < max_detours:
+        nodes = _chain_nodes(conn, record, grid)
+        improved = False
+        for i in range(len(nodes) - 1):
+            u, v = nodes[i], nodes[i + 1]
+            for w1, w2 in _detour_candidates(u, v):
+                tried += 1
+                candidate = nodes[: i + 1] + [w1, w2] + nodes[i + 1 :]
+                if not _detour_usable(workspace, conn, (w1, w2), passable):
+                    continue
+                old_record = workspace.remove_connection(conn.conn_id)
+                new_record = _rebuild_chain(
+                    workspace, conn, candidate, radius, passable
+                )
+                if new_record is None:
+                    if not workspace.restore_record(old_record):
+                        return TuningResult(
+                            False,
+                            delay,
+                            target_ns,
+                            detours,
+                            tried,
+                            reason="restore failed",
+                        )
+                    continue
+                new_delay = route_delay_ns(board, new_record)
+                if new_delay <= delay + 1e-9 or new_delay > target_ns + tolerance_ns:
+                    # Detour did not lengthen, or overshot: undo.
+                    workspace.remove_connection(conn.conn_id)
+                    if not workspace.restore_record(old_record):
+                        return TuningResult(
+                            False,
+                            new_delay,
+                            target_ns,
+                            detours,
+                            tried,
+                            reason="restore failed",
+                        )
+                    continue
+                record = new_record
+                delay = new_delay
+                detours += 1
+                improved = True
+                break
+            if improved:
+                break
+        if not improved:
+            return TuningResult(
+                False, delay, target_ns, detours, tried, reason="no detour found"
+            )
+    success = abs(delay - target_ns) <= tolerance_ns or delay >= target_ns - tolerance_ns
+    return TuningResult(success, delay, target_ns, detours, tried)
+
+
+def _detour_usable(
+    workspace: RoutingWorkspace,
+    conn: Connection,
+    vias: Tuple[ViaPoint, ...],
+    passable: FrozenSet[int],
+) -> bool:
+    """Both detour via sites must exist and be drillable."""
+    for v in vias:
+        if not workspace.grid.contains_via(v):
+            return False
+        drilled = workspace.via_map.drilled_owner(v)
+        if drilled is not None and drilled != conn.conn_id:
+            return False
+        if not workspace.via_map.is_available(v, passable):
+            return False
+    return True
+
+
+def tune_with_cost_mod(
+    workspace: RoutingWorkspace,
+    board: Board,
+    conn: Connection,
+    target_ns: float,
+    radius: int = 1,
+    tolerance_ns: float = 0.05,
+    max_candidates: int = 20,
+) -> TuningResult:
+    """The paper's failed first attempt: delay-targeted Lee cost function.
+
+    The cost function prefers wavefront points whose estimated total delay
+    (distance so far plus Manhattan estimate to the destination, at an
+    assumed average layer speed) is close to the target.  Because the path
+    may end up on fast or slow layers and need not be close to Manhattan
+    length, "many candidate solutions ... when completed with Trace proved
+    to be too fast or too slow" — this routine re-routes and checks up to
+    ``max_candidates`` times and reports how many were false solutions.
+    """
+    if workspace.is_routed(conn.conn_id):
+        raise ValueError("tune_with_cost_mod routes from scratch; rip first")
+    model = DelayModel.for_board(board)
+    grid_per_via = workspace.grid.grid_per_via
+    mean_speed = sum(model.layer_speeds) / len(model.layer_speeds)
+    ns_per_via = grid_per_via * model.inches_per_cell / mean_speed
+
+    def delay_cost(n: ViaPoint, target: ViaPoint, hops: int) -> float:
+        source = conn.a if target == conn.b else conn.b
+        est = (manhattan(source, n) + manhattan(n, target)) * ns_per_via
+        return abs(est - target_ns) * hops
+
+    tried = 0
+    best_delay = 0.0
+    while tried < max_candidates:
+        tried += 1
+        search = lee_route(
+            workspace,
+            conn,
+            radius=radius,
+            passable=frozenset(
+                (conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1))
+            ),
+            cost_fn=delay_cost,
+        )
+        if not search.routed:
+            return TuningResult(
+                False, best_delay, target_ns, 0, tried, reason="unroutable"
+            )
+        delay = route_delay_ns(board, search.record)
+        best_delay = delay
+        if abs(delay - target_ns) <= tolerance_ns:
+            return TuningResult(True, delay, target_ns, 0, tried)
+        # False solution: too fast or too slow; rip and try again.  (The
+        # search is deterministic, so repeated attempts mostly rediscover
+        # similar paths — exactly the pathology the paper describes.)
+        workspace.remove_connection(conn.conn_id)
+    return TuningResult(
+        False, best_delay, target_ns, 0, tried, reason="false solutions"
+    )

@@ -1,0 +1,168 @@
+"""Photoplot postprocessing: rectilinear routes to chamfered polylines.
+
+Figure 21's caption: "The rectilinear grr output was postprocessed to
+generate this photoplot.  Local modifications were made to produce the
+rounded corners and diagonal traces ... These optimizations improve the
+manufacturing yield and electrical characteristics of the circuit board."
+
+This module performs the geometric half of that postprocessor: it converts
+each routed link's channel pieces into an ordered rectilinear polyline and
+replaces every 90-degree corner with a 45-degree chamfer.  (The paper's
+"spread apart long parallel trace runs" step operates on photoplot flash
+data and is out of scope; the chamfering is what changes the geometry in
+Figure 21.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.channels.workspace import RouteLink, RoutingWorkspace
+from repro.grid.geometry import Orientation
+
+#: A polyline vertex in routing-grid coordinates (may be half-integral
+#: after chamfering, hence floats).
+Point = Tuple[float, float]
+
+
+@dataclass
+class TracePolyline:
+    """One link's centerline after postprocessing."""
+
+    layer_index: int
+    points: List[Point]
+
+    @property
+    def length(self) -> float:
+        """Euclidean length in routing-grid units."""
+        total = 0.0
+        for (x0, y0), (x1, y1) in zip(self.points, self.points[1:]):
+            total += ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5
+        return total
+
+
+def link_polyline(
+    workspace: RoutingWorkspace, link: RouteLink
+) -> List[Point]:
+    """Ordered rectilinear corner points of a link (before chamfering).
+
+    The trimmed pieces share single junction coordinates (Section 7.1);
+    the polyline runs along each piece and steps one channel at each
+    junction.
+    """
+    layer = workspace.layers[link.layer_index]
+
+    def to_xy(channel: int, coord: float) -> Point:
+        if layer.orientation is Orientation.HORIZONTAL:
+            return (float(coord), float(channel))
+        return (float(channel), float(coord))
+
+    a_channel, a_coord = layer.point_cc(link.a)
+    b_channel, b_coord = layer.point_cc(link.b)
+    points: List[Point] = [to_xy(a_channel, a_coord)]
+    pieces = link.pieces
+    for i, (channel, lo, hi) in enumerate(pieces):
+        if i + 1 < len(pieces):
+            next_channel, next_lo, next_hi = pieces[i + 1]
+            # The junction is the endpoint the two trimmed pieces share
+            # (overlaps were cut back to a single point, Section 7.1).
+            common = {lo, hi} & {next_lo, next_hi}
+            if common:
+                junction = common.pop()
+            else:
+                junction = max(lo, next_lo)  # defensive fallback
+            points.append(to_xy(channel, junction))
+            points.append(to_xy(next_channel, junction))
+        else:
+            points.append(to_xy(channel, b_coord))
+    return _dedupe(points)
+
+
+def _dedupe(points: List[Point]) -> List[Point]:
+    """Drop repeated and collinear intermediate vertices."""
+    cleaned: List[Point] = []
+    for p in points:
+        if cleaned and cleaned[-1] == p:
+            continue
+        if len(cleaned) >= 2:
+            (x0, y0), (x1, y1) = cleaned[-2], cleaned[-1]
+            # Collinear (all rectilinear here): same x or same y throughout.
+            if (x0 == x1 == p[0]) or (y0 == y1 == p[1]):
+                cleaned[-1] = p
+                continue
+        cleaned.append(p)
+    return cleaned
+
+
+def chamfer(points: List[Point], cut: float = 1.0) -> List[Point]:
+    """Replace each right-angle corner with a 45-degree chamfer.
+
+    ``cut`` is the distance backed off along each arm (clamped to half
+    the arm length so adjacent corners cannot overlap).  Endpoints are
+    preserved exactly — they are pads and vias.
+    """
+    if len(points) < 3:
+        return list(points)
+    out: List[Point] = [points[0]]
+    for i in range(1, len(points) - 1):
+        prev_pt, corner, next_pt = points[i - 1], points[i], points[i + 1]
+        arm_in = _distance(prev_pt, corner)
+        arm_out = _distance(corner, next_pt)
+        c = min(cut, arm_in / 2.0, arm_out / 2.0)
+        if c <= 0:
+            out.append(corner)
+            continue
+        out.append(_along(corner, prev_pt, c))
+        out.append(_along(corner, next_pt, c))
+    out.append(points[-1])
+    return _dedupe_eps(out)
+
+
+def _distance(a: Point, b: Point) -> float:
+    return ((a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2) ** 0.5
+
+
+def _along(origin: Point, towards: Point, distance: float) -> Point:
+    length = _distance(origin, towards)
+    if length == 0:
+        return origin
+    t = distance / length
+    return (
+        origin[0] + (towards[0] - origin[0]) * t,
+        origin[1] + (towards[1] - origin[1]) * t,
+    )
+
+
+def _dedupe_eps(points: List[Point], eps: float = 1e-9) -> List[Point]:
+    cleaned = [points[0]]
+    for p in points[1:]:
+        if _distance(cleaned[-1], p) > eps:
+            cleaned.append(p)
+    return cleaned
+
+
+def postprocess_connection(
+    workspace: RoutingWorkspace, conn_id: int, cut: float = 1.0
+) -> List[TracePolyline]:
+    """Chamfered polylines for every link of a routed connection."""
+    record = workspace.records[conn_id]
+    polylines = []
+    for link in record.links:
+        raw = link_polyline(workspace, link)
+        polylines.append(
+            TracePolyline(
+                layer_index=link.layer_index, points=chamfer(raw, cut)
+            )
+        )
+    return polylines
+
+
+def postprocess_board(
+    workspace: RoutingWorkspace, cut: float = 1.0
+) -> dict:
+    """Postprocess every routed connection: {conn_id: [TracePolyline]}."""
+    return {
+        conn_id: postprocess_connection(workspace, conn_id, cut)
+        for conn_id in workspace.records
+    }

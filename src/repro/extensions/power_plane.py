@@ -1,0 +1,118 @@
+"""Power-plane pattern generation (Appendix, Figure 22).
+
+"The etching pattern for power layers is simple.  The layer is left as
+solid copper except at pin and via locations that are not to be connected
+to the power net.  At these locations, a small disk is etched away so that
+no electrical contact will be made during drilling and plating."  Power
+pins of the net get *thermal reliefs* — partial copper removal that keeps
+soldering heat from sinking into the plane — and mounting holes get large
+clearance circles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.board.board import Board
+from repro.board.parts import PinRole
+from repro.channels.workspace import RoutingWorkspace
+from repro.grid.coords import ViaPoint
+
+
+class FeatureKind(enum.Enum):
+    """What is etched (or kept) at one plane location."""
+
+    #: Disk etched away around a hole that must NOT contact this plane.
+    CLEARANCE = "clearance"
+    #: Spoked relief around a pin that DOES connect to this plane.
+    THERMAL_RELIEF = "thermal_relief"
+    #: Large etched circle around a board mounting screw.
+    MOUNTING_HOLE = "mounting_hole"
+
+
+@dataclass(frozen=True)
+class PlaneFeature:
+    """One etch feature of a power plane."""
+
+    kind: FeatureKind
+    position: ViaPoint
+    diameter_mils: float
+
+
+@dataclass
+class PowerPlanePattern:
+    """The full etch pattern of one power layer (solid copper elsewhere)."""
+
+    net_id: int
+    net_name: str
+    features: List[PlaneFeature] = field(default_factory=list)
+
+    def count(self, kind: FeatureKind) -> int:
+        """Number of features of one kind."""
+        return sum(1 for f in self.features if f.kind is kind)
+
+
+def default_mounting_holes(board: Board, inset: int = 1) -> List[ViaPoint]:
+    """Mounting screws at the four board corners."""
+    nx, ny = board.grid.via_nx, board.grid.via_ny
+    return [
+        ViaPoint(inset, inset),
+        ViaPoint(nx - 1 - inset, inset),
+        ViaPoint(inset, ny - 1 - inset),
+        ViaPoint(nx - 1 - inset, ny - 1 - inset),
+    ]
+
+
+def generate_power_plane(
+    board: Board,
+    workspace: RoutingWorkspace,
+    net_id: int,
+    mounting_holes: Optional[Sequence[ViaPoint]] = None,
+) -> PowerPlanePattern:
+    """Generate a plane's etch pattern after routing.
+
+    "The generation of power layer patterns is straightforward once the
+    complete pattern of vias is known": every drilled hole (pin or signal
+    via) that is not a pin of this power net gets a clearance disk; the
+    net's own pins get thermal reliefs.
+    """
+    net = board.nets[net_id]
+    rules = board.rules
+    pattern = PowerPlanePattern(net_id=net_id, net_name=net.name)
+    member_pins = set()
+    for pin_id in net.pin_ids:
+        pin = board.pins[pin_id]
+        member_pins.add(pin.position)
+    if mounting_holes is None:
+        mounting_holes = default_mounting_holes(board)
+    hole_positions = set(mounting_holes)
+    for via, _owner in sorted(workspace.via_map.drilled_sites().items()):
+        if via in hole_positions:
+            continue
+        if via in member_pins:
+            pattern.features.append(
+                PlaneFeature(
+                    FeatureKind.THERMAL_RELIEF,
+                    via,
+                    rules.via_pad_diameter,
+                )
+            )
+        else:
+            pattern.features.append(
+                PlaneFeature(
+                    FeatureKind.CLEARANCE,
+                    via,
+                    rules.power_clearance_diameter,
+                )
+            )
+    for hole in mounting_holes:
+        pattern.features.append(
+            PlaneFeature(
+                FeatureKind.MOUNTING_HOLE,
+                hole,
+                rules.via_pitch * 2.0,
+            )
+        )
+    return pattern

@@ -1,0 +1,157 @@
+"""ECL/TTL separation by layer tesselation (Section 10.2).
+
+A 5-volt TTL transition next to a sub-volt ECL signal induces enough noise
+to flip logic values, so traces of the two families must be kept apart.
+The method of J. Prisner and R. Kao: each signal layer is tesselated into
+tiles reserved exclusively for ECL or TTL wires; the board is routed as two
+superimposed problems.  "Before starting the ECL pass, grr fills all empty
+space in TTL tiles, making them unavailable for traces or vias. ... After
+all ECL connections are made, the TTL 'filler' is removed", and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.technology import LogicFamily
+from repro.channels.workspace import FillRecord, RoutingWorkspace
+from repro.core.result import RoutingResult
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.grid.geometry import Box
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rectangle of one signal layer reserved for a logic family."""
+
+    layer_index: int
+    box: Box  # routing-grid coordinates
+    family: LogicFamily
+
+
+@dataclass
+class Tesselation:
+    """A complete tiling of the signal layers by logic family."""
+
+    tiles: List[Tile] = field(default_factory=list)
+
+    def tiles_for(self, family: LogicFamily) -> List[Tile]:
+        """Tiles reserved for the given family."""
+        return [t for t in self.tiles if t.family is family]
+
+    def tiles_against(self, family: LogicFamily) -> List[Tile]:
+        """Tiles reserved for the *other* family (to be filled)."""
+        return [t for t in self.tiles if t.family is not family]
+
+
+def split_tesselation(
+    board: Board, split_via_column: int
+) -> Tesselation:
+    """Simple vertical split: ECL left of the column, TTL right of it.
+
+    "Usually the chips of one or other technology can be arranged in a
+    compact area on the board.  The signal layers under this area are
+    reserved for that technology."
+    """
+    grid = board.grid
+    split_gx = split_via_column * grid.grid_per_via
+    tiles: List[Tile] = []
+    for index in range(board.stack.n_signal):
+        tiles.append(
+            Tile(
+                layer_index=index,
+                box=Box(0, 0, split_gx - 1, grid.ny - 1),
+                family=LogicFamily.ECL,
+            )
+        )
+        tiles.append(
+            Tile(
+                layer_index=index,
+                box=Box(split_gx, 0, grid.nx - 1, grid.ny - 1),
+                family=LogicFamily.TTL,
+            )
+        )
+    return Tesselation(tiles)
+
+
+@dataclass
+class MixedRoutingResult:
+    """Results of the two superimposed routing passes."""
+
+    by_family: Dict[LogicFamily, RoutingResult] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True if both passes routed everything."""
+        return all(r.complete for r in self.by_family.values())
+
+    @property
+    def routed_count(self) -> int:
+        """Total connections routed across both passes."""
+        return sum(r.routed_count for r in self.by_family.values())
+
+    @property
+    def total_count(self) -> int:
+        """Total connections across both passes."""
+        return sum(r.total_count for r in self.by_family.values())
+
+    def summary(self) -> Dict[str, object]:
+        """Flat summary over both families."""
+        return {
+            "routed": self.routed_count,
+            "connections": self.total_count,
+            "complete": self.complete,
+            "ecl": self.by_family[LogicFamily.ECL].summary()
+            if LogicFamily.ECL in self.by_family
+            else None,
+            "ttl": self.by_family[LogicFamily.TTL].summary()
+            if LogicFamily.TTL in self.by_family
+            else None,
+        }
+
+
+def _fill_tiles(
+    workspace: RoutingWorkspace, tiles: Sequence[Tile]
+) -> List[FillRecord]:
+    """Block all free space in the given tiles."""
+    return [
+        workspace.fill_free_space(tile.layer_index, tile.box)
+        for tile in tiles
+    ]
+
+
+def _unfill_all(
+    workspace: RoutingWorkspace, records: List[FillRecord]
+) -> None:
+    for record in records:
+        workspace.unfill(record)
+
+
+def route_mixed(
+    board: Board,
+    connections: Sequence[Connection],
+    tesselation: Tesselation,
+    config: Optional[RouterConfig] = None,
+    workspace: Optional[RoutingWorkspace] = None,
+) -> MixedRoutingResult:
+    """Route a mixed ECL/TTL board as two superimposed problems.
+
+    ECL first (it is the majority family on the Titan boards), then TTL;
+    each pass sees the other family's tiles as solid filler.
+    """
+    workspace = workspace or RoutingWorkspace(board)
+    result = MixedRoutingResult()
+    for family in (LogicFamily.ECL, LogicFamily.TTL):
+        batch = [c for c in connections if c.family is family]
+        if not batch:
+            continue
+        fills = _fill_tiles(workspace, tesselation.tiles_against(family))
+        try:
+            router = GreedyRouter(board, config, workspace=workspace)
+            result.by_family[family] = router.route(batch)
+        finally:
+            _unfill_all(workspace, fills)
+    return result

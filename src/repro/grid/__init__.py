@@ -1,0 +1,31 @@
+"""Routing-grid and via-grid model (Sections 2 and 4, Figures 1 and 3).
+
+The paper's major restriction for efficiency is a routing grid on which all
+traces must lie, with a coarser via grid embedded in it: via sites sit at
+regular intervals (every ``grid_per_via`` routing tracks) so that the pin
+arrangements of through-hole parts land on via sites and two minimum-pitch
+traces fit between adjacent via sites.
+"""
+
+from repro.grid.coords import (
+    GridPoint,
+    ViaPoint,
+    grid_to_via,
+    is_via_site,
+    manhattan,
+    via_to_grid,
+)
+from repro.grid.geometry import Box, Orientation
+from repro.grid.routing_grid import RoutingGrid
+
+__all__ = [
+    "Box",
+    "GridPoint",
+    "Orientation",
+    "RoutingGrid",
+    "ViaPoint",
+    "grid_to_via",
+    "is_via_site",
+    "manhattan",
+    "via_to_grid",
+]

@@ -1,0 +1,71 @@
+"""Coordinate types and conversions between the routing grid and via grid.
+
+Two coordinate systems coexist (Figure 3 of the paper):
+
+* the **routing grid** — the fine grid on which every trace must lie; points
+  are ``GridPoint(gx, gy)``;
+* the **via grid** — the coarse sub-grid of routing points at which vias and
+  pins may be placed; points are ``ViaPoint(vx, vy)``.
+
+The via grid is embedded in the routing grid at a fixed pitch
+``GRID_PER_VIA`` (3 in the paper's process: two routing tracks between
+adjacent via sites, Figure 3).  The pitch is a property of
+:class:`repro.grid.routing_grid.RoutingGrid`; the module-level helpers here
+take it as an argument so that other pitches can be modelled.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Default number of routing-grid steps between adjacent via sites.
+#: Figure 3: 100-mil via pitch, two traces between vias, so three routing
+#: steps from one via site to the next.
+GRID_PER_VIA = 3
+
+
+class GridPoint(NamedTuple):
+    """A point on the fine routing grid."""
+
+    gx: int
+    gy: int
+
+    def translated(self, dx: int, dy: int) -> "GridPoint":
+        """Return the point offset by ``(dx, dy)`` routing-grid steps."""
+        return GridPoint(self.gx + dx, self.gy + dy)
+
+
+class ViaPoint(NamedTuple):
+    """A point on the coarse via grid (a legal via or pin site)."""
+
+    vx: int
+    vy: int
+
+    def translated(self, dx: int, dy: int) -> "ViaPoint":
+        """Return the point offset by ``(dx, dy)`` via-grid steps."""
+        return ViaPoint(self.vx + dx, self.vy + dy)
+
+
+def via_to_grid(via: ViaPoint, grid_per_via: int = GRID_PER_VIA) -> GridPoint:
+    """Map a via-grid point to its routing-grid coordinates."""
+    return GridPoint(via.vx * grid_per_via, via.vy * grid_per_via)
+
+
+def grid_to_via(point: GridPoint, grid_per_via: int = GRID_PER_VIA) -> ViaPoint:
+    """Map a routing-grid point to via coordinates.
+
+    The paper indexes the via map by "simple integer quotients of the grid
+    coordinates"; this is that quotient.  The result identifies the via cell
+    containing ``point``; it is only a via *site* if :func:`is_via_site`.
+    """
+    return ViaPoint(point.gx // grid_per_via, point.gy // grid_per_via)
+
+
+def is_via_site(point: GridPoint, grid_per_via: int = GRID_PER_VIA) -> bool:
+    """True if the routing-grid point coincides with a via-grid site."""
+    return point.gx % grid_per_via == 0 and point.gy % grid_per_via == 0
+
+
+def manhattan(a: tuple, b: tuple) -> int:
+    """Manhattan distance between two points of the same coordinate system."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])

@@ -1,0 +1,85 @@
+"""Rectilinear geometry primitives: orientations and clipping boxes.
+
+Every single-layer search in the paper is confined to a *box* ("lying
+entirely within box", Section 7.1), and every signal layer has a preferred
+*orientation* (Section 4): traces on a horizontal layer are presumed to be
+predominantly horizontal, and the layer's channels run horizontally.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, NamedTuple
+
+from repro.grid.coords import GridPoint
+
+
+class Orientation(enum.Enum):
+    """Preferred trace direction of a signal layer (Section 4)."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+    @property
+    def other(self) -> "Orientation":
+        """The orthogonal orientation."""
+        if self is Orientation.HORIZONTAL:
+            return Orientation.VERTICAL
+        return Orientation.HORIZONTAL
+
+
+class Box(NamedTuple):
+    """Closed axis-aligned rectangle on the routing grid (inclusive bounds)."""
+
+    x_lo: int
+    y_lo: int
+    x_hi: int
+    y_hi: int
+
+    @classmethod
+    def bounding(cls, a: GridPoint, b: GridPoint) -> "Box":
+        """Smallest box containing both points."""
+        return cls(
+            min(a.gx, b.gx), min(a.gy, b.gy), max(a.gx, b.gx), max(a.gy, b.gy)
+        )
+
+    @property
+    def width(self) -> int:
+        """Number of grid columns covered."""
+        return self.x_hi - self.x_lo + 1
+
+    @property
+    def height(self) -> int:
+        """Number of grid rows covered."""
+        return self.y_hi - self.y_lo + 1
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the box contains no grid points."""
+        return self.x_hi < self.x_lo or self.y_hi < self.y_lo
+
+    def contains(self, point: GridPoint) -> bool:
+        """True if ``point`` lies inside the box (bounds inclusive)."""
+        return (
+            self.x_lo <= point.gx <= self.x_hi
+            and self.y_lo <= point.gy <= self.y_hi
+        )
+
+    def expanded(self, dx: int, dy: int) -> "Box":
+        """Box grown by ``dx`` columns and ``dy`` rows on every side."""
+        return Box(self.x_lo - dx, self.y_lo - dy, self.x_hi + dx, self.y_hi + dy)
+
+    def clipped_to(self, other: "Box") -> "Box":
+        """Intersection with another box (may be empty)."""
+        return Box(
+            max(self.x_lo, other.x_lo),
+            max(self.y_lo, other.y_lo),
+            min(self.x_hi, other.x_hi),
+            min(self.y_hi, other.y_hi),
+        )
+
+    def iter_points(self) -> Iterator[GridPoint]:
+        """Iterate every grid point in the box (row-major)."""
+        for gy in range(self.y_lo, self.y_hi + 1):
+            for gx in range(self.x_lo, self.x_hi + 1):
+                yield GridPoint(gx, gy)

@@ -1,0 +1,119 @@
+"""The routing grid: board extent, via pitch, and physical dimensions.
+
+Figure 1 of the paper gives the example manufacturing process this grid
+models: 8-mil traces with 8-mil spacing, 60-mil via pads on a 100-mil via
+pitch, two traces between adjacent via pads.  The grid is *irregularly*
+spaced physically (42 mils via-to-track, 16 mils track-to-track), but
+logically uniform: three routing steps per via pitch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.grid.coords import GRID_PER_VIA, GridPoint, ViaPoint
+from repro.grid.geometry import Box
+
+
+@dataclass(frozen=True)
+class RoutingGrid:
+    """Geometry of a board's routing grid.
+
+    Parameters
+    ----------
+    via_nx, via_ny:
+        Number of via-grid columns and rows.  The paper's via grid is set by
+        the minimum pin pitch of the parts (100 mils for the Titan boards).
+    grid_per_via:
+        Routing-grid steps between adjacent via sites (3 in Figure 3).
+    via_pitch_mils:
+        Physical distance between via sites, for density metrics only.
+    """
+
+    via_nx: int
+    via_ny: int
+    grid_per_via: int = GRID_PER_VIA
+    via_pitch_mils: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.via_nx < 2 or self.via_ny < 2:
+            raise ValueError("grid needs at least 2x2 via sites")
+        if self.grid_per_via < 1:
+            raise ValueError("grid_per_via must be >= 1")
+
+    @property
+    def nx(self) -> int:
+        """Routing-grid columns (via sites sit at both extremes)."""
+        return (self.via_nx - 1) * self.grid_per_via + 1
+
+    @property
+    def ny(self) -> int:
+        """Routing-grid rows."""
+        return (self.via_ny - 1) * self.grid_per_via + 1
+
+    @property
+    def bounds(self) -> Box:
+        """Box covering the whole routing grid."""
+        return Box(0, 0, self.nx - 1, self.ny - 1)
+
+    @property
+    def width_inches(self) -> float:
+        """Physical board width implied by the via pitch."""
+        return (self.via_nx - 1) * self.via_pitch_mils / 1000.0
+
+    @property
+    def height_inches(self) -> float:
+        """Physical board height implied by the via pitch."""
+        return (self.via_ny - 1) * self.via_pitch_mils / 1000.0
+
+    @property
+    def area_sq_inches(self) -> float:
+        """Physical board area in square inches."""
+        return self.width_inches * self.height_inches
+
+    def contains_grid(self, point: GridPoint) -> bool:
+        """True if a routing-grid point lies on the board."""
+        return 0 <= point.gx < self.nx and 0 <= point.gy < self.ny
+
+    def contains_via(self, via: ViaPoint) -> bool:
+        """True if a via-grid point lies on the board."""
+        return 0 <= via.vx < self.via_nx and 0 <= via.vy < self.via_ny
+
+    def via_to_grid(self, via: ViaPoint) -> GridPoint:
+        """Routing-grid coordinates of a via site."""
+        return GridPoint(via.vx * self.grid_per_via, via.vy * self.grid_per_via)
+
+    def grid_to_via(self, point: GridPoint) -> ViaPoint:
+        """Via-map cell containing a routing-grid point (integer quotient)."""
+        return ViaPoint(point.gx // self.grid_per_via, point.gy // self.grid_per_via)
+
+    def is_via_site(self, point: GridPoint) -> bool:
+        """True if a routing-grid point coincides with a via site."""
+        return (
+            point.gx % self.grid_per_via == 0
+            and point.gy % self.grid_per_via == 0
+        )
+
+    def iter_via_sites(self) -> Iterator[ViaPoint]:
+        """All via sites on the board, row-major."""
+        for vy in range(self.via_ny):
+            for vx in range(self.via_nx):
+                yield ViaPoint(vx, vy)
+
+    def via_strip(self, via: ViaPoint, radius: int, axis: str) -> Box:
+        """Grid box of the radius strip around a via (Figure 9).
+
+        ``axis='x'`` returns the horizontal strip (rows within ``radius`` via
+        units of the via, all columns) used on horizontal layers;
+        ``axis='y'`` the vertical strip for vertical layers.
+        """
+        g = self.via_to_grid(via)
+        r = radius * self.grid_per_via
+        if axis == "x":
+            box = Box(0, g.gy - r, self.nx - 1, g.gy + r)
+        elif axis == "y":
+            box = Box(g.gx - r, 0, g.gx + r, self.ny - 1)
+        else:
+            raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+        return box.clipped_to(self.bounds)

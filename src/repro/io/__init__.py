@@ -1,0 +1,23 @@
+"""Text formats for routing problems and solutions.
+
+The real grr consumed stringer output files and emitted wiring databases;
+this package provides the equivalent: a line-based board/netlist format and
+a route dump that can be reloaded into a fresh workspace.
+"""
+
+from repro.io.dump import load_routes, save_routes
+from repro.io.netlist import (
+    read_board,
+    read_connections,
+    write_board,
+    write_connections,
+)
+
+__all__ = [
+    "load_routes",
+    "read_board",
+    "read_connections",
+    "save_routes",
+    "write_board",
+    "write_connections",
+]

@@ -1,0 +1,13 @@
+"""Stringing (Section 3): turn multi-pin nets into pin-to-pin chains.
+
+"Starting at the output pin for the net, the next nearest input pin is
+repeatedly added to the chain, until the whole net has been connected.
+Then for ECL nets, the nearest free terminating resistor is added to the
+end of the net. ... the stringing is repeated for each legal starting pin.
+The shortest overall path is then chosen."
+"""
+
+from repro.stringer.baselines import random_stringing
+from repro.stringer.stringer import Stringer, StringingError
+
+__all__ = ["Stringer", "StringingError", "random_stringing"]

@@ -1,0 +1,32 @@
+"""Independent verification of routed boards.
+
+The paper's motivation for full automation is that partial routing "leaves
+the possibility for introducing errors in the routing of the final
+connections" — so a reproduction should be able to *prove* its output
+correct.  This package re-derives correctness from the raw board state,
+sharing no logic with the router:
+
+* :mod:`repro.verify.drc` — design-rule checks: segment disjointness,
+  via-map consistency, drilled-via covers, bounds, trace-over-via-site
+  warnings;
+* :mod:`repro.verify.connectivity` — electrical checks: every routed
+  connection is a connected path pin-to-pin, and every net's pins form a
+  connected graph (a chain, for ECL) through its routed connections.
+"""
+
+from repro.verify.connectivity import (
+    ConnectivityReport,
+    NetStatus,
+    check_connectivity,
+)
+from repro.verify.drc import DrcReport, DrcViolation, Severity, run_drc
+
+__all__ = [
+    "ConnectivityReport",
+    "DrcReport",
+    "DrcViolation",
+    "NetStatus",
+    "Severity",
+    "check_connectivity",
+    "run_drc",
+]

@@ -1,0 +1,197 @@
+"""Electrical connectivity verification, independent of the router.
+
+Two levels:
+
+* **connection level** — each routed connection's installed links must
+  form a single rectilinear path from pin a to pin b, with a drilled via
+  at every layer change (flood fill over the link's own cells);
+* **net level** — a net's pins must form a connected graph through its
+  routed connections, and for ECL nets a *chain* with the output at one
+  end and the terminating resistor at the other (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.grid.geometry import Orientation
+
+
+@dataclass
+class NetStatus:
+    """Verification result for one signal net."""
+
+    net_id: int
+    name: str
+    pin_count: int
+    routed_edges: int
+    missing_edges: int
+    connected: bool
+    is_chain: bool
+    chain_ends_valid: Optional[bool]  # None for non-ECL nets
+    broken_connections: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ConnectivityReport:
+    """Board-level connectivity verdict."""
+
+    nets: List[NetStatus] = field(default_factory=list)
+    broken_connections: List[int] = field(default_factory=list)
+
+    @property
+    def fully_connected(self) -> bool:
+        """True if every net is connected and every route is a real path."""
+        return not self.broken_connections and all(
+            n.connected for n in self.nets
+        )
+
+
+def _link_cells(
+    orientation: Orientation, pieces
+) -> Set[Tuple[int, int]]:
+    cells = set()
+    for channel_index, lo, hi in pieces:
+        for coord in range(lo, hi + 1):
+            if orientation is Orientation.HORIZONTAL:
+                cells.add((coord, channel_index))
+            else:
+                cells.add((channel_index, coord))
+    return cells
+
+
+def connection_is_path(
+    workspace: RoutingWorkspace, conn: Connection, record: RouteRecord
+) -> bool:
+    """True if the record's links really connect pin a to pin b."""
+    grid = workspace.grid
+    if not record.links:
+        return conn.a == conn.b
+    if record.links[0].a != grid.via_to_grid(conn.a):
+        return False
+    if record.links[-1].b != grid.via_to_grid(conn.b):
+        return False
+    for i, link in enumerate(record.links):
+        layer = workspace.layers[link.layer_index]
+        cells = _link_cells(layer.orientation, link.pieces)
+        start = (link.a.gx, link.a.gy)
+        goal = (link.b.gx, link.b.gy)
+        if start not in cells or goal not in cells:
+            return False
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            x, y = frontier.pop()
+            for nxt in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if nxt in cells and nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        if goal not in seen:
+            return False
+        if i:
+            if record.links[i - 1].b != link.a:
+                return False
+            junction = grid.grid_to_via(link.a)
+            if not workspace.via_map.is_drilled(junction):
+                return False
+    return True
+
+
+def check_connectivity(
+    board: Board,
+    workspace: RoutingWorkspace,
+    connections: Sequence[Connection],
+) -> ConnectivityReport:
+    """Verify every routed connection and every signal net."""
+    report = ConnectivityReport()
+    by_net: Dict[int, List[Connection]] = {}
+    for conn in connections:
+        by_net.setdefault(conn.net_id, []).append(conn)
+    for conn in connections:
+        record = workspace.records.get(conn.conn_id)
+        if record is not None and not connection_is_path(
+            workspace, conn, record
+        ):
+            report.broken_connections.append(conn.conn_id)
+    for net in board.signal_nets:
+        status = _check_net(
+            board, workspace, net.net_id, by_net.get(net.net_id, []),
+            set(report.broken_connections),
+        )
+        report.nets.append(status)
+    return report
+
+
+def _check_net(
+    board: Board,
+    workspace: RoutingWorkspace,
+    net_id: int,
+    net_conns: List[Connection],
+    broken: Set[int],
+) -> NetStatus:
+    net = board.nets[net_id]
+    pins = list(net.pin_ids)
+    index = {pin_id: i for i, pin_id in enumerate(pins)}
+    parent = list(range(len(pins)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    degree = [0] * len(pins)
+    routed_edges = 0
+    missing = 0
+    net_broken: List[int] = []
+    for conn in net_conns:
+        ok = (
+            workspace.is_routed(conn.conn_id)
+            and conn.conn_id not in broken
+        )
+        if conn.conn_id in broken:
+            net_broken.append(conn.conn_id)
+        if not ok:
+            missing += 1
+            continue
+        routed_edges += 1
+        a, b = index.get(conn.pin_a), index.get(conn.pin_b)
+        if a is None or b is None:
+            missing += 1
+            continue
+        union(a, b)
+        degree[a] += 1
+        degree[b] += 1
+    connected = len(pins) <= 1 or len({find(i) for i in range(len(pins))}) == 1
+    is_chain = connected and all(d <= 2 for d in degree) and (
+        sum(1 for d in degree if d == 1) in (0, 2)
+    )
+    chain_ends_valid: Optional[bool] = None
+    if net.family.needs_termination and is_chain and len(pins) >= 2:
+        end_roles = {
+            board.pins[pins[i]].role
+            for i, d in enumerate(degree)
+            if d == 1
+        }
+        chain_ends_valid = (
+            PinRole.OUTPUT in end_roles and PinRole.TERMINATOR in end_roles
+        )
+    return NetStatus(
+        net_id=net_id,
+        name=net.name,
+        pin_count=len(pins),
+        routed_edges=routed_edges,
+        missing_edges=missing,
+        connected=connected,
+        is_chain=is_chain,
+        chain_ends_valid=chain_ends_valid,
+        broken_connections=net_broken,
+    )

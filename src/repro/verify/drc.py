@@ -1,0 +1,196 @@
+"""Design-rule checking: structural validity of the wiring database.
+
+All checks recompute from the raw channel contents; none trust the
+invariants the channel code claims to maintain.  Violations are errors
+(the board is not manufacturable / the database is corrupt); warnings flag
+legal-but-undesirable patterns such as traces running over free via sites
+("this is avoided where possible in practice", Section 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.board.board import Board
+from repro.channels.segment import FILL_OWNER
+from repro.channels.workspace import RoutingWorkspace
+from repro.grid.coords import GridPoint, ViaPoint
+
+
+class Severity(enum.Enum):
+    """Violation severity."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """One design-rule finding."""
+
+    severity: Severity
+    rule: str
+    message: str
+
+
+@dataclass
+class DrcReport:
+    """All findings of one DRC run."""
+
+    violations: List[DrcViolation] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[DrcViolation]:
+        return [v for v in self.violations if v.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[DrcViolation]:
+        return [v for v in self.violations if v.severity is Severity.WARNING]
+
+    @property
+    def clean(self) -> bool:
+        """True if there are no errors (warnings allowed)."""
+        return not self.errors
+
+    def add(self, severity: Severity, rule: str, message: str) -> None:
+        self.violations.append(DrcViolation(severity, rule, message))
+
+
+def run_drc(board: Board, workspace: RoutingWorkspace) -> DrcReport:
+    """Run every design-rule check against a workspace."""
+    report = DrcReport()
+    _check_segments(workspace, report)
+    _check_via_map(workspace, report)
+    _check_drilled_vias(board, workspace, report)
+    _check_pins(board, workspace, report)
+    _check_trace_over_via_sites(workspace, report)
+    return report
+
+
+def _check_segments(workspace: RoutingWorkspace, report: DrcReport) -> None:
+    """Segments must be within bounds, sorted, and pairwise disjoint."""
+    for layer_index, layer in enumerate(workspace.layers):
+        for channel_index, channel in enumerate(layer.channels):
+            previous_hi = None
+            for seg in channel:
+                if seg.hi < seg.lo:
+                    report.add(
+                        Severity.ERROR,
+                        "segment-inverted",
+                        f"L{layer_index} c{channel_index}: {seg}",
+                    )
+                if seg.lo < 0 or seg.hi >= layer.channel_length:
+                    report.add(
+                        Severity.ERROR,
+                        "segment-out-of-bounds",
+                        f"L{layer_index} c{channel_index}: {seg}",
+                    )
+                if previous_hi is not None and seg.lo <= previous_hi:
+                    report.add(
+                        Severity.ERROR,
+                        "segment-overlap",
+                        f"L{layer_index} c{channel_index}: {seg} overlaps "
+                        f"previous segment ending at {previous_hi}",
+                    )
+                previous_hi = seg.hi
+
+
+def _check_via_map(workspace: RoutingWorkspace, report: DrcReport) -> None:
+    """The via map's counts must equal a fresh recount of the layers."""
+    grid = workspace.grid
+    recount: Dict[Tuple[int, int], int] = {}
+    for layer in workspace.layers:
+        for channel_index in range(0, layer.n_channels, grid.grid_per_via):
+            for seg in layer.channel(channel_index):
+                for via in layer.via_sites_in(channel_index, seg.lo, seg.hi):
+                    key = (via.vx, via.vy)
+                    recount[key] = recount.get(key, 0) + 1
+    for vy in range(grid.via_ny):
+        for vx in range(grid.via_nx):
+            expected = recount.get((vx, vy), 0)
+            actual = workspace.via_map.count(ViaPoint(vx, vy))
+            if actual != expected:
+                report.add(
+                    Severity.ERROR,
+                    "via-map-count",
+                    f"via ({vx},{vy}): map says {actual}, layers say "
+                    f"{expected}",
+                )
+
+
+def _check_drilled_vias(
+    board: Board, workspace: RoutingWorkspace, report: DrcReport
+) -> None:
+    """A drill hole contacts all layers: each must be covered on every
+    layer by a segment whose owner matches the drill owner."""
+    grid = workspace.grid
+    for via, owner in workspace.via_map.drilled_sites().items():
+        if not grid.contains_via(via):
+            report.add(
+                Severity.ERROR, "via-off-board", f"{via} owner {owner}"
+            )
+            continue
+        point = grid.via_to_grid(via)
+        for layer_index, layer in enumerate(workspace.layers):
+            cover = layer.owner_at(point)
+            if cover is None:
+                report.add(
+                    Severity.ERROR,
+                    "via-uncovered",
+                    f"{via}: no segment on layer {layer_index}",
+                )
+            elif cover != owner:
+                report.add(
+                    Severity.ERROR,
+                    "via-cover-owner",
+                    f"{via}: layer {layer_index} covered by {cover}, "
+                    f"drilled by {owner}",
+                )
+
+
+def _check_pins(
+    board: Board, workspace: RoutingWorkspace, report: DrcReport
+) -> None:
+    """Every pin must be drilled under its immovable owner token."""
+    for pin in board.pins:
+        owner = workspace.via_map.drilled_owner(pin.position)
+        if owner is None:
+            report.add(
+                Severity.ERROR,
+                "pin-not-drilled",
+                f"pin {pin.pin_id} at {pin.position}",
+            )
+        elif owner != pin.owner_token:
+            report.add(
+                Severity.ERROR,
+                "pin-owner",
+                f"pin {pin.pin_id} at {pin.position} drilled by {owner}",
+            )
+
+
+def _check_trace_over_via_sites(
+    workspace: RoutingWorkspace, report: DrcReport
+) -> None:
+    """Warn about signal traces running over undrilled via sites.
+
+    Legal (Figure 4 shows one) but avoided in practice: the covered site
+    cannot take a via later.
+    """
+    grid = workspace.grid
+    offenders = 0
+    for layer in workspace.layers:
+        for channel_index in range(0, layer.n_channels, grid.grid_per_via):
+            for seg in layer.channel(channel_index):
+                if seg.owner < 0:
+                    continue  # pins and fill
+                for via in layer.via_sites_in(channel_index, seg.lo, seg.hi):
+                    if workspace.via_map.drilled_owner(via) != seg.owner:
+                        offenders += 1
+    if offenders:
+        report.add(
+            Severity.WARNING,
+            "trace-over-via-site",
+            f"{offenders} trace cells cover via sites they did not drill",
+        )

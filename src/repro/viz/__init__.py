@@ -1,0 +1,22 @@
+"""Renderings of routing problems and solutions (Figures 20-22)."""
+
+from repro.viz.ascii_art import render_layer, render_via_map
+from repro.viz.ppm import (
+    render_all_layers,
+    render_postprocessed_layer,
+    render_power_plane,
+    render_problem,
+    render_signal_layer,
+    write_ppm,
+)
+
+__all__ = [
+    "render_all_layers",
+    "render_layer",
+    "render_postprocessed_layer",
+    "render_power_plane",
+    "render_problem",
+    "render_signal_layer",
+    "render_via_map",
+    "write_ppm",
+]

@@ -1,0 +1,66 @@
+"""Terminal renderings of layers and via maps, for quick inspection."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channels.segment import FILL_OWNER
+from repro.channels.workspace import RoutingWorkspace
+from repro.grid.coords import GridPoint
+from repro.grid.geometry import Box, Orientation
+
+
+def render_layer(
+    workspace: RoutingWorkspace,
+    layer_index: int,
+    box: Optional[Box] = None,
+) -> str:
+    """One signal layer as text: one character per routing-grid cell.
+
+    ``.`` free, ``-``/``|`` trace (by layer orientation), ``o`` drilled
+    via, ``O`` pin, ``#`` tesselation fill.
+    """
+    layer = workspace.layers[layer_index]
+    grid = workspace.grid
+    box = box or grid.bounds
+    box = box.clipped_to(grid.bounds)
+    trace_char = (
+        "-" if layer.orientation is Orientation.HORIZONTAL else "|"
+    )
+    rows = []
+    for gy in range(box.y_hi, box.y_lo - 1, -1):  # y up, like a schematic
+        row = []
+        for gx in range(box.x_lo, box.x_hi + 1):
+            point = GridPoint(gx, gy)
+            owner = layer.owner_at(point)
+            char = "."
+            if owner is not None:
+                if owner == FILL_OWNER:
+                    char = "#"
+                elif owner >= 0:
+                    char = trace_char
+                else:
+                    char = "O"  # pin
+                if grid.is_via_site(point):
+                    via = grid.grid_to_via(point)
+                    drilled = workspace.via_map.drilled_owner(via)
+                    if drilled is not None:
+                        char = "O" if drilled < 0 else "o"
+            row.append(char)
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+
+def render_via_map(workspace: RoutingWorkspace) -> str:
+    """The via map as a digit grid: usage count per via site (``.`` free)."""
+    from repro.grid.coords import ViaPoint
+
+    via_map = workspace.via_map
+    rows = []
+    for vy in range(via_map.via_ny - 1, -1, -1):
+        row = []
+        for vx in range(via_map.via_nx):
+            count = via_map.count(ViaPoint(vx, vy))
+            row.append("." if count == 0 else str(min(count, 9)))
+        rows.append("".join(row))
+    return "\n".join(rows)

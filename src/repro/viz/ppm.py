@@ -1,0 +1,283 @@
+"""Bitmap renderings (binary PPM) of Figures 20, 21 and 22.
+
+Pure numpy rasteriser — no imaging dependencies.  Each via-grid unit maps
+to ``cell`` pixels; images can be viewed with any image tool or converted
+with ``pnmtopng``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.channels.workspace import RoutingWorkspace
+from repro.extensions.power_plane import FeatureKind, PowerPlanePattern
+from repro.grid.geometry import Orientation
+
+Color = Tuple[int, int, int]
+
+WHITE: Color = (255, 255, 255)
+BLACK: Color = (0, 0, 0)
+RED: Color = (200, 40, 40)
+BLUE: Color = (40, 60, 200)
+GRAY: Color = (180, 180, 180)
+
+
+class Canvas:
+    """A tiny RGB raster with line and disk primitives."""
+
+    def __init__(self, width: int, height: int, background: Color = WHITE):
+        self.width = width
+        self.height = height
+        self.pixels = np.empty((height, width, 3), dtype=np.uint8)
+        self.pixels[:, :] = background
+
+    def draw_line(self, x0: int, y0: int, x1: int, y1: int, color: Color):
+        """Bresenham line (integer pixel coordinates)."""
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        x, y = x0, y0
+        while True:
+            if 0 <= x < self.width and 0 <= y < self.height:
+                self.pixels[y, x] = color
+            if x == x1 and y == y1:
+                break
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x += sx
+            if e2 <= dx:
+                err += dx
+                y += sy
+
+    def draw_disk(self, cx: int, cy: int, radius: float, color: Color):
+        """Filled disk."""
+        r = int(np.ceil(radius))
+        y_lo = max(cy - r, 0)
+        y_hi = min(cy + r, self.height - 1)
+        x_lo = max(cx - r, 0)
+        x_hi = min(cx + r, self.width - 1)
+        if y_hi < y_lo or x_hi < x_lo:
+            return
+        ys, xs = np.ogrid[y_lo : y_hi + 1, x_lo : x_hi + 1]
+        mask = (xs - cx) ** 2 + (ys - cy) ** 2 <= radius**2
+        self.pixels[y_lo : y_hi + 1, x_lo : x_hi + 1][mask] = color
+
+    def draw_ring(
+        self, cx: int, cy: int, radius: float, thickness: float, color: Color
+    ):
+        """Annulus (for thermal reliefs)."""
+        r = int(np.ceil(radius))
+        y_lo = max(cy - r, 0)
+        y_hi = min(cy + r, self.height - 1)
+        x_lo = max(cx - r, 0)
+        x_hi = min(cx + r, self.width - 1)
+        if y_hi < y_lo or x_hi < x_lo:
+            return
+        ys, xs = np.ogrid[y_lo : y_hi + 1, x_lo : x_hi + 1]
+        d2 = (xs - cx) ** 2 + (ys - cy) ** 2
+        mask = (d2 <= radius**2) & (d2 >= (radius - thickness) ** 2)
+        self.pixels[y_lo : y_hi + 1, x_lo : x_hi + 1][mask] = color
+
+
+def write_ppm(canvas: Canvas, path: str) -> None:
+    """Write the canvas as a binary PPM (P6) file."""
+    with open(path, "wb") as f:
+        f.write(f"P6\n{canvas.width} {canvas.height}\n255\n".encode())
+        f.write(canvas.pixels.tobytes())
+
+
+def _via_canvas(board: Board, cell: int) -> Canvas:
+    width = board.grid.via_nx * cell + cell
+    height = board.grid.via_ny * cell + cell
+    return Canvas(width, height)
+
+
+def _via_px(board: Board, vx: int, vy: int, cell: int) -> Tuple[int, int]:
+    # y flipped so the origin is bottom-left like the paper's plots
+    return (
+        vx * cell + cell // 2 + cell // 2,
+        (board.grid.via_ny - 1 - vy) * cell + cell // 2 + cell // 2,
+    )
+
+
+def render_problem(
+    board: Board,
+    connections: Sequence[Connection],
+    path: Optional[str] = None,
+    cell: int = 4,
+) -> Canvas:
+    """Figure 20: the routing problem, one line per connection."""
+    canvas = _via_canvas(board, cell)
+    for pin in board.pins:
+        x, y = _via_px(board, pin.position.vx, pin.position.vy, cell)
+        canvas.draw_disk(x, y, cell * 0.25, GRAY)
+    for conn in connections:
+        x0, y0 = _via_px(board, conn.a.vx, conn.a.vy, cell)
+        x1, y1 = _via_px(board, conn.b.vx, conn.b.vy, cell)
+        canvas.draw_line(x0, y0, x1, y1, BLACK)
+    if path:
+        write_ppm(canvas, path)
+    return canvas
+
+
+def render_signal_layer(
+    board: Board,
+    workspace: RoutingWorkspace,
+    layer_index: int,
+    path: Optional[str] = None,
+    cell: int = 4,
+) -> Canvas:
+    """Figure 21: one routed signal layer (positive: copper is dark)."""
+    canvas = _via_canvas(board, cell)
+    layer = workspace.layers[layer_index]
+    g = board.grid.grid_per_via
+    px = cell / g  # pixels per routing-grid step
+
+    def grid_px(gx: int, gy: int) -> Tuple[int, int]:
+        return (
+            int(gx * px) + cell // 2,
+            int((board.grid.ny - 1 - gy) * px) + cell // 2,
+        )
+
+    for channel_index in range(layer.n_channels):
+        for seg in layer.channel(channel_index):
+            if seg.owner < 0:
+                continue  # pins drawn separately, fill not drawn
+            if layer.orientation is Orientation.HORIZONTAL:
+                x0, y0 = grid_px(seg.lo, channel_index)
+                x1, y1 = grid_px(seg.hi, channel_index)
+            else:
+                x0, y0 = grid_px(channel_index, seg.lo)
+                x1, y1 = grid_px(channel_index, seg.hi)
+            canvas.draw_line(x0, y0, x1, y1, BLACK)
+    for via, owner in workspace.via_map.drilled_sites().items():
+        x, y = grid_px(via.vx * g, via.vy * g)
+        color = BLUE if owner < 0 else RED
+        canvas.draw_disk(x, y, cell * 0.3, color)
+    if path:
+        write_ppm(canvas, path)
+    return canvas
+
+
+def render_power_plane(
+    board: Board,
+    pattern: PowerPlanePattern,
+    path: Optional[str] = None,
+    cell: int = 4,
+) -> Canvas:
+    """Figure 22: a power plane as a photographic negative.
+
+    Copper is etched away where the image is black: clearance disks,
+    mounting-hole circles, and thermal-relief rings.
+    """
+    canvas = _via_canvas(board, cell)
+    mils_to_px = cell / board.grid.via_pitch_mils
+    for feature in pattern.features:
+        x, y = _via_px(board, feature.position.vx, feature.position.vy, cell)
+        radius = feature.diameter_mils * mils_to_px / 2.0
+        if feature.kind is FeatureKind.THERMAL_RELIEF:
+            canvas.draw_ring(x, y, radius, max(radius * 0.35, 1.0), BLACK)
+        else:
+            canvas.draw_disk(x, y, radius, BLACK)
+    if path:
+        write_ppm(canvas, path)
+    return canvas
+
+
+def render_postprocessed_layer(
+    board: Board,
+    workspace: RoutingWorkspace,
+    layer_index: int,
+    path: Optional[str] = None,
+    cell: int = 4,
+    cut: float = 1.5,
+) -> Canvas:
+    """Figure 21 with the paper's postprocessing applied: the rectilinear
+    output chamfered into diagonal corner cuts before plotting."""
+    from repro.extensions.postprocess import postprocess_connection
+
+    canvas = _via_canvas(board, cell)
+    g = board.grid.grid_per_via
+    px = cell / g
+
+    def grid_px(gx: float, gy: float) -> Tuple[int, int]:
+        return (
+            int(gx * px) + cell // 2,
+            int((board.grid.ny - 1 - gy) * px) + cell // 2,
+        )
+
+    for conn_id in workspace.records:
+        for polyline in postprocess_connection(workspace, conn_id, cut):
+            if polyline.layer_index != layer_index:
+                continue
+            for (x0, y0), (x1, y1) in zip(
+                polyline.points, polyline.points[1:]
+            ):
+                canvas.draw_line(*grid_px(x0, y0), *grid_px(x1, y1), BLACK)
+    for via, owner in workspace.via_map.drilled_sites().items():
+        x, y = grid_px(via.vx * g, via.vy * g)
+        canvas.draw_disk(x, y, cell * 0.3, BLUE if owner < 0 else RED)
+    if path:
+        write_ppm(canvas, path)
+    return canvas
+
+
+#: Per-layer colors for the composite render (cycled as needed).
+LAYER_COLORS: Tuple[Color, ...] = (
+    (20, 20, 160),   # layer 0 (outer)  blue
+    (160, 20, 20),   # layer 1          red
+    (20, 130, 20),   # layer 2          green
+    (160, 120, 20),  # layer 3          amber
+    (120, 20, 140),  # layer 4          purple
+    (20, 130, 130),  # layer 5          teal
+)
+
+
+def render_all_layers(
+    board: Board,
+    workspace: RoutingWorkspace,
+    path: Optional[str] = None,
+    cell: int = 4,
+) -> Canvas:
+    """Composite of every signal layer, one color per layer.
+
+    Later (inner) layers draw first so the outer layers read on top,
+    matching how a designer inspects a stack-up.
+    """
+    canvas = _via_canvas(board, cell)
+    g = board.grid.grid_per_via
+    px = cell / g
+
+    def grid_px(gx: int, gy: int) -> Tuple[int, int]:
+        return (
+            int(gx * px) + cell // 2,
+            int((board.grid.ny - 1 - gy) * px) + cell // 2,
+        )
+
+    for layer_index in range(workspace.n_layers - 1, -1, -1):
+        layer = workspace.layers[layer_index]
+        color = LAYER_COLORS[layer_index % len(LAYER_COLORS)]
+        for channel_index in range(layer.n_channels):
+            for seg in layer.channel(channel_index):
+                if seg.owner < 0:
+                    continue
+                if layer.orientation is Orientation.HORIZONTAL:
+                    x0, y0 = grid_px(seg.lo, channel_index)
+                    x1, y1 = grid_px(seg.hi, channel_index)
+                else:
+                    x0, y0 = grid_px(channel_index, seg.lo)
+                    x1, y1 = grid_px(channel_index, seg.hi)
+                canvas.draw_line(x0, y0, x1, y1, color)
+    for via, owner in workspace.via_map.drilled_sites().items():
+        x, y = grid_px(via.vx * g, via.vy * g)
+        canvas.draw_disk(x, y, cell * 0.3, GRAY if owner < 0 else BLACK)
+    if path:
+        write_ppm(canvas, path)
+    return canvas

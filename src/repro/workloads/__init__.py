@@ -1,0 +1,34 @@
+"""Synthetic routing problems standing in for the paper's Titan boards.
+
+The paper evaluated grr on real DEC netlists (Table 1).  Those are not
+available, so this package generates seeded boards with the same *shape*:
+arrays of DIP ICs flanked by SIP terminating-resistor packs (Figure 19),
+ECL nets strung output-first with local/global fanout mix, and power pins
+bound to plane nets.  See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.workloads.backplane import (
+    BackplaneSpec,
+    connector_package,
+    generate_backplane,
+)
+from repro.workloads.boards import BoardSpec, generate_board
+from repro.workloads.netlist_gen import NetlistSpec, generate_nets
+from repro.workloads.titan import (
+    TITAN_CONFIGS,
+    TitanBoardConfig,
+    make_titan_board,
+)
+
+__all__ = [
+    "BackplaneSpec",
+    "BoardSpec",
+    "connector_package",
+    "generate_backplane",
+    "NetlistSpec",
+    "TITAN_CONFIGS",
+    "TitanBoardConfig",
+    "generate_board",
+    "generate_nets",
+    "make_titan_board",
+]

@@ -1,0 +1,162 @@
+"""Backplane-style workloads: connector columns and multi-drop buses.
+
+The Titan's thirteen board types include "a 15 by 15 inch backplane"
+(Section 9).  Backplanes look nothing like logic boards: a few tall
+connector columns, wide buses visiting every slot in order, and very
+regular wiring.  This generator produces that shape — a useful stress
+for the router because bus chains create long parallel runs that compete
+for the same channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import random
+
+from repro.board.board import Board
+from repro.board.parts import Package, PinRole, sip_package
+from repro.board.technology import LogicFamily, TechRules
+from repro.grid.coords import ViaPoint
+from repro.workloads.netlist_gen import bind_power_nets
+
+
+def connector_package(pin_rows: int, columns: int = 2) -> Package:
+    """A backplane connector: ``columns`` vertical columns of pins."""
+    if pin_rows < 1 or columns < 1:
+        raise ValueError("connector needs at least one row and column")
+    offsets: List[Tuple[int, int]] = []
+    for column in range(columns):
+        for row in range(pin_rows):
+            offsets.append((column, row))
+    return Package(f"conn{columns}x{pin_rows}", tuple(offsets))
+
+
+@dataclass
+class BackplaneSpec:
+    """Parameters of a synthetic backplane."""
+
+    name: str = "backplane"
+    via_nx: int = 60
+    via_ny: int = 40
+    n_signal_layers: int = 6
+    n_power_layers: int = 2
+    n_slots: int = 6
+    pin_rows: int = 24
+    #: Bus nets visiting every slot (each uses one pin row).
+    bus_width: int = 12
+    #: Extra point-to-point nets between adjacent slots.
+    n_point_to_point: int = 20
+    #: Fraction of connector pins bound to the power nets.
+    power_pin_fraction: float = 0.15
+    seed: int = 0
+
+
+def generate_backplane(spec: BackplaneSpec) -> Board:
+    """Build a placed backplane with bus and point-to-point nets."""
+    board = Board.create(
+        via_nx=spec.via_nx,
+        via_ny=spec.via_ny,
+        n_signal_layers=spec.n_signal_layers,
+        n_power_layers=spec.n_power_layers,
+        rules=TechRules(),
+        name=spec.name,
+    )
+    rng = random.Random(spec.seed)
+    connector = connector_package(spec.pin_rows, columns=2)
+    margin = 3
+    usable = spec.via_nx - 2 * margin - 2
+    pitch = max(usable // max(spec.n_slots - 1, 1), 4)
+    slots = []
+    for slot in range(spec.n_slots):
+        origin = ViaPoint(margin + slot * pitch, margin)
+        if not board.part_can_fit(connector, origin):
+            break
+        part = board.add_part(
+            connector, origin, name=f"slot{slot}",
+            roles=[PinRole.UNUSED] * connector.pin_count,
+        )
+        slots.append(part)
+    # Terminator packs along the bottom edge (below the connectors),
+    # enough for every ECL net (buses + point-to-point).
+    needed = spec.bus_width + spec.n_point_to_point + 4
+    terminators = 0
+    y = margin + spec.pin_rows + 2
+    while terminators < needed and y <= spec.via_ny - margin - 1:
+        x = margin
+        while terminators < needed and x + 8 <= spec.via_nx - margin:
+            sip = sip_package(8)
+            origin = ViaPoint(x, y)
+            if board.part_can_fit(sip, origin):
+                board.add_part(
+                    sip, origin, roles=[PinRole.TERMINATOR] * 8
+                )
+                terminators += 8
+            x += 10
+        y += 2
+    _assign_roles(board, slots, spec, rng)
+    _build_bus_nets(board, slots, spec)
+    _build_point_to_point(board, slots, spec, rng)
+    bind_power_nets(board, n_power_nets=max(spec.n_power_layers, 1))
+    return board
+
+
+def _assign_roles(board, slots, spec, rng) -> None:
+    """Rows split into bus rows (driver on slot 0) and free pins."""
+    for slot_index, part in enumerate(slots):
+        for pin_index, pin in enumerate(part.pins):
+            column = pin_index // spec.pin_rows
+            row = pin_index % spec.pin_rows
+            if column == 0 and row < spec.bus_width:
+                pin.role = (
+                    PinRole.OUTPUT if slot_index == 0 else PinRole.INPUT
+                )
+            elif rng.random() < spec.power_pin_fraction:
+                pin.role = PinRole.POWER
+            else:
+                pin.role = PinRole.OUTPUT if rng.random() < 0.3 else PinRole.INPUT
+
+
+def _build_bus_nets(board, slots, spec) -> None:
+    """One multi-drop net per bus row, visiting every slot in order."""
+    for row in range(spec.bus_width):
+        members = []
+        for part in slots:
+            pin = part.pins[row]  # column 0, given connector pin order
+            members.append(pin.pin_id)
+        if len(members) >= 2:
+            board.add_net(
+                members, name=f"bus{row}", family=LogicFamily.ECL
+            )
+
+
+def _build_point_to_point(board, slots, spec, rng) -> None:
+    """Short nets between free pins of adjacent slots."""
+    built = 0
+    attempts = 0
+    while built < spec.n_point_to_point and attempts < 200:
+        attempts += 1
+        if len(slots) < 2:
+            break
+        i = rng.randrange(len(slots) - 1)
+        a_pins = [
+            p
+            for p in slots[i].pins
+            if p.net_id == -1 and p.role is PinRole.OUTPUT
+        ]
+        b_pins = [
+            p
+            for p in slots[i + 1].pins
+            if p.net_id == -1 and p.role is PinRole.INPUT
+        ]
+        if not a_pins or not b_pins:
+            continue
+        a = rng.choice(a_pins)
+        b = rng.choice(b_pins)
+        board.add_net(
+            [a.pin_id, b.pin_id],
+            name=f"p2p{built}",
+            family=LogicFamily.ECL,
+        )
+        built += 1

@@ -1,0 +1,102 @@
+"""Seeded synthetic board generator: placement plus netlist.
+
+The placement mimics the Titan boards (Figure 19): a regular array of
+DIP integrated circuits, each flanked by a SIP package of terminating and
+pull-up resistors, with a clear margin around the board edge.  Pin roles
+are drawn per IC (power / output / input) so nets can be generated on top.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.board.board import Board
+from repro.board.parts import PinRole, dip_package, sip_package
+from repro.board.technology import TechRules
+from repro.grid.coords import ViaPoint
+from repro.workloads.netlist_gen import (
+    NetlistSpec,
+    bind_power_nets,
+    generate_nets,
+)
+
+
+@dataclass
+class BoardSpec:
+    """Everything needed to synthesise one board deterministically."""
+
+    name: str = "synthetic"
+    via_nx: int = 48
+    via_ny: int = 48
+    n_signal_layers: int = 4
+    n_power_layers: int = 2
+    ic_pin_count: int = 24
+    sip_pin_count: int = 12
+    #: Clear margin around the part array, in via units.
+    margin: int = 2
+    #: Extra via columns/rows between adjacent placement cells.
+    cell_gap: Tuple[int, int] = (1, 1)
+    power_pin_fraction: float = 0.15
+    output_pin_fraction: float = 0.30
+    netlist: NetlistSpec = field(default_factory=NetlistSpec)
+    seed: int = 0
+
+
+def _assign_ic_roles(
+    rng: random.Random, pin_count: int, spec: BoardSpec
+) -> List[PinRole]:
+    """Random role per IC pin: corner pins power, the rest output/input."""
+    roles: List[PinRole] = []
+    n_power = max(2, int(pin_count * spec.power_pin_fraction))
+    n_output = max(1, int(pin_count * spec.output_pin_fraction))
+    bag = (
+        [PinRole.POWER] * n_power
+        + [PinRole.OUTPUT] * n_output
+        + [PinRole.INPUT] * (pin_count - n_power - n_output)
+    )
+    rng.shuffle(bag)
+    roles.extend(bag)
+    return roles
+
+
+def generate_board(spec: BoardSpec) -> Board:
+    """Build a placed board with nets, ready for stringing and routing."""
+    rules = TechRules()
+    board = Board.create(
+        via_nx=spec.via_nx,
+        via_ny=spec.via_ny,
+        n_signal_layers=spec.n_signal_layers,
+        n_power_layers=spec.n_power_layers,
+        rules=rules,
+        name=spec.name,
+    )
+    rng = random.Random(spec.seed)
+    ic = dip_package(spec.ic_pin_count, row_separation=3)
+    sip = sip_package(spec.sip_pin_count)
+    ic_w, ic_h = ic.extent
+    sip_w, _ = sip.extent
+    cell_w = max(ic_w, sip_w) + spec.cell_gap[0]
+    cell_h = ic_h + 1 + 1 + spec.cell_gap[1]  # IC rows + gap + SIP row
+    x = spec.margin
+    y = spec.margin
+    while y + cell_h <= spec.via_ny - spec.margin:
+        while x + cell_w <= spec.via_nx - spec.margin:
+            origin = ViaPoint(x, y)
+            if board.part_can_fit(ic, origin):
+                roles = _assign_ic_roles(rng, ic.pin_count, spec)
+                board.add_part(ic, origin, roles=roles)
+            sip_origin = ViaPoint(x, y + ic_h + 1)
+            if board.part_can_fit(sip, sip_origin):
+                board.add_part(
+                    sip,
+                    sip_origin,
+                    roles=[PinRole.TERMINATOR] * sip.pin_count,
+                )
+            x += cell_w
+        x = spec.margin
+        y += cell_h
+    generate_nets(board, spec.netlist)
+    bind_power_nets(board, n_power_nets=max(spec.n_power_layers, 1))
+    return board

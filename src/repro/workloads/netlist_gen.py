@@ -1,0 +1,161 @@
+"""Random net generation over a placed board.
+
+Nets are driver-based: each net takes an unused OUTPUT pin as its driver
+and a handful of unused INPUT pins as receivers.  Receiver choice mixes
+*local* picks (within a radius of the driver — module-internal wiring)
+with *global* picks (uniform over the board — buses and control), which is
+what gives real boards their characteristic mix of short and long
+connections (Figure 20).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.board.board import Board
+from repro.board.nets import Net, NetKind
+from repro.board.parts import Pin, PinRole
+from repro.board.technology import LogicFamily
+from repro.grid.coords import manhattan
+
+
+@dataclass
+class NetlistSpec:
+    """Parameters of random net generation."""
+
+    #: Fraction of OUTPUT pins that drive a net.
+    net_fraction: float = 0.9
+    #: Mean receivers per net (geometric distribution, at least 1).
+    mean_fanout: float = 2.0
+    #: Probability that a receiver is chosen near the driver.
+    locality: float = 0.7
+    #: "Near" means within this many via units (Manhattan).
+    local_radius: int = 15
+    #: Fraction of nets that are ECL (the rest are TTL).
+    ecl_fraction: float = 1.0
+    #: If set, net family follows the driver's board half instead of
+    #: ``ecl_fraction``: drivers left of the split column are ECL, right
+    #: of it TTL (used by the tesselation workload).
+    family_split_column: Optional[int] = None
+    seed: int = 0
+
+
+def _fanout(rng: random.Random, mean: float) -> int:
+    """Geometric fanout with the given mean, at least 1 receiver."""
+    if mean <= 1.0:
+        return 1
+    p = 1.0 / mean
+    k = 1
+    while rng.random() > p and k < 8:
+        k += 1
+    return k
+
+
+def generate_nets(board: Board, spec: NetlistSpec) -> List[Net]:
+    """Create signal nets over the board's unassigned pins."""
+    rng = random.Random(spec.seed)
+    outputs = [
+        p
+        for p in board.pins
+        if p.role is PinRole.OUTPUT and p.net_id == -1
+    ]
+    inputs = [
+        p for p in board.pins if p.role is PinRole.INPUT and p.net_id == -1
+    ]
+    rng.shuffle(outputs)
+    n_nets = int(len(outputs) * spec.net_fraction)
+    free_inputs = set(p.pin_id for p in inputs)
+    nets: List[Net] = []
+    for driver in outputs[:n_nets]:
+        if not free_inputs:
+            break
+        receivers = _pick_receivers(board, rng, driver, free_inputs, spec)
+        if not receivers:
+            continue
+        family = _family_for(rng, driver, spec)
+        net = board.add_net(
+            [driver.pin_id] + [p.pin_id for p in receivers],
+            family=family,
+        )
+        nets.append(net)
+    return nets
+
+
+def _pick_receivers(
+    board: Board,
+    rng: random.Random,
+    driver: Pin,
+    free_inputs: set,
+    spec: NetlistSpec,
+) -> List[Pin]:
+    """Choose this net's input pins with the local/global mix."""
+    count = _fanout(rng, spec.mean_fanout)
+    chosen: List[Pin] = []
+    candidates = [board.pins[i] for i in free_inputs]
+    if spec.family_split_column is not None:
+        # Mixed-technology boards: the designer keeps each family's chips
+        # in its own area (Section 10.2), so receivers stay in the
+        # driver's half of the board.
+        left = driver.position.vx < spec.family_split_column
+        candidates = [
+            p
+            for p in candidates
+            if (p.position.vx < spec.family_split_column) == left
+        ]
+    if not candidates:
+        return chosen
+    local = [
+        p
+        for p in candidates
+        if manhattan(p.position, driver.position) <= spec.local_radius
+    ]
+    for _ in range(count):
+        pool = local if (local and rng.random() < spec.locality) else candidates
+        pick = rng.choice(pool)
+        chosen.append(pick)
+        free_inputs.discard(pick.pin_id)
+        candidates = [p for p in candidates if p.pin_id != pick.pin_id]
+        local = [p for p in local if p.pin_id != pick.pin_id]
+        if not candidates:
+            break
+    return chosen
+
+
+def _family_for(
+    rng: random.Random, driver: Pin, spec: NetlistSpec
+) -> LogicFamily:
+    """Logic family of a net, by fraction or by board half."""
+    if spec.family_split_column is not None:
+        if driver.position.vx < spec.family_split_column:
+            return LogicFamily.ECL
+        return LogicFamily.TTL
+    if rng.random() < spec.ecl_fraction:
+        return LogicFamily.ECL
+    return LogicFamily.TTL
+
+
+def bind_power_nets(board: Board, n_power_nets: int = 2) -> List[Net]:
+    """Collect POWER pins into round-robin power nets (VCC, GND, ...)."""
+    power_pins = [
+        p for p in board.pins if p.role is PinRole.POWER and p.net_id == -1
+    ]
+    if not power_pins or n_power_nets < 1:
+        return []
+    groups: List[List[int]] = [[] for _ in range(n_power_nets)]
+    for i, pin in enumerate(power_pins):
+        groups[i % n_power_nets].append(pin.pin_id)
+    names = ["vcc", "gnd", "vee", "vtt"]
+    nets = []
+    for i, group in enumerate(groups):
+        if not group:
+            continue
+        nets.append(
+            board.add_net(
+                group,
+                name=names[i] if i < len(names) else f"pwr{i}",
+                kind=NetKind.POWER,
+            )
+        )
+    return nets

@@ -1,0 +1,162 @@
+"""Named board configurations mirroring the nine rows of Table 1.
+
+Each config pairs the paper's reported numbers (for EXPERIMENTS.md
+comparison) with a generator spec whose *shape* matches that row: layer
+count, relative board size, and wiring-density band.  Boards are
+geometrically scaled (see DESIGN.md §2) so that a pure-Python router gets
+through them; ``scale`` multiplies the linear board dimensions.
+
+Paper rows (Table 1), in decreasing order of difficulty::
+
+    board    layers conn  pins/in2  %chan  %lee  ripups  vias  CPUmin
+    kdj11       2   1184   27.5     76.7     —      —      —   >300 (fail)
+    nmc         4   2253   29.9     52.3    14     20    .99   28.5
+    dpath       6   5533   37.3     46.0     8      1    .65   21.5
+    coproc      6   5937   36.0     40.5     6      0    .62   11.3
+    kdj11       4   1184   27.5     38.4     8      0    .70    4.6
+    icache      6   5795   36.6     36.5     3      0    .41    6.1
+    nmc         6   2253   29.9     34.9     3      0    .68    2.2
+    dcache      6   5738   36.4     33.5     2      0    .40    5.2
+    tna         6   2789   43.4     27.1     3      6    .50    4.8
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.board.board import Board
+from repro.workloads.boards import BoardSpec, generate_board
+from repro.workloads.netlist_gen import NetlistSpec
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table 1 as printed in the paper."""
+
+    layers: int
+    connections: int
+    pins_per_sq_inch: float
+    percent_chan: float
+    percent_lee: Optional[float]
+    rip_ups: Optional[int]
+    vias_per_conn: Optional[float]
+    cpu_minutes: Optional[float]
+    failed: bool = False
+
+
+@dataclass(frozen=True)
+class TitanBoardConfig:
+    """A Table 1 row plus the synthetic spec that stands in for it."""
+
+    name: str
+    paper: PaperRow
+    #: Full-scale via-grid size implied by the board's physical dimensions.
+    full_via_nx: int
+    full_via_ny: int
+    #: Generator density knobs (tuned so the row's difficulty band —
+    #: scaled %chan, %lee, rip-ups — is reproduced at reduced scale).
+    net_fraction: float
+    mean_fanout: float
+    locality: float
+    output_pin_fraction: float = 0.35
+    power_pin_fraction: float = 0.10
+
+    def spec(self, scale: float = 0.35, seed: int = 0) -> BoardSpec:
+        """Generator spec at the given linear scale."""
+        via_nx = max(int(self.full_via_nx * scale), 24)
+        via_ny = max(int(self.full_via_ny * scale), 24)
+        return BoardSpec(
+            name=self.name,
+            via_nx=via_nx,
+            via_ny=via_ny,
+            n_signal_layers=self.paper.layers,
+            n_power_layers=2,
+            power_pin_fraction=self.power_pin_fraction,
+            output_pin_fraction=self.output_pin_fraction,
+            netlist=NetlistSpec(
+                net_fraction=self.net_fraction,
+                mean_fanout=self.mean_fanout,
+                locality=self.locality,
+                local_radius=max(int(12 * scale * 3), 6),
+                seed=seed,
+            ),
+            seed=seed,
+        )
+
+
+def _config(
+    name: str,
+    paper: PaperRow,
+    full: tuple,
+    net_fraction: float,
+    mean_fanout: float,
+    locality: float,
+) -> TitanBoardConfig:
+    return TitanBoardConfig(
+        name=name,
+        paper=paper,
+        full_via_nx=full[0],
+        full_via_ny=full[1],
+        net_fraction=net_fraction,
+        mean_fanout=mean_fanout,
+        locality=locality,
+    )
+
+
+#: The nine Table 1 rows in the paper's order (decreasing difficulty).
+TITAN_CONFIGS: Dict[str, TitanBoardConfig] = {
+    "kdj11_2l": _config(
+        "kdj11_2l",
+        PaperRow(2, 1184, 27.5, 76.7, None, None, None, None, failed=True),
+        (110, 130), 1.0, 3.2, 0.15,
+    ),
+    "nmc_4l": _config(
+        "nmc_4l",
+        PaperRow(4, 2253, 29.9, 52.3, 14.0, 20, 0.99, 28.5),
+        (110, 150), 1.0, 3.2, 0.15,
+    ),
+    "dpath": _config(
+        "dpath",
+        PaperRow(6, 5533, 37.3, 46.0, 8.0, 1, 0.65, 21.5),
+        (160, 220), 1.0, 3.0, 0.18,
+    ),
+    "coproc": _config(
+        "coproc",
+        PaperRow(6, 5937, 36.0, 40.5, 6.0, 0, 0.62, 11.3),
+        (160, 220), 1.0, 3.0, 0.22,
+    ),
+    "kdj11_4l": _config(
+        "kdj11_4l",
+        PaperRow(4, 1184, 27.5, 38.4, 8.0, 0, 0.70, 4.6),
+        (110, 130), 1.0, 3.2, 0.15,
+    ),
+    "icache": _config(
+        "icache",
+        PaperRow(6, 5795, 36.6, 36.5, 3.0, 0, 0.41, 6.1),
+        (110, 160), 1.0, 2.8, 0.32,
+    ),
+    "nmc_6l": _config(
+        "nmc_6l",
+        PaperRow(6, 2253, 29.9, 34.9, 3.0, 0, 0.68, 2.2),
+        (110, 150), 1.0, 3.2, 0.15,
+    ),
+    "dcache": _config(
+        "dcache",
+        PaperRow(6, 5738, 36.4, 33.5, 2.0, 0, 0.40, 5.2),
+        (110, 160), 0.95, 2.8, 0.40,
+    ),
+    "tna": _config(
+        "tna",
+        PaperRow(6, 2789, 43.4, 27.1, 3.0, 6, 0.50, 4.8),
+        (150, 150), 0.90, 2.4, 0.50,
+    ),
+}
+
+
+def make_titan_board(
+    name: str, scale: float = 0.35, seed: int = 0
+) -> Board:
+    """Generate the synthetic stand-in for one Table 1 board."""
+    config = TITAN_CONFIGS[name]
+    return generate_board(config.spec(scale=scale, seed=seed))

@@ -1,0 +1,54 @@
+"""Shared fixtures: small boards and workspaces used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole, sip_package
+from repro.channels.workspace import RoutingWorkspace
+from repro.grid.coords import ViaPoint
+
+
+@pytest.fixture
+def empty_board() -> Board:
+    """A 20x15 via-site, 4-signal-layer board with no parts."""
+    return Board.create(via_nx=20, via_ny=15, n_signal_layers=4, name="empty")
+
+
+@pytest.fixture
+def empty_workspace(empty_board) -> RoutingWorkspace:
+    """Workspace over the empty board."""
+    return RoutingWorkspace(empty_board)
+
+
+def place_pin(board: Board, via: ViaPoint, role: PinRole = PinRole.INPUT):
+    """Place a single-pin part; returns the pin."""
+    part = board.add_part(sip_package(1), via, roles=[role])
+    return part.pins[0]
+
+
+def make_connection(
+    board: Board, a: ViaPoint, b: ViaPoint, conn_id: int = 0
+) -> Connection:
+    """Place two pins and return a connection between them."""
+    pin_a = place_pin(board, a, PinRole.OUTPUT)
+    pin_b = place_pin(board, b, PinRole.INPUT)
+    net = board.add_net([pin_a.pin_id, pin_b.pin_id])
+    return Connection(
+        conn_id=conn_id,
+        net_id=net.net_id,
+        pin_a=pin_a.pin_id,
+        pin_b=pin_b.pin_id,
+        a=a,
+        b=b,
+    )
+
+
+@pytest.fixture
+def two_pin_board():
+    """Board with one diagonal two-pin connection, plus the connection."""
+    board = Board.create(via_nx=20, via_ny=15, n_signal_layers=4, name="2pin")
+    conn = make_connection(board, ViaPoint(3, 3), ViaPoint(15, 11))
+    return board, conn

@@ -1,0 +1,134 @@
+"""End-to-end integration: generate -> string -> route -> verify -> render."""
+
+import io
+
+import pytest
+
+from repro.analysis import percent_chan, table1_row
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.result import Strategy
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.extensions.power_plane import FeatureKind, generate_power_plane
+from repro.io import load_routes, read_board, save_routes, write_board
+from repro.stringer import Stringer
+from repro.workloads import BoardSpec, generate_board, make_titan_board
+
+from tests.helpers import assert_result_valid, assert_workspace_consistent
+
+
+@pytest.fixture(scope="module")
+def flow():
+    board = make_titan_board("tna", scale=0.25, seed=11)
+    connections = Stringer(board).string_all()
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    return board, connections, router, result
+
+
+class TestFullFlow:
+    def test_board_routes_completely(self, flow):
+        board, connections, router, result = flow
+        assert result.complete, f"failed: {result.failed}"
+
+    def test_every_route_electrically_connected(self, flow):
+        board, connections, router, result = flow
+        assert_result_valid(board, connections, result)
+
+    def test_optimal_strategies_dominate(self, flow):
+        # Section 8.1: "it is essential that about 90% of the connections
+        # be routed with these optimal strategies".
+        board, connections, router, result = flow
+        optimal = result.strategy_count(
+            Strategy.ZERO_VIA
+        ) + result.strategy_count(Strategy.ONE_VIA)
+        assert optimal / result.total_count >= 0.80
+
+    def test_vias_per_connection_below_one(self, flow):
+        # Table 1: "This number is below 1 for all examples".
+        board, connections, router, result = flow
+        assert result.vias_per_connection < 1.0
+
+    def test_table1_row_composition(self, flow):
+        board, connections, router, result = flow
+        row = table1_row(board, connections, result)
+        assert row["conn"] == len(connections)
+        assert row["complete"]
+        assert 0 < row["pct_chan"] < 100
+
+    def test_pct_chan_below_failure_threshold(self, flow):
+        # A board that routes to completion should sit below the paper's
+        # ~50% channel-demand failure line (scaled).
+        board, connections, router, result = flow
+        assert percent_chan(board, connections) < 50
+
+    def test_power_plane_covers_all_routing_vias(self, flow):
+        board, connections, router, result = flow
+        net = board.power_nets[0]
+        pattern = generate_power_plane(board, router.workspace, net.net_id)
+        clearances = pattern.count(FeatureKind.CLEARANCE)
+        # Every signal via and non-member pin must be cleared.
+        assert clearances >= result.vias_added
+
+    def test_solution_survives_save_load(self, flow):
+        board, connections, router, result = flow
+        board_buf = io.StringIO()
+        write_board(board, board_buf)
+        board_buf.seek(0)
+        board2 = read_board(board_buf)
+        route_buf = io.StringIO()
+        save_routes(router.workspace, route_buf)
+        route_buf.seek(0)
+        ws2 = RoutingWorkspace(board2)
+        restored = load_routes(ws2, route_buf)
+        assert len(restored) == result.routed_count
+        assert ws2.used_cells() == router.workspace.used_cells()
+        assert_workspace_consistent(ws2)
+
+
+class TestRouterDeterminism:
+    def test_same_seed_same_result(self):
+        def run():
+            board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=5))
+            connections = Stringer(board).string_all()
+            result = GreedyRouter(board).route(connections)
+            return (
+                result.routed_count,
+                result.rip_up_count,
+                result.vias_added,
+                result.total_wire_length,
+            )
+
+        assert run() == run()
+
+
+class TestIncrementalRouting:
+    def test_route_in_two_batches(self):
+        """The workspace supports routing the connection list in parts."""
+        board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=8))
+        connections = Stringer(board).string_all()
+        half = len(connections) // 2
+        ws = RoutingWorkspace(board)
+        r1 = GreedyRouter(board, workspace=ws).route(connections[:half])
+        r2 = GreedyRouter(board, workspace=ws).route(connections[half:])
+        assert r1.complete and r2.complete
+        assert len(ws.records) == len(connections)
+        assert_workspace_consistent(ws)
+
+
+class TestLayerCountEffect:
+    def test_more_layers_route_a_harder_problem(self):
+        """The kdj11 story: the same problem fails on 2 layers and routes
+        on 4 (Table 1 rows 1 and 5)."""
+        results = {}
+        for layers, name in ((2, "kdj11_2l"), (4, "kdj11_4l")):
+            board = make_titan_board(name, scale=0.30, seed=1)
+            connections = Stringer(board).string_all()
+            result = GreedyRouter(board).route(connections)
+            results[layers] = result
+        assert results[4].completion_rate >= results[2].completion_rate
+        assert results[4].complete
+        # The 2-layer version must show far more distress.
+        assert (
+            results[2].rip_up_count > results[4].rip_up_count
+            or not results[2].complete
+        )

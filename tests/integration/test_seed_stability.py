@@ -1,0 +1,54 @@
+"""Seed-sweep stability: the Table 1 shape is not a one-seed accident."""
+
+import pytest
+
+from repro.core.router import GreedyRouter
+from repro.stringer import Stringer
+from repro.verify import check_connectivity, run_drc
+from repro.workloads import make_titan_board
+
+SEEDS = [1, 2, 3]
+
+
+class TestSeedStability:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_passing_rows_complete_across_seeds(self, seed):
+        """Every non-failing Table 1 row completes for every seed."""
+        for name in ("tna", "dcache", "nmc_6l"):
+            board = make_titan_board(name, scale=0.25, seed=seed)
+            connections = Stringer(board).string_all()
+            result = GreedyRouter(board).route(connections)
+            assert result.complete, (
+                f"{name} seed {seed}: {len(result.failed)} unrouted"
+            )
+            assert result.vias_per_connection < 1.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_layer_crossover_across_seeds(self, seed):
+        """The 2-vs-4-layer kdj11 crossover holds for every seed."""
+        results = {}
+        for name in ("kdj11_2l", "kdj11_4l"):
+            board = make_titan_board(name, scale=0.30, seed=seed)
+            connections = Stringer(board).string_all()
+            results[name] = GreedyRouter(board).route(connections)
+        two, four = results["kdj11_2l"], results["kdj11_4l"]
+        assert four.completion_rate >= two.completion_rate
+        assert four.complete
+        # The 2-layer run shows distress on every seed: incomplete or
+        # heavy rip-up churn.
+        assert (not two.complete) or two.rip_up_count > 0.2 * two.total_count
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_routed_boards_verify_across_seeds(self, seed):
+        """DRC + connectivity pass on every seed's routed board."""
+        board = make_titan_board("tna", scale=0.25, seed=seed)
+        connections = Stringer(board).string_all()
+        router = GreedyRouter(board)
+        result = router.route(connections)
+        assert result.complete
+        drc = run_drc(board, router.workspace)
+        assert drc.clean, [v.message for v in drc.errors]
+        connectivity = check_connectivity(
+            board, router.workspace, connections
+        )
+        assert connectivity.fully_connected

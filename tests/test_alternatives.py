@@ -1,0 +1,98 @@
+"""Unit tests for the historical channel structures (E7 ablation)."""
+
+import pytest
+
+from repro.channels.alternatives import MovingHeadChannel, TreeChannel
+from repro.channels.channel import ChannelConflictError
+from repro.channels.segment import Segment
+
+
+@pytest.fixture(params=[MovingHeadChannel, TreeChannel])
+def channel(request):
+    return request.param()
+
+
+class TestBothStructures:
+    def test_add_and_iterate_sorted(self, channel):
+        channel.add(10, 12, owner=1)
+        channel.add(0, 2, owner=2)
+        channel.add(5, 6, owner=3)
+        assert [s.lo for s in channel] == [0, 5, 10]
+        assert len(channel) == 3
+
+    def test_conflict_detection(self, channel):
+        channel.add(3, 7, owner=1)
+        with pytest.raises(ChannelConflictError):
+            channel.add(5, 9, owner=2)
+
+    def test_same_owner_clipping(self, channel):
+        channel.add(3, 7, owner=1)
+        assert channel.add(5, 10, owner=1) == [(8, 10)]
+
+    def test_remove(self, channel):
+        channel.add(3, 7, owner=1)
+        channel.add(9, 11, owner=2)
+        channel.remove(3, 7, owner=1)
+        assert list(channel) == [Segment(9, 11, 2)]
+
+    def test_remove_missing_raises(self, channel):
+        channel.add(3, 7, owner=1)
+        with pytest.raises(KeyError):
+            channel.remove(0, 1, owner=1)
+
+    def test_free_gaps(self, channel):
+        channel.add(3, 4, owner=1)
+        channel.add(8, 9, owner=2)
+        assert channel.free_gaps(0, 12) == [(0, 2), (5, 7), (10, 12)]
+
+    def test_is_free(self, channel):
+        channel.add(3, 4, owner=1)
+        assert channel.is_free(0, 2)
+        assert not channel.is_free(0, 3)
+        assert channel.is_free(0, 12, passable=frozenset((1,)))
+
+    def test_overlapping(self, channel):
+        channel.add(0, 2, owner=1)
+        channel.add(5, 6, owner=2)
+        channel.add(9, 12, owner=3)
+        assert [s.owner for s in channel.overlapping(2, 9)] == [1, 2, 3]
+
+
+class TestMovingHead:
+    def test_head_tracks_locality(self):
+        channel = MovingHeadChannel()
+        for i in range(10):
+            channel.add(i * 5, i * 5 + 2, owner=i)
+        # Probe near the end, then near the start: both must be correct
+        # regardless of where the head pointer sits.
+        assert [s.owner for s in channel.overlapping(45, 47)] == [9]
+        assert [s.owner for s in channel.overlapping(0, 2)] == [0]
+        assert [s.owner for s in channel.overlapping(20, 22)] == [4]
+
+    def test_interleaved_insert_positions(self):
+        channel = MovingHeadChannel()
+        channel.add(20, 22, owner=1)
+        channel.add(0, 2, owner=2)
+        channel.add(40, 42, owner=3)
+        channel.add(10, 12, owner=4)
+        assert [s.lo for s in channel] == [0, 10, 20, 40]
+
+
+class TestTree:
+    def test_unbalanced_insert_order_still_correct(self):
+        channel = TreeChannel()
+        # Ascending inserts degenerate the BST into a list; queries must
+        # still be right (that is the point of the ablation).
+        for i in range(20):
+            channel.add(i * 3, i * 3 + 1, owner=i)
+        assert len(channel) == 20
+        expected = [(i * 3 + 2, i * 3 + 2) for i in range(19)] + [(59, 61)]
+        assert channel.free_gaps(0, 61) == expected
+
+    def test_remove_rebuilds(self):
+        channel = TreeChannel()
+        for i in range(5):
+            channel.add(i * 4, i * 4 + 2, owner=i)
+        channel.remove(8, 10, owner=2)
+        assert len(channel) == 4
+        assert channel.is_free(8, 10)

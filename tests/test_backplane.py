@@ -1,0 +1,99 @@
+"""Unit and integration tests for the backplane workload."""
+
+import pytest
+
+from repro.board.parts import PinRole
+from repro.core.router import GreedyRouter
+from repro.stringer import Stringer
+from repro.verify import check_connectivity, run_drc
+from repro.workloads.backplane import (
+    BackplaneSpec,
+    connector_package,
+    generate_backplane,
+)
+
+
+class TestConnectorPackage:
+    def test_two_column_layout(self):
+        package = connector_package(pin_rows=4, columns=2)
+        assert package.pin_count == 8
+        assert package.extent == (2, 4)
+
+    def test_pin_order_column_major(self):
+        package = connector_package(pin_rows=3, columns=2)
+        assert package.pin_offsets[:3] == ((0, 0), (0, 1), (0, 2))
+        assert package.pin_offsets[3:] == ((1, 0), (1, 1), (1, 2))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            connector_package(0)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def board(self):
+        return generate_backplane(BackplaneSpec(seed=2))
+
+    def test_slots_placed(self, board):
+        slots = [p for p in board.parts if p.name.startswith("slot")]
+        assert len(slots) == 6
+
+    def test_bus_nets_span_all_slots(self, board):
+        buses = [n for n in board.signal_nets if n.name.startswith("bus")]
+        assert len(buses) == 12
+        slots = [p for p in board.parts if p.name.startswith("slot")]
+        for bus in buses:
+            parts = {board.pins[p].part_id for p in bus.pin_ids}
+            assert len(parts) == len(slots)
+
+    def test_bus_driver_on_slot_zero(self, board):
+        buses = [n for n in board.signal_nets if n.name.startswith("bus")]
+        for bus in buses:
+            drivers = [
+                p
+                for p in bus.pin_ids
+                if board.pins[p].role is PinRole.OUTPUT
+            ]
+            assert len(drivers) == 1
+            assert board.parts[board.pins[drivers[0]].part_id].name == "slot0"
+
+    def test_point_to_point_nets(self, board):
+        p2p = [n for n in board.signal_nets if n.name.startswith("p2p")]
+        assert len(p2p) == 20
+        for net in p2p:
+            parts = sorted(
+                int(board.parts[board.pins[p].part_id].name[4:])
+                for p in net.pin_ids
+            )
+            assert parts[1] - parts[0] == 1  # adjacent slots
+
+    def test_deterministic(self):
+        b1 = generate_backplane(BackplaneSpec(seed=5))
+        b2 = generate_backplane(BackplaneSpec(seed=5))
+        assert [n.pin_ids for n in b1.nets] == [n.pin_ids for n in b2.nets]
+
+
+class TestRouting:
+    def test_backplane_routes_and_verifies(self):
+        board = generate_backplane(BackplaneSpec(seed=2))
+        connections = Stringer(board).string_all()
+        # Bus nets produce one connection per hop: >= slots-1 each.
+        assert len(connections) > 100
+        router = GreedyRouter(board)
+        result = router.route(connections)
+        assert result.complete, f"unrouted: {len(result.failed)}"
+        assert run_drc(board, router.workspace).clean
+        report = check_connectivity(board, router.workspace, connections)
+        assert report.fully_connected
+
+    def test_bus_chains_visit_slots_in_order(self):
+        """The stringer chains a bus slot-by-slot (nearest neighbor along
+        the row), so every hop spans exactly one slot pitch."""
+        board = generate_backplane(BackplaneSpec(seed=2))
+        connections = Stringer(board).string_all()
+        bus0 = board.signal_nets[0]
+        hops = [c for c in connections if c.net_id == bus0.net_id]
+        # slots-1 inter-slot hops plus the terminator hop.
+        assert len(hops) == 6
+        spans = sorted(c.dx for c in hops[:-1])
+        assert spans[0] == spans[-2]  # uniform slot pitch for slot hops

@@ -1,0 +1,78 @@
+"""Unit tests for the classic grid-point Lee baseline (E5)."""
+
+import pytest
+
+from repro.baseline import GridLeeRouter
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.lee import lee_route
+from repro.grid.coords import ViaPoint
+
+from tests.conftest import make_connection
+from tests.helpers import assert_route_connected, assert_workspace_consistent
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=12, via_ny=10, n_signal_layers=2)
+
+
+class TestGridLee:
+    def test_routes_straight_connection(self, board):
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(9, 4))
+        ws = RoutingWorkspace(board)
+        stats = GridLeeRouter(ws).route(conn)
+        assert stats.routed
+        assert ws.is_routed(conn.conn_id)
+        assert_route_connected(ws, conn, ws.records[conn.conn_id])
+        assert_workspace_consistent(ws)
+
+    def test_routes_diagonal_connection(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(9, 8))
+        ws = RoutingWorkspace(board)
+        stats = GridLeeRouter(ws).route(conn)
+        assert stats.routed
+        assert_route_connected(ws, conn, ws.records[conn.conn_id])
+
+    def test_minimum_length_path(self, board):
+        # Classic Lee guarantees a minimum-distance path.
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(9, 8))
+        ws = RoutingWorkspace(board)
+        stats = GridLeeRouter(ws).route(conn)
+        minimum = (7 + 6) * board.grid.grid_per_via
+        assert ws.records[conn.conn_id].wire_length == minimum
+
+    def test_blocked_returns_unrouted(self, board):
+        from repro.grid.geometry import Box
+
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(9, 4))
+        ws = RoutingWorkspace(board)
+        for layer_index in range(ws.n_layers):
+            ws.fill_free_space(layer_index, Box(15, 0, 18, board.grid.ny - 1))
+        stats = GridLeeRouter(ws).route(conn)
+        assert not stats.routed
+        assert not ws.is_routed(conn.conn_id)
+
+    def test_cell_budget_respected(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(9, 8))
+        ws = RoutingWorkspace(board)
+        stats = GridLeeRouter(ws, max_cells=5).route(conn)
+        assert not stats.routed
+        assert stats.cells_marked <= 6
+
+
+class TestModification1Speedup:
+    def test_grr_lee_marks_far_fewer_points(self, board):
+        """The headline of Modification 1: via-graph neighbors sweep
+        segments, not cells, so the search marks orders of magnitude
+        fewer points than grid-cell Lee."""
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(9, 8))
+        ws_grid = RoutingWorkspace(board)
+        grid_stats = GridLeeRouter(ws_grid).route(conn)
+        assert grid_stats.routed
+
+        ws_grr = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        grr_result = lee_route(ws_grr, conn, passable=passable)
+        assert grr_result.routed
+        assert grr_result.marked * 5 < grid_stats.cells_marked

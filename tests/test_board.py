@@ -1,0 +1,114 @@
+"""Unit tests for the Board container: placement and net bookkeeping."""
+
+import pytest
+
+from repro.board.board import Board, PlacementError
+from repro.board.nets import NetKind
+from repro.board.parts import PinRole, dip_package, sip_package
+from repro.board.technology import LogicFamily
+from repro.grid.coords import ViaPoint
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=30, via_ny=20, n_signal_layers=4)
+
+
+class TestCreate:
+    def test_grid_uses_rules_pitch(self, board):
+        assert board.grid.grid_per_via == 3
+
+    def test_layer_counts(self):
+        board = Board.create(
+            via_nx=10, via_ny=10, n_signal_layers=6, n_power_layers=4
+        )
+        assert board.stack.n_signal == 6
+        assert len(board.stack.power_layers) == 4
+
+
+class TestPlacement:
+    def test_add_part_allocates_pins(self, board):
+        part = board.add_part(dip_package(16), ViaPoint(2, 2))
+        assert len(part.pins) == 16
+        assert len(board.pins) == 16
+        assert board.pin_at(ViaPoint(2, 2)) is part.pins[0]
+
+    def test_roles_assigned(self, board):
+        part = board.add_part(
+            sip_package(2),
+            ViaPoint(1, 1),
+            roles=[PinRole.OUTPUT, PinRole.INPUT],
+        )
+        assert part.pins[0].role is PinRole.OUTPUT
+        assert part.pins[1].role is PinRole.INPUT
+
+    def test_role_count_mismatch_rejected(self, board):
+        with pytest.raises(PlacementError):
+            board.add_part(sip_package(3), ViaPoint(1, 1), roles=[PinRole.INPUT])
+
+    def test_off_board_rejected(self, board):
+        with pytest.raises(PlacementError):
+            board.add_part(sip_package(5), ViaPoint(27, 0))
+
+    def test_overlap_rejected(self, board):
+        board.add_part(sip_package(3), ViaPoint(5, 5))
+        with pytest.raises(PlacementError):
+            board.add_part(sip_package(3), ViaPoint(7, 5))
+
+    def test_failed_placement_is_atomic(self, board):
+        board.add_part(sip_package(1), ViaPoint(5, 5))
+        before = len(board.pins)
+        with pytest.raises(PlacementError):
+            board.add_part(sip_package(3), ViaPoint(3, 5))
+        assert len(board.pins) == before
+        assert board.pin_at(ViaPoint(3, 5)) is None
+
+    def test_part_can_fit(self, board):
+        assert board.part_can_fit(sip_package(3), ViaPoint(0, 0))
+        board.add_part(sip_package(3), ViaPoint(0, 0))
+        assert not board.part_can_fit(sip_package(3), ViaPoint(2, 0))
+        assert not board.part_can_fit(sip_package(5), ViaPoint(26, 0))
+
+
+class TestNets:
+    def test_add_net_marks_pins(self, board):
+        part = board.add_part(sip_package(3), ViaPoint(1, 1))
+        net = board.add_net([p.pin_id for p in part.pins[:2]])
+        assert board.pins[part.pins[0].pin_id].net_id == net.net_id
+        assert board.pins[part.pins[2].pin_id].net_id == -1
+
+    def test_pin_cannot_join_two_nets(self, board):
+        part = board.add_part(sip_package(2), ViaPoint(1, 1))
+        board.add_net([part.pins[0].pin_id])
+        with pytest.raises(ValueError):
+            board.add_net([part.pins[0].pin_id])
+
+    def test_unknown_pin_rejected(self, board):
+        with pytest.raises(ValueError):
+            board.add_net([99])
+
+    def test_signal_and_power_partition(self, board):
+        part = board.add_part(sip_package(4), ViaPoint(1, 1))
+        board.add_net([part.pins[0].pin_id], kind=NetKind.SIGNAL)
+        board.add_net([part.pins[1].pin_id], kind=NetKind.POWER)
+        assert len(board.signal_nets) == 1
+        assert len(board.power_nets) == 1
+
+    def test_free_terminator_pins(self, board):
+        part = board.add_part(
+            sip_package(2),
+            ViaPoint(1, 1),
+            roles=[PinRole.TERMINATOR, PinRole.TERMINATOR],
+        )
+        assert len(board.free_terminator_pins()) == 2
+        board.add_net([part.pins[0].pin_id])
+        assert len(board.free_terminator_pins()) == 1
+
+
+class TestMetrics:
+    def test_pin_density(self, board):
+        board.add_part(dip_package(24), ViaPoint(2, 2))
+        # 29x19 via pitches of 100 mils -> 2.9in x 1.9in.
+        assert board.pin_density_per_sq_inch == pytest.approx(
+            24 / (2.9 * 1.9)
+        )

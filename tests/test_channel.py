@@ -1,0 +1,174 @@
+"""Unit tests for the production channel structure (Section 4)."""
+
+import pytest
+
+from repro.channels.channel import Channel, ChannelConflictError
+from repro.channels.segment import Segment
+
+
+@pytest.fixture
+def channel():
+    return Channel()
+
+
+class TestAdd:
+    def test_add_returns_inserted_piece(self, channel):
+        assert channel.add(3, 7, owner=1) == [(3, 7)]
+        assert list(channel) == [Segment(3, 7, 1)]
+
+    def test_add_keeps_sorted(self, channel):
+        channel.add(10, 12, owner=1)
+        channel.add(0, 2, owner=2)
+        channel.add(5, 6, owner=3)
+        assert [s.lo for s in channel] == [0, 5, 10]
+        channel.check_invariants()
+
+    def test_conflict_with_other_owner(self, channel):
+        channel.add(3, 7, owner=1)
+        with pytest.raises(ChannelConflictError):
+            channel.add(7, 9, owner=2)
+
+    def test_same_owner_overlap_is_clipped(self, channel):
+        channel.add(3, 7, owner=1)
+        pieces = channel.add(5, 10, owner=1)
+        assert pieces == [(8, 10)]
+        channel.check_invariants()
+
+    def test_same_owner_fully_covered_inserts_nothing(self, channel):
+        channel.add(3, 7, owner=1)
+        assert channel.add(4, 6, owner=1) == []
+        assert len(channel) == 1
+
+    def test_same_owner_overlap_splits_around(self, channel):
+        channel.add(4, 5, owner=1)
+        pieces = channel.add(2, 8, owner=1)
+        assert pieces == [(2, 3), (6, 8)]
+
+    def test_passable_owner_is_clipped_not_conflicting(self, channel):
+        channel.add(5, 5, owner=-3)  # a pin cell
+        pieces = channel.add(3, 8, owner=7, passable=frozenset((-3,)))
+        assert pieces == [(3, 4), (6, 8)]
+
+    def test_empty_interval_rejected(self, channel):
+        with pytest.raises(ValueError):
+            channel.add(5, 4, owner=1)
+
+    def test_adjacent_segments_do_not_conflict(self, channel):
+        channel.add(0, 4, owner=1)
+        channel.add(5, 9, owner=2)  # touching is legal: grid spacing rules
+        channel.check_invariants()
+
+
+class TestRemove:
+    def test_remove_exact(self, channel):
+        channel.add(3, 7, owner=1)
+        channel.remove(3, 7, owner=1)
+        assert len(channel) == 0
+
+    def test_remove_requires_exact_bounds(self, channel):
+        channel.add(3, 7, owner=1)
+        with pytest.raises(KeyError):
+            channel.remove(3, 6, owner=1)
+
+    def test_remove_requires_owner_match(self, channel):
+        channel.add(3, 7, owner=1)
+        with pytest.raises(KeyError):
+            channel.remove(3, 7, owner=2)
+
+    def test_add_remove_roundtrip_pieces(self, channel):
+        channel.add(4, 5, owner=1)
+        pieces = channel.add(2, 8, owner=1)
+        for lo, hi in pieces:
+            channel.remove(lo, hi, owner=1)
+        assert list(channel) == [Segment(4, 5, 1)]
+
+
+class TestProbes:
+    def test_is_free_empty(self, channel):
+        assert channel.is_free(0, 100)
+
+    def test_is_free_blocked(self, channel):
+        channel.add(5, 9, owner=1)
+        assert not channel.is_free(0, 5)
+        assert channel.is_free(0, 4)
+        assert channel.is_free(10, 20)
+
+    def test_is_free_passable(self, channel):
+        channel.add(5, 9, owner=1)
+        assert channel.is_free(0, 20, passable=frozenset((1,)))
+
+    def test_owner_at(self, channel):
+        channel.add(5, 9, owner=4)
+        assert channel.owner_at(5) == 4
+        assert channel.owner_at(9) == 4
+        assert channel.owner_at(4) is None
+        assert channel.owner_at(10) is None
+
+    def test_overlapping_in_order(self, channel):
+        channel.add(0, 2, owner=1)
+        channel.add(5, 6, owner=2)
+        channel.add(9, 12, owner=3)
+        assert [s.owner for s in channel.overlapping(2, 9)] == [1, 2, 3]
+        assert [s.owner for s in channel.overlapping(3, 4)] == []
+
+    def test_owners_in(self, channel):
+        channel.add(0, 2, owner=1)
+        channel.add(5, 6, owner=2)
+        assert channel.owners_in(0, 10) == {1, 2}
+        assert channel.owners_in(0, 10, passable=frozenset((1,))) == {2}
+
+
+class TestFreeGaps:
+    def test_whole_interval_when_empty(self, channel):
+        assert channel.free_gaps(3, 9) == [(3, 9)]
+
+    def test_gaps_between_segments(self, channel):
+        channel.add(3, 4, owner=1)
+        channel.add(8, 9, owner=2)
+        assert channel.free_gaps(0, 12) == [(0, 2), (5, 7), (10, 12)]
+
+    def test_gap_clipped_to_query(self, channel):
+        channel.add(5, 6, owner=1)
+        assert channel.free_gaps(6, 10) == [(7, 10)]
+
+    def test_no_gap_when_fully_covered(self, channel):
+        channel.add(0, 10, owner=1)
+        assert channel.free_gaps(2, 8) == []
+
+    def test_passable_merges_gaps(self, channel):
+        channel.add(3, 4, owner=1)
+        channel.add(8, 9, owner=2)
+        gaps = channel.free_gaps(0, 12, passable=frozenset((1,)))
+        assert gaps == [(0, 7), (10, 12)]
+
+    def test_empty_query(self, channel):
+        assert channel.free_gaps(5, 4) == []
+
+
+class TestGapAt:
+    def test_unbounded_gap_on_empty_channel(self, channel):
+        lo, hi = channel.gap_at(5)
+        assert lo < -10**9 and hi > 10**9
+
+    def test_bounded_between_segments(self, channel):
+        channel.add(0, 2, owner=1)
+        channel.add(8, 9, owner=2)
+        assert channel.gap_at(5) == (3, 7)
+
+    def test_none_when_covered(self, channel):
+        channel.add(3, 7, owner=1)
+        assert channel.gap_at(5) is None
+
+    def test_passable_cover_included(self, channel):
+        channel.add(3, 7, owner=1)
+        channel.add(10, 11, owner=2)
+        gap = channel.gap_at(5, passable=frozenset((1,)))
+        assert gap is not None
+        assert gap[1] == 9
+
+    def test_passable_merges_left_and_right(self, channel):
+        channel.add(3, 4, owner=1)
+        channel.add(8, 9, owner=1)
+        channel.add(0, 0, owner=2)
+        channel.add(12, 13, owner=3)
+        assert channel.gap_at(6, passable=frozenset((1,))) == (1, 11)

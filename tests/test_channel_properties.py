@@ -1,0 +1,164 @@
+"""Property-based tests: the three channel structures agree and keep their
+invariants under arbitrary add/remove/probe sequences (hypothesis)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels.alternatives import MovingHeadChannel, TreeChannel
+from repro.channels.channel import Channel, ChannelConflictError
+
+SPAN = 60
+
+interval = st.tuples(
+    st.integers(0, SPAN - 1), st.integers(1, 8), st.integers(0, 3)
+).map(lambda t: (t[0], min(t[0] + t[1] - 1, SPAN - 1), t[2]))
+
+
+class Reference:
+    """Brute-force per-cell model: the ground truth for channel behaviour."""
+
+    def __init__(self):
+        self.cells: Dict[int, int] = {}
+        self.segments: List[Tuple[int, int, int]] = []
+
+    def add(self, lo, hi, owner):
+        for x in range(lo, hi + 1):
+            existing = self.cells.get(x)
+            if existing is not None and existing != owner:
+                raise ChannelConflictError(str(x))
+        pieces = []
+        cursor = lo
+        x = lo
+        while x <= hi + 1:
+            covered = x <= hi and x in self.cells
+            if covered or x > hi:
+                if cursor < x:
+                    pieces.append((cursor, x - 1))
+                cursor = x + 1
+            x += 1
+        for plo, phi in pieces:
+            for x in range(plo, phi + 1):
+                self.cells[x] = owner
+            self.segments.append((plo, phi, owner))
+        return pieces
+
+    def free_gaps(self, lo, hi, passable=frozenset()):
+        gaps = []
+        start = None
+        for x in range(lo, hi + 1):
+            owner = self.cells.get(x)
+            free = owner is None or owner in passable
+            if free and start is None:
+                start = x
+            if not free and start is not None:
+                gaps.append((start, x - 1))
+                start = None
+        if start is not None:
+            gaps.append((start, hi))
+        return gaps
+
+    def is_free(self, lo, hi, passable=frozenset()):
+        return all(
+            self.cells.get(x) is None or self.cells.get(x) in passable
+            for x in range(lo, hi + 1)
+        )
+
+
+@given(st.lists(interval, min_size=1, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_three_structures_agree_on_adds_and_probes(ops):
+    """Channel, MovingHeadChannel and TreeChannel behave identically."""
+    impls = [Channel(), MovingHeadChannel(), TreeChannel()]
+    ref = Reference()
+    for lo, hi, owner in ops:
+        try:
+            expected = ref.add(lo, hi, owner)
+            failed = False
+        except ChannelConflictError:
+            failed = True
+        for impl in impls:
+            if failed:
+                with pytest.raises(ChannelConflictError):
+                    impl.add(lo, hi, owner)
+            else:
+                assert impl.add(lo, hi, owner) == expected
+    for impl in impls:
+        assert impl.free_gaps(0, SPAN - 1) == ref.free_gaps(0, SPAN - 1)
+        assert impl.is_free(0, SPAN - 1) == ref.is_free(0, SPAN - 1)
+        for probe_lo in range(0, SPAN, 7):
+            probe_hi = min(probe_lo + 11, SPAN - 1)
+            assert impl.free_gaps(probe_lo, probe_hi) == ref.free_gaps(
+                probe_lo, probe_hi
+            )
+
+
+@given(
+    st.lists(interval, min_size=1, max_size=25),
+    st.sets(st.integers(0, 3), max_size=2),
+)
+@settings(max_examples=150, deadline=None)
+def test_passable_gaps_match_reference(ops, passable_set):
+    """Passable-owner gap merging matches the per-cell model."""
+    channel = Channel()
+    ref = Reference()
+    passable = frozenset(passable_set)
+    for lo, hi, owner in ops:
+        try:
+            ref.add(lo, hi, owner)
+        except ChannelConflictError:
+            continue
+        channel.add(lo, hi, owner)
+    assert channel.free_gaps(0, SPAN - 1, passable) == ref.free_gaps(
+        0, SPAN - 1, passable
+    )
+
+
+@given(st.lists(interval, min_size=1, max_size=30), st.randoms())
+@settings(max_examples=150, deadline=None)
+def test_invariants_survive_add_remove_cycles(ops, rng):
+    """Random interleaved removes keep the channel sorted and disjoint."""
+    channel = Channel()
+    installed = []
+    for lo, hi, owner in ops:
+        try:
+            pieces = channel.add(lo, hi, owner)
+        except ChannelConflictError:
+            continue
+        installed.extend((plo, phi, owner) for plo, phi in pieces)
+        channel.check_invariants()
+        if installed and rng.random() < 0.4:
+            victim = installed.pop(rng.randrange(len(installed)))
+            channel.remove(*victim[:2], owner=victim[2])
+            channel.check_invariants()
+    # Everything still installed must be queryable by exact owner.
+    for lo, hi, owner in installed:
+        assert channel.owner_at(lo) == owner
+        assert channel.owner_at(hi) == owner
+
+
+@given(st.lists(interval, min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_gap_at_consistent_with_free_gaps(ops):
+    """gap_at(x) must contain x and agree with clipped free_gaps."""
+    channel = Channel()
+    for lo, hi, owner in ops:
+        try:
+            channel.add(lo, hi, owner)
+        except ChannelConflictError:
+            pass
+    for x in range(0, SPAN, 5):
+        gap = channel.gap_at(x)
+        clipped = channel.free_gaps(0, SPAN - 1)
+        containing = [g for g in clipped if g[0] <= x <= g[1]]
+        if gap is None:
+            assert not containing
+        else:
+            assert len(containing) == 1
+            glo, ghi = containing[0]
+            assert max(gap[0], 0) == glo
+            assert min(gap[1], SPAN - 1) == ghi

@@ -1,0 +1,91 @@
+"""Unit tests for the grr command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def files(tmp_path):
+    return {
+        "board": str(tmp_path / "b.board"),
+        "conns": str(tmp_path / "b.conns"),
+        "routes": str(tmp_path / "b.routes"),
+        "prefix": str(tmp_path / "fig"),
+    }
+
+
+class TestPipeline:
+    def test_generate_string_route_render(self, files, capsys):
+        assert main(
+            [
+                "generate", files["board"],
+                "--config", "tna", "--scale", "0.25", "--seed", "2",
+            ]
+        ) == 0
+        assert os.path.exists(files["board"])
+
+        assert main(["string", files["board"], files["conns"]]) == 0
+        assert os.path.exists(files["conns"])
+
+        assert main(
+            ["route", files["board"], files["conns"], files["routes"]]
+        ) == 0
+        assert os.path.exists(files["routes"])
+        out = capsys.readouterr().out
+        assert "pct_lee" in out
+
+        assert main(
+            [
+                "render", files["board"], files["conns"], files["routes"],
+                "--prefix", files["prefix"],
+            ]
+        ) == 0
+        assert os.path.exists(files["prefix"] + "_problem.ppm")
+        assert os.path.exists(files["prefix"] + "_layer0.ppm")
+        assert os.path.exists(files["prefix"] + "_plane.ppm")
+
+        assert main(
+            ["verify", files["board"], files["conns"], files["routes"]]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VERDICT: PASS" in out
+
+    def test_route_options(self, files):
+        main(["generate", files["board"], "--config", "tna",
+              "--scale", "0.25", "--seed", "2"])
+        main(["string", files["board"], files["conns"]])
+        assert main(
+            [
+                "route", files["board"], files["conns"], files["routes"],
+                "--radius", "2", "--cost", "unit",
+            ]
+        ) == 0
+
+
+class TestFailurePath:
+    def test_route_failure_exit_code(self, files):
+        """A board that cannot be fully routed exits non-zero."""
+        assert main(
+            [
+                "generate", files["board"],
+                "--config", "kdj11_2l", "--scale", "0.3", "--seed", "1",
+            ]
+        ) == 0
+        assert main(["string", files["board"], files["conns"]]) == 0
+        code = main(
+            ["route", files["board"], files["conns"], files["routes"]]
+        )
+        assert code == 1
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_config_rejected(self, files):
+        with pytest.raises(SystemExit):
+            main(["generate", files["board"], "--config", "nope"])

@@ -1,0 +1,127 @@
+"""Unit tests for the congestion analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.congestion import (
+    cell_usage_grid,
+    channel_occupancy,
+    hotspots,
+    region_utilization,
+    render_congestion,
+    wire_length_stats,
+)
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Box
+from repro.stringer import Stringer
+from repro.workloads import BoardSpec, generate_board
+
+
+@pytest.fixture
+def ws():
+    board = Board.create(via_nx=10, via_ny=8, n_signal_layers=2)
+    return board, RoutingWorkspace(board)
+
+
+@pytest.fixture(scope="module")
+def routed():
+    board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+    connections = Stringer(board).string_all()
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    return board, connections, router.workspace, result
+
+
+class TestChannelOccupancy:
+    def test_empty_board_zero(self, ws):
+        board, workspace = ws
+        assert channel_occupancy(workspace, 0).sum() == 0
+
+    def test_fraction_per_channel(self, ws):
+        board, workspace = ws
+        workspace.add_segment(0, 5, 0, 13, owner=1)  # 14 of 28 cells
+        occupancy = channel_occupancy(workspace, 0)
+        assert occupancy[5] == pytest.approx(0.5)
+        assert occupancy[4] == 0
+
+    def test_fill_excluded(self, ws):
+        board, workspace = ws
+        workspace.fill_free_space(0, Box(0, 0, 27, 21))
+        assert channel_occupancy(workspace, 0).sum() == 0
+
+
+class TestCellUsage:
+    def test_shape_matches_grid(self, ws):
+        board, workspace = ws
+        usage = cell_usage_grid(workspace)
+        assert usage.shape == (board.grid.ny, board.grid.nx)
+
+    def test_counts_layers_independently(self, ws):
+        board, workspace = ws
+        workspace.add_segment(0, 5, 3, 7, owner=1)   # horizontal row 5
+        workspace.add_segment(1, 4, 5, 5, owner=2)   # vertical column 4
+        usage = cell_usage_grid(workspace)
+        # Cell (gx=4, gy=5): covered by the row-5 run on layer 0 AND the
+        # column-4 cell on layer 1 -> two layers of copper.
+        assert usage[5, 4] == 2
+        # Cell (gx=5, gy=5): row-5 run only.
+        assert usage[5, 5] == 1
+        # Cell (gx=4, gy=6): nothing.
+        assert usage[6, 4] == 0
+
+
+class TestHotspots:
+    def test_worst_first(self, ws):
+        board, workspace = ws
+        workspace.add_segment(0, 5, 0, 20, owner=1)
+        workspace.add_segment(0, 8, 0, 5, owner=2)
+        found = hotspots(workspace, top_n=5)
+        assert found[0].channel_index == 5
+        assert found[0].occupancy > found[1].occupancy
+
+    def test_top_n_cap(self, routed):
+        board, connections, workspace, _ = routed
+        assert len(hotspots(workspace, top_n=7)) == 7
+
+
+class TestRegionUtilization:
+    def test_zero_on_empty(self, ws):
+        board, workspace = ws
+        assert region_utilization(workspace, Box(0, 0, 27, 21)) == 0.0
+
+    def test_full_region(self, ws):
+        board, workspace = ws
+        workspace.add_segment(0, 5, 3, 7, owner=1)
+        # Only that one segment in a tight region of layer 0; layer 1's
+        # cells in the region are free, so the ratio is 5 / (2*5).
+        value = region_utilization(workspace, Box(3, 5, 7, 5))
+        assert value == pytest.approx(0.5)
+
+    def test_pins_count_toward_utilization(self, routed):
+        board, connections, workspace, _ = routed
+        assert region_utilization(workspace, board.grid.bounds) > 0
+
+
+class TestWireStats:
+    def test_detour_ratios(self, routed):
+        board, connections, workspace, _ = routed
+        stats = wire_length_stats(workspace, connections)
+        assert stats["routes"] > 0
+        assert stats["mean_detour"] >= 1.0
+        assert stats["max_detour"] >= stats["mean_detour"]
+        assert stats["total_wire"] >= stats["total_manhattan"]
+
+
+class TestRenderCongestion:
+    def test_heatmap_written(self, routed, tmp_path):
+        board, connections, workspace, _ = routed
+        path = str(tmp_path / "congestion.ppm")
+        canvas = render_congestion(board, workspace, path=path)
+        import os
+
+        assert os.path.exists(path)
+        # Some cells must be darker than the background.
+        assert (canvas.pixels < 255).any()

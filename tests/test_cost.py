@@ -1,0 +1,61 @@
+"""Unit tests for the Lee cost functions (Section 8.2, Modification 3)."""
+
+from repro.core.cost import (
+    COST_FUNCTIONS,
+    distance_cost,
+    distance_hops_cost,
+    unit_cost,
+)
+from repro.grid.coords import ViaPoint
+
+A = ViaPoint(0, 0)
+B = ViaPoint(10, 0)
+NEAR = ViaPoint(8, 0)
+FAR = ViaPoint(2, 0)
+
+
+class TestUnitCost:
+    def test_counts_hops_only(self):
+        assert unit_cost(NEAR, B, 1) == 1
+        assert unit_cost(FAR, B, 1) == 1
+        assert unit_cost(NEAR, B, 3) == 3
+
+    def test_orders_by_via_count(self):
+        # "This cost function minimizes the number of vias in the solution."
+        assert unit_cost(FAR, B, 1) < unit_cost(NEAR, B, 2)
+
+
+class TestDistanceCost:
+    def test_pure_goal_direction(self):
+        assert distance_cost(NEAR, B, 1) == 2
+        assert distance_cost(FAR, B, 1) == 8
+        # Hops are ignored entirely.
+        assert distance_cost(NEAR, B, 7) == distance_cost(NEAR, B, 1)
+
+
+class TestDistanceHopsCost:
+    def test_magnifies_distance_by_hops(self):
+        assert distance_hops_cost(NEAR, B, 2) == 4
+        assert distance_hops_cost(FAR, B, 2) == 16
+
+    def test_each_via_must_bring_progress(self):
+        # A second via is acceptable only if it at least halves the
+        # remaining distance relative to a one-via point.
+        one_via_far = distance_hops_cost(ViaPoint(4, 0), B, 1)   # 6
+        two_via_near = distance_hops_cost(ViaPoint(7, 0), B, 2)  # 6
+        assert one_via_far == two_via_near
+        two_via_no_progress = distance_hops_cost(ViaPoint(5, 0), B, 2)
+        assert two_via_no_progress > one_via_far
+
+    def test_zero_at_target(self):
+        assert distance_hops_cost(B, B, 3) == 0
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(COST_FUNCTIONS) == {"unit", "distance", "distance_hops"}
+
+    def test_registry_points_at_functions(self):
+        assert COST_FUNCTIONS["unit"] is unit_cost
+        assert COST_FUNCTIONS["distance"] is distance_cost
+        assert COST_FUNCTIONS["distance_hops"] is distance_hops_cost

@@ -1,0 +1,103 @@
+"""Unit tests for SMD/off-grid dispersion patterns (Section 11)."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter
+from repro.extensions.dispersion import (
+    DispersionError,
+    PadSpec,
+    disperse_pads,
+)
+from repro.grid.coords import GridPoint, ViaPoint
+
+from tests.helpers import assert_workspace_consistent
+
+
+@pytest.fixture
+def setup():
+    board = Board.create(via_nx=20, via_ny=16, n_signal_layers=4)
+    ws = RoutingWorkspace(board)
+    return board, ws
+
+
+class TestDispersePads:
+    def test_off_grid_pad_gets_nearby_via(self, setup):
+        board, ws = setup
+        # (7, 8) is not a via site (7 % 3 != 0).
+        pad = PadSpec(GridPoint(7, 8), PinRole.OUTPUT)
+        [dispersed] = disperse_pads(board, ws, [pad])
+        via_grid = board.grid.via_to_grid(dispersed.via)
+        assert ws.via_map.is_drilled(dispersed.via)
+        distance = abs(via_grid.gx - 7) + abs(via_grid.gy - 8)
+        assert distance <= 2 * board.grid.grid_per_via
+        assert_workspace_consistent(ws)
+
+    def test_on_site_pad_uses_that_site(self, setup):
+        board, ws = setup
+        pad = PadSpec(GridPoint(6, 9))  # exactly via (2, 3)
+        [dispersed] = disperse_pads(board, ws, [pad])
+        assert dispersed.via == ViaPoint(2, 3)
+        assert dispersed.trace_cells <= 1
+
+    def test_pads_get_distinct_vias(self, setup):
+        board, ws = setup
+        pads = [
+            PadSpec(GridPoint(7, 8)),
+            PadSpec(GridPoint(8, 8)),
+            PadSpec(GridPoint(7, 10)),
+            PadSpec(GridPoint(8, 10)),
+        ]
+        dispersed = disperse_pads(board, ws, pads)
+        vias = [d.via for d in dispersed]
+        assert len(set(vias)) == len(vias)
+
+    def test_dispersion_trace_is_immovable(self, setup):
+        board, ws = setup
+        pad = PadSpec(GridPoint(7, 8))
+        [dispersed] = disperse_pads(board, ws, [pad])
+        # The pad's cell on the top layer is owned by the pin token.
+        owner = ws.layers[0].owner_at(pad.position)
+        assert owner == dispersed.pin.owner_token
+        assert owner < 0
+
+    def test_occupied_neighborhood_raises(self, setup):
+        board, ws = setup
+        # Drill every via site around the pad.
+        for vx in range(6):
+            for vy in range(6):
+                ws.drill_via(ViaPoint(vx, vy), owner=99)
+        with pytest.raises(DispersionError):
+            disperse_pads(
+                board, ws, [PadSpec(GridPoint(7, 8))], max_radius=2
+            )
+
+    def test_off_board_pad_rejected(self, setup):
+        board, ws = setup
+        with pytest.raises(DispersionError):
+            disperse_pads(board, ws, [PadSpec(GridPoint(999, 0))])
+
+
+class TestRoutingThroughDispersion:
+    def test_router_connects_dispersed_endpoints(self, setup):
+        board, ws = setup
+        pads = [
+            PadSpec(GridPoint(7, 8), PinRole.OUTPUT),
+            PadSpec(GridPoint(43, 31), PinRole.INPUT),
+        ]
+        dispersed = disperse_pads(board, ws, pads)
+        net = board.add_net([d.pin.pin_id for d in dispersed])
+        conn = Connection(
+            0,
+            net.net_id,
+            dispersed[0].pin.pin_id,
+            dispersed[1].pin.pin_id,
+            dispersed[0].via,
+            dispersed[1].via,
+        )
+        result = GreedyRouter(board, workspace=ws).route([conn])
+        assert result.complete
+        assert_workspace_consistent(ws)

@@ -1,0 +1,73 @@
+"""Unit tests for coordinate types and grid/via conversions."""
+
+import pytest
+
+from repro.grid.coords import (
+    GRID_PER_VIA,
+    GridPoint,
+    ViaPoint,
+    grid_to_via,
+    is_via_site,
+    manhattan,
+    via_to_grid,
+)
+
+
+class TestConversions:
+    def test_via_to_grid_scales_by_pitch(self):
+        assert via_to_grid(ViaPoint(0, 0)) == GridPoint(0, 0)
+        assert via_to_grid(ViaPoint(2, 3)) == GridPoint(6, 9)
+
+    def test_grid_to_via_is_integer_quotient(self):
+        # The paper: via coordinates are "simple integer quotients of the
+        # grid coordinates".
+        assert grid_to_via(GridPoint(6, 9)) == ViaPoint(2, 3)
+        assert grid_to_via(GridPoint(7, 11)) == ViaPoint(2, 3)
+
+    def test_roundtrip_on_via_sites(self):
+        for vx in range(5):
+            for vy in range(5):
+                via = ViaPoint(vx, vy)
+                assert grid_to_via(via_to_grid(via)) == via
+
+    def test_custom_pitch(self):
+        assert via_to_grid(ViaPoint(2, 2), grid_per_via=4) == GridPoint(8, 8)
+        assert grid_to_via(GridPoint(9, 9), grid_per_via=4) == ViaPoint(2, 2)
+
+    def test_default_pitch_matches_figure_3(self):
+        # Two routing tracks between via sites -> three steps per pitch.
+        assert GRID_PER_VIA == 3
+
+
+class TestIsViaSite:
+    def test_origin_is_via_site(self):
+        assert is_via_site(GridPoint(0, 0))
+
+    def test_multiples_of_pitch_are_sites(self):
+        assert is_via_site(GridPoint(3, 6))
+        assert is_via_site(GridPoint(9, 0))
+
+    def test_intermediate_points_are_not_sites(self):
+        assert not is_via_site(GridPoint(1, 0))
+        assert not is_via_site(GridPoint(3, 2))
+        assert not is_via_site(GridPoint(4, 4))
+
+
+class TestManhattan:
+    def test_zero_for_same_point(self):
+        assert manhattan(ViaPoint(4, 5), ViaPoint(4, 5)) == 0
+
+    def test_sum_of_axis_separations(self):
+        assert manhattan(ViaPoint(0, 0), ViaPoint(3, 4)) == 7
+
+    def test_symmetric(self):
+        a, b = GridPoint(2, 9), GridPoint(11, 1)
+        assert manhattan(a, b) == manhattan(b, a)
+
+
+class TestTranslated:
+    def test_grid_point_translation(self):
+        assert GridPoint(1, 2).translated(3, -1) == GridPoint(4, 1)
+
+    def test_via_point_translation(self):
+        assert ViaPoint(5, 5).translated(-2, 2) == ViaPoint(3, 7)

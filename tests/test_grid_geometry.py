@@ -1,0 +1,64 @@
+"""Unit tests for boxes and orientations."""
+
+import pytest
+
+from repro.grid.coords import GridPoint
+from repro.grid.geometry import Box, Orientation
+
+
+class TestOrientation:
+    def test_other_flips(self):
+        assert Orientation.HORIZONTAL.other is Orientation.VERTICAL
+        assert Orientation.VERTICAL.other is Orientation.HORIZONTAL
+
+    def test_other_is_involution(self):
+        for o in Orientation:
+            assert o.other.other is o
+
+
+class TestBox:
+    def test_bounding_orders_coordinates(self):
+        box = Box.bounding(GridPoint(5, 1), GridPoint(2, 7))
+        assert box == Box(2, 1, 5, 7)
+
+    def test_width_height_inclusive(self):
+        box = Box(0, 0, 4, 2)
+        assert box.width == 5
+        assert box.height == 3
+
+    def test_contains_bounds_inclusive(self):
+        box = Box(1, 1, 3, 3)
+        assert box.contains(GridPoint(1, 1))
+        assert box.contains(GridPoint(3, 3))
+        assert not box.contains(GridPoint(0, 1))
+        assert not box.contains(GridPoint(4, 3))
+
+    def test_expanded(self):
+        assert Box(2, 2, 4, 4).expanded(1, 2) == Box(1, 0, 5, 6)
+
+    def test_clipped_to_intersection(self):
+        assert Box(0, 0, 10, 10).clipped_to(Box(5, 5, 20, 20)) == Box(
+            5, 5, 10, 10
+        )
+
+    def test_clip_can_produce_empty(self):
+        clipped = Box(0, 0, 2, 2).clipped_to(Box(5, 5, 8, 8))
+        assert clipped.is_empty
+
+    def test_single_point_box_not_empty(self):
+        box = Box(3, 3, 3, 3)
+        assert not box.is_empty
+        assert list(box.iter_points()) == [GridPoint(3, 3)]
+
+    def test_iter_points_row_major(self):
+        points = list(Box(0, 0, 1, 1).iter_points())
+        assert points == [
+            GridPoint(0, 0),
+            GridPoint(1, 0),
+            GridPoint(0, 1),
+            GridPoint(1, 1),
+        ]
+
+    def test_iter_points_count(self):
+        box = Box(2, 3, 5, 7)
+        assert len(list(box.iter_points())) == box.width * box.height

@@ -1,0 +1,77 @@
+"""Unit tests for the post-routing improvement pass."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.improve import improve_routes
+from repro.core.router import GreedyRouter
+from repro.grid.coords import ViaPoint
+from repro.stringer import Stringer
+from repro.workloads import BoardSpec, generate_board
+
+from tests.conftest import make_connection
+from tests.helpers import assert_result_valid, assert_workspace_consistent
+
+
+class TestImproveRoutes:
+    def test_detoured_route_gets_shorter(self):
+        """Route around a temporary blocker, remove it, improve."""
+        board = Board.create(via_nx=16, via_ny=12, n_signal_layers=2)
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(13, 4))
+        ws = RoutingWorkspace(board)
+        # A temporary wall forces a detour on the straight row.
+        blockers = []
+        for layer_index, layer in enumerate(ws.layers):
+            c, x = layer.point_cc(ws.grid.via_to_grid(ViaPoint(7, 4)))
+            blockers.extend(
+                ws.add_segment(layer_index, c, x - 2, x + 2, owner=99)
+            )
+        router = GreedyRouter(board, workspace=ws)
+        result = router.route([conn])
+        assert result.complete
+        detoured = ws.records[conn.conn_id].wire_length
+        # Remove the blocker: the direct corridor opens up.
+        for seg in blockers:
+            ws.remove_segment(*seg, owner=99)
+        stats = improve_routes(router, [conn], detour_threshold=1.05)
+        assert stats.attempted == 1
+        assert stats.improved == 1
+        assert ws.records[conn.conn_id].wire_length < detoured
+        assert stats.wire_saved > 0
+        assert_workspace_consistent(ws)
+
+    def test_never_makes_board_worse(self):
+        board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+        connections = Stringer(board).string_all()
+        router = GreedyRouter(board)
+        result = router.route(connections)
+        assert result.complete
+        wire_before = result.total_wire_length
+        stats = improve_routes(router, connections, detour_threshold=1.2)
+        assert result.total_wire_length <= wire_before
+        assert result.workspace is router.workspace
+        # Everything still routed and valid.
+        assert all(
+            router.workspace.is_routed(c.conn_id) for c in connections
+        )
+        assert_result_valid(board, connections, result)
+
+    def test_straight_routes_not_touched(self):
+        board = Board.create(via_nx=16, via_ny=12, n_signal_layers=2)
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(13, 4))
+        router = GreedyRouter(board)
+        router.route([conn])
+        stats = improve_routes(router, [conn], detour_threshold=1.1)
+        assert stats.examined == 1
+        assert stats.attempted == 0
+
+    def test_max_attempts_cap(self):
+        board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+        connections = Stringer(board).string_all()
+        router = GreedyRouter(board)
+        router.route(connections)
+        stats = improve_routes(
+            router, connections, detour_threshold=1.0, max_attempts=3
+        )
+        assert stats.attempted <= 3

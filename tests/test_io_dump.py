@@ -1,0 +1,80 @@
+"""Unit tests for route dumps (save/load of routed boards)."""
+
+import io
+
+import pytest
+
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter
+from repro.io.dump import RouteDumpError, load_routes, save_routes
+from repro.stringer import Stringer
+from repro.workloads import BoardSpec, generate_board
+
+from tests.helpers import assert_workspace_consistent
+
+
+@pytest.fixture
+def routed():
+    board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+    conns = Stringer(board).string_all()
+    router = GreedyRouter(board)
+    result = router.route(conns)
+    assert result.complete
+    return board, conns, router.workspace
+
+
+class TestRoundtrip:
+    def test_exact_restore(self, routed):
+        board, conns, ws = routed
+        buf = io.StringIO()
+        save_routes(ws, buf)
+        buf.seek(0)
+        fresh = RoutingWorkspace(board)
+        restored = load_routes(fresh, buf)
+        assert set(restored) == set(ws.records)
+        assert fresh.used_cells() == ws.used_cells()
+        assert (
+            fresh.via_map.used_via_count() == ws.via_map.used_via_count()
+        )
+        assert_workspace_consistent(fresh)
+
+    def test_links_preserved(self, routed):
+        board, conns, ws = routed
+        buf = io.StringIO()
+        save_routes(ws, buf)
+        buf.seek(0)
+        fresh = RoutingWorkspace(board)
+        load_routes(fresh, buf)
+        for conn_id, record in ws.records.items():
+            loaded = fresh.records[conn_id]
+            assert len(loaded.links) == len(record.links)
+            assert loaded.wire_length == record.wire_length
+            assert loaded.vias == record.vias
+
+    def test_reload_on_occupied_board_fails(self, routed):
+        board, conns, ws = routed
+        buf = io.StringIO()
+        save_routes(ws, buf)
+        buf.seek(0)
+        with pytest.raises(RouteDumpError):
+            load_routes(ws, buf)  # routes already present
+
+
+class TestFormatErrors:
+    def test_unterminated_record(self):
+        board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+        ws = RoutingWorkspace(board)
+        with pytest.raises(RouteDumpError):
+            load_routes(ws, io.StringIO("route 3\nseg 0 0 1 2\n"))
+
+    def test_seg_outside_route(self):
+        board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+        ws = RoutingWorkspace(board)
+        with pytest.raises(RouteDumpError):
+            load_routes(ws, io.StringIO("seg 0 0 1 2\n"))
+
+    def test_unknown_record(self):
+        board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+        ws = RoutingWorkspace(board)
+        with pytest.raises(RouteDumpError):
+            load_routes(ws, io.StringIO("wat 1\n"))

@@ -1,0 +1,109 @@
+"""Unit tests for the board/connection text formats."""
+
+import io
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.nets import NetKind
+from repro.board.parts import PinRole, dip_package, sip_package
+from repro.board.technology import LogicFamily
+from repro.grid.coords import ViaPoint
+from repro.io.netlist import (
+    NetlistFormatError,
+    read_board,
+    read_connections,
+    write_board,
+    write_connections,
+)
+from repro.stringer import Stringer
+from repro.workloads import BoardSpec, generate_board
+
+
+def roundtrip_board(board):
+    buf = io.StringIO()
+    write_board(board, buf)
+    buf.seek(0)
+    return read_board(buf)
+
+
+class TestBoardRoundtrip:
+    def test_simple_board(self):
+        board = Board.create(via_nx=20, via_ny=15, n_signal_layers=4,
+                             n_power_layers=2, name="simple")
+        board.add_part(dip_package(8), ViaPoint(2, 2), roles=[
+            PinRole.OUTPUT, PinRole.INPUT, PinRole.INPUT, PinRole.POWER,
+            PinRole.POWER, PinRole.INPUT, PinRole.INPUT, PinRole.OUTPUT,
+        ])
+        board.add_part(
+            sip_package(3), ViaPoint(10, 10),
+            roles=[PinRole.TERMINATOR] * 3,
+        )
+        board.add_net([0, 1, 2], name="n0", family=LogicFamily.TTL)
+        board.add_net([3, 4], name="pwr", kind=NetKind.POWER)
+        loaded = roundtrip_board(board)
+        assert loaded.name == "simple"
+        assert loaded.grid.via_nx == 20
+        assert loaded.stack.n_signal == 4
+        assert len(loaded.pins) == len(board.pins)
+        assert [p.role for p in loaded.pins] == [p.role for p in board.pins]
+        assert [n.pin_ids for n in loaded.nets] == [
+            n.pin_ids for n in board.nets
+        ]
+        assert loaded.nets[0].family is LogicFamily.TTL
+        assert loaded.nets[1].kind is NetKind.POWER
+
+    def test_generated_board_roundtrip(self):
+        board = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=4))
+        loaded = roundtrip_board(board)
+        assert len(loaded.parts) == len(board.parts)
+        assert [tuple(p.position) for p in loaded.pins] == [
+            tuple(p.position) for p in board.pins
+        ]
+
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "# a comment\n"
+            "\n"
+            "board b 10 10 2 0\n"
+        )
+        board = read_board(io.StringIO(text))
+        assert board.name == "b"
+
+    def test_missing_board_line_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            read_board(io.StringIO("package p 0,0\n"))
+
+    def test_part_before_board_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            read_board(io.StringIO("part x p 0 0 U\n"))
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            read_board(io.StringIO("board b 10 10 2 0\nfrobnicate\n"))
+
+
+class TestConnectionsRoundtrip:
+    def test_roundtrip(self):
+        board = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=4))
+        conns = Stringer(board).string_all()
+        buf = io.StringIO()
+        write_connections(conns, buf)
+        buf.seek(0)
+        loaded = read_connections(buf)
+        assert len(loaded) == len(conns)
+        for original, parsed in zip(conns, loaded):
+            assert parsed.conn_id == original.conn_id
+            assert parsed.a == original.a
+            assert parsed.b == original.b
+            assert parsed.family is original.family
+
+    def test_bad_record_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            read_connections(io.StringIO("conn 1 2 3\n"))
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(NetlistFormatError):
+            read_connections(
+                io.StringIO("conn 0 0 0 1 0 0 1 1 rtl\n")
+            )

@@ -1,0 +1,114 @@
+"""Property-based round-trip tests of the text formats."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board.board import Board
+from repro.board.nets import Connection, NetKind
+from repro.board.parts import PinRole, dip_package, sip_package
+from repro.board.technology import LogicFamily
+from repro.grid.coords import ViaPoint
+from repro.io import (
+    read_board,
+    read_connections,
+    write_board,
+    write_connections,
+)
+
+ROLES = list(PinRole)
+
+
+@st.composite
+def board_strategy(draw):
+    via_nx = draw(st.integers(12, 30))
+    via_ny = draw(st.integers(12, 30))
+    layers = draw(st.sampled_from([2, 4, 6]))
+    board = Board.create(
+        via_nx=via_nx, via_ny=via_ny, n_signal_layers=layers,
+        n_power_layers=draw(st.integers(0, 2)),
+        name=draw(st.sampled_from(["alpha", "b2", "x_y"])),
+    )
+    n_parts = draw(st.integers(0, 4))
+    for _ in range(n_parts):
+        package = draw(
+            st.sampled_from([sip_package(2), sip_package(4), dip_package(6)])
+        )
+        w, h = package.extent
+        vx = draw(st.integers(0, via_nx - w))
+        vy = draw(st.integers(0, via_ny - h))
+        if not board.part_can_fit(package, ViaPoint(vx, vy)):
+            continue
+        roles = [
+            draw(st.sampled_from(ROLES)) for _ in range(package.pin_count)
+        ]
+        board.add_part(package, ViaPoint(vx, vy), roles=roles)
+    # Random nets over unassigned pins.
+    free = [p.pin_id for p in board.pins if p.net_id == -1]
+    while len(free) >= 2 and draw(st.booleans()):
+        size = draw(st.integers(2, min(4, len(free))))
+        members, free = free[:size], free[size:]
+        board.add_net(
+            members,
+            kind=draw(st.sampled_from(list(NetKind))),
+            family=draw(st.sampled_from(list(LogicFamily))),
+        )
+    return board
+
+
+@given(board_strategy())
+@settings(max_examples=60, deadline=None)
+def test_board_roundtrip(board):
+    buf = io.StringIO()
+    write_board(board, buf)
+    buf.seek(0)
+    loaded = read_board(buf)
+    assert loaded.name == board.name
+    assert loaded.grid.via_nx == board.grid.via_nx
+    assert loaded.grid.via_ny == board.grid.via_ny
+    assert loaded.stack.n_signal == board.stack.n_signal
+    assert len(loaded.stack.power_layers) == len(board.stack.power_layers)
+    assert [tuple(p.position) for p in loaded.pins] == [
+        tuple(p.position) for p in board.pins
+    ]
+    assert [p.role for p in loaded.pins] == [p.role for p in board.pins]
+    assert [p.net_id for p in loaded.pins] == [p.net_id for p in board.pins]
+    assert len(loaded.nets) == len(board.nets)
+    for original, parsed in zip(board.nets, loaded.nets):
+        assert parsed.pin_ids == original.pin_ids
+        assert parsed.kind is original.kind
+        assert parsed.family is original.family
+
+
+connection_strategy = st.builds(
+    Connection,
+    conn_id=st.integers(0, 999),
+    net_id=st.integers(0, 99),
+    pin_a=st.integers(0, 500),
+    pin_b=st.integers(0, 500),
+    a=st.builds(ViaPoint, st.integers(0, 200), st.integers(0, 200)),
+    b=st.builds(ViaPoint, st.integers(0, 200), st.integers(0, 200)),
+    family=st.sampled_from(list(LogicFamily)),
+)
+
+
+@given(st.lists(connection_strategy, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_connections_roundtrip(connections):
+    buf = io.StringIO()
+    write_connections(connections, buf)
+    buf.seek(0)
+    loaded = read_connections(buf)
+    assert len(loaded) == len(connections)
+    for original, parsed in zip(connections, loaded):
+        assert parsed.conn_id == original.conn_id
+        assert parsed.net_id == original.net_id
+        assert parsed.pin_a == original.pin_a
+        assert parsed.pin_b == original.pin_b
+        assert parsed.a == original.a
+        assert parsed.b == original.b
+        assert parsed.family is original.family

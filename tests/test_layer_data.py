@@ -1,0 +1,97 @@
+"""Unit tests for the per-layer channel array and coordinate mapping."""
+
+import pytest
+
+from repro.board.layers import Layer, LayerKind
+from repro.channels.layer_data import LayerData
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box, Orientation
+from repro.grid.routing_grid import RoutingGrid
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(via_nx=8, via_ny=6)
+
+
+@pytest.fixture
+def horizontal(grid):
+    layer = Layer(0, LayerKind.SIGNAL, orientation=Orientation.HORIZONTAL)
+    return LayerData(layer, grid)
+
+
+@pytest.fixture
+def vertical(grid):
+    layer = Layer(1, LayerKind.SIGNAL, orientation=Orientation.VERTICAL)
+    return LayerData(layer, grid)
+
+
+class TestShape:
+    def test_horizontal_channels_run_vertically(self, grid, horizontal):
+        # Section 4: for a horizontal layer the channel array runs in the
+        # vertical dimension.
+        assert horizontal.n_channels == grid.ny
+        assert horizontal.channel_length == grid.nx
+
+    def test_vertical_channels_run_horizontally(self, grid, vertical):
+        assert vertical.n_channels == grid.nx
+        assert vertical.channel_length == grid.ny
+
+    def test_requires_signal_layer(self, grid):
+        with pytest.raises(ValueError):
+            LayerData(Layer(0, LayerKind.POWER), grid)
+
+
+class TestCoordinateMapping:
+    def test_horizontal_point_cc(self, horizontal):
+        assert horizontal.point_cc(GridPoint(5, 2)) == (2, 5)
+
+    def test_vertical_point_cc(self, vertical):
+        assert vertical.point_cc(GridPoint(5, 2)) == (5, 2)
+
+    def test_cc_point_roundtrip(self, horizontal, vertical):
+        point = GridPoint(7, 3)
+        for layer in (horizontal, vertical):
+            c, x = layer.point_cc(point)
+            assert layer.cc_point(c, x) == point
+
+    def test_box_cc_horizontal(self, horizontal):
+        assert horizontal.box_cc(Box(1, 2, 5, 9)) == (2, 9, 1, 5)
+
+    def test_box_cc_vertical(self, vertical):
+        assert vertical.box_cc(Box(1, 2, 5, 9)) == (1, 5, 2, 9)
+
+
+class TestViaGeometry:
+    def test_via_channels_every_pitch(self, horizontal):
+        assert horizontal.is_via_channel(0)
+        assert horizontal.is_via_channel(3)
+        assert not horizontal.is_via_channel(1)
+        assert not horizontal.is_via_channel(2)
+
+    def test_via_sites_in_interval(self, horizontal):
+        sites = list(horizontal.via_sites_in(3, 2, 10))
+        assert sites == [ViaPoint(1, 1), ViaPoint(2, 1), ViaPoint(3, 1)]
+
+    def test_no_sites_on_track_channels(self, horizontal):
+        assert list(horizontal.via_sites_in(2, 0, 20)) == []
+
+    def test_vertical_layer_via_sites(self, vertical):
+        sites = list(vertical.via_sites_in(6, 0, 5))
+        assert sites == [ViaPoint(2, 0), ViaPoint(2, 1)]
+
+
+class TestOccupancy:
+    def test_owner_at_and_free(self, horizontal):
+        horizontal.channel(2).add(3, 6, owner=5)
+        assert horizontal.owner_at(GridPoint(4, 2)) == 5
+        assert horizontal.owner_at(GridPoint(4, 3)) is None
+        assert not horizontal.is_point_free(GridPoint(4, 2))
+        assert horizontal.is_point_free(
+            GridPoint(4, 2), passable=frozenset((5,))
+        )
+
+    def test_used_cells(self, horizontal):
+        horizontal.channel(0).add(0, 4, owner=1)
+        horizontal.channel(5).add(2, 3, owner=2)
+        assert horizontal.used_cells() == 7

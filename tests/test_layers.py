@@ -1,0 +1,65 @@
+"""Unit tests for layers and the layer stack."""
+
+import pytest
+
+from repro.board.layers import Layer, LayerKind, LayerStack
+from repro.grid.geometry import Orientation
+
+
+class TestLayer:
+    def test_signal_layer_requires_orientation(self):
+        with pytest.raises(ValueError):
+            Layer(index=0, kind=LayerKind.SIGNAL)
+
+    def test_power_layer_has_no_orientation(self):
+        with pytest.raises(ValueError):
+            Layer(
+                index=0,
+                kind=LayerKind.POWER,
+                orientation=Orientation.HORIZONTAL,
+            )
+
+
+class TestSignalStack:
+    def test_alternating_orientations(self):
+        stack = LayerStack.signal_stack(4)
+        orientations = [l.orientation for l in stack.signal_layers]
+        assert orientations == [
+            Orientation.HORIZONTAL,
+            Orientation.VERTICAL,
+            Orientation.HORIZONTAL,
+            Orientation.VERTICAL,
+        ]
+
+    def test_outer_layers_flagged(self):
+        # Section 10.1: the two outer layers carry faster signals.
+        stack = LayerStack.signal_stack(6)
+        flags = [l.is_outer for l in stack.signal_layers]
+        assert flags == [True, False, False, False, False, True]
+
+    def test_power_layers_appended(self):
+        stack = LayerStack.signal_stack(4, n_power=2)
+        assert stack.n_signal == 4
+        assert len(stack.power_layers) == 2
+
+    def test_needs_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            LayerStack.signal_stack(0)
+
+    def test_multi_layer_requires_both_orientations(self):
+        # Section 4: "one or more horizontal and one or more vertical
+        # layers are required".
+        with pytest.raises(ValueError):
+            LayerStack(
+                [
+                    Layer(0, LayerKind.SIGNAL, orientation=Orientation.HORIZONTAL),
+                    Layer(1, LayerKind.SIGNAL, orientation=Orientation.HORIZONTAL),
+                ]
+            )
+
+    def test_signal_by_orientation(self):
+        stack = LayerStack.signal_stack(6)
+        horizontal = stack.signal_by_orientation(Orientation.HORIZONTAL)
+        vertical = stack.signal_by_orientation(Orientation.VERTICAL)
+        assert len(horizontal) == 3
+        assert len(vertical) == 3

@@ -1,0 +1,158 @@
+"""Unit tests for the generalized Lee search (Section 8.2)."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.cost import distance_cost, unit_cost
+from repro.core.lee import lee_route
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Orientation
+
+from tests.conftest import make_connection
+from tests.helpers import assert_route_connected, assert_workspace_consistent
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=16, via_ny=12, n_signal_layers=4)
+
+
+def passable_for(conn):
+    return frozenset((conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1)))
+
+
+class TestBasicSearch:
+    def test_routes_diagonal_connection(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(13, 9))
+        ws = RoutingWorkspace(board)
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        assert result.routed
+        assert_route_connected(ws, conn, result.record)
+        assert_workspace_consistent(ws)
+
+    def test_neighboring_pins_need_no_via(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(8, 2))
+        ws = RoutingWorkspace(board)
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        assert result.routed
+        assert result.record.via_count == 0
+
+    def test_l_connection_uses_one_via(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(13, 9))
+        ws = RoutingWorkspace(board)
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        # On an empty board the search meets after one hop per side at
+        # most: a one- or two-via route.
+        assert result.record.via_count <= 2
+
+    def test_expansion_counter(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(13, 9))
+        ws = RoutingWorkspace(board)
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        assert result.expansions >= 1
+        assert result.marked > 0
+
+
+class TestModification2Bidirectional:
+    def _walled_board(self):
+        """Pin b sealed in a box on all layers: unroutable."""
+        board = Board.create(via_nx=16, via_ny=12, n_signal_layers=2)
+        conn = make_connection(board, ViaPoint(2, 6), ViaPoint(13, 6))
+        ws = RoutingWorkspace(board)
+        b_grid = ws.grid.via_to_grid(conn.b)
+        for layer_index, layer in enumerate(ws.layers):
+            if layer.orientation is Orientation.HORIZONTAL:
+                for row in range(b_grid.gy - 2, b_grid.gy + 3):
+                    ws.add_segment(
+                        layer_index, row, b_grid.gx - 2, b_grid.gx - 2, 90
+                    )
+                    ws.add_segment(
+                        layer_index, row, b_grid.gx + 2, b_grid.gx + 2, 90
+                    )
+                ws.add_segment(
+                    layer_index, b_grid.gy - 2, b_grid.gx - 1, b_grid.gx + 1, 90
+                )
+                ws.add_segment(
+                    layer_index, b_grid.gy + 2, b_grid.gx - 1, b_grid.gx + 1, 90
+                )
+            else:
+                for col in range(b_grid.gx - 2, b_grid.gx + 3):
+                    ws.add_segment(
+                        layer_index, col, b_grid.gy - 2, b_grid.gy - 2, 90
+                    )
+                    ws.add_segment(
+                        layer_index, col, b_grid.gy + 2, b_grid.gy + 2, 90
+                    )
+                ws.add_segment(
+                    layer_index, b_grid.gx - 2, b_grid.gy - 1, b_grid.gy + 1, 90
+                )
+                ws.add_segment(
+                    layer_index, b_grid.gx + 2, b_grid.gy - 1, b_grid.gy + 1, 90
+                )
+        return board, conn, ws
+
+    def test_blocked_connection_detected(self):
+        board, conn, ws = self._walled_board()
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        assert not result.routed
+        assert result.blocked
+        assert result.reason == "wavefront exhausted"
+
+    def test_congested_side_exhausts_first(self):
+        # Modification 2's payoff: the walled-in end's wavefront dies
+        # after marking a handful of points instead of flooding the board.
+        board, conn, ws = self._walled_board()
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        assert result.exhausted_side == "b"
+
+    def test_blocked_search_is_cheap(self):
+        board, conn, ws = self._walled_board()
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        total_vias = board.grid.via_nx * board.grid.via_ny
+        assert result.marked < total_vias / 2
+
+    def test_best_point_near_wall(self):
+        # The least-cost point remembered for rip-up should be close to
+        # the target (it made the most progress).
+        board, conn, ws = self._walled_board()
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        best_b = result.best_points[1]
+        assert best_b is not None
+        assert abs(best_b.vx - conn.a.vx) + abs(best_b.vy - conn.a.vy) <= 13
+
+
+class TestCostFunctions:
+    def test_unit_cost_minimizes_vias(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(13, 9))
+        ws = RoutingWorkspace(board)
+        result = lee_route(
+            ws, conn, passable=passable_for(conn), cost_fn=unit_cost
+        )
+        assert result.routed
+        assert result.record.via_count == 1  # L-route is optimal here
+
+    def test_distance_hops_matches_unit_on_empty_board(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(13, 9))
+        ws = RoutingWorkspace(board)
+        result = lee_route(ws, conn, passable=passable_for(conn))
+        assert result.routed
+        assert result.record.via_count <= 2
+
+    def test_expansion_limit_reported(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(13, 9))
+        ws = RoutingWorkspace(board)
+        result = lee_route(
+            ws, conn, passable=passable_for(conn), max_expansions=0
+        )
+        assert not result.routed
+        assert result.reason == "expansion limit"
+
+
+class TestRadius:
+    def test_larger_radius_reaches_more(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(13, 9))
+        ws = RoutingWorkspace(board)
+        r1 = lee_route(ws, conn, radius=2, passable=passable_for(conn))
+        assert r1.routed
+        assert_route_connected(ws, conn, r1.record)

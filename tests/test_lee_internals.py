@@ -1,0 +1,77 @@
+"""Unit tests for the Lee search's internal helpers."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.lee import _back_chain, _neighbors, _strip_axis
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Orientation
+
+
+@pytest.fixture
+def ws():
+    board = Board.create(via_nx=10, via_ny=8, n_signal_layers=4)
+    return RoutingWorkspace(board)
+
+
+class TestStripAxis:
+    def test_orientation_mapping(self):
+        assert _strip_axis(Orientation.HORIZONTAL) == "x"
+        assert _strip_axis(Orientation.VERTICAL) == "y"
+
+
+class TestNeighbors:
+    def test_cross_shape(self, ws):
+        """Neighbors lie in the cross of radius strips (Figure 11)."""
+        via = ViaPoint(4, 4)
+        found = _neighbors(ws, via, radius=1, passable=frozenset(),
+                           max_gaps=20000)
+        for n, layer_index in found:
+            orientation = ws.layers[layer_index].orientation
+            if orientation is Orientation.HORIZONTAL:
+                assert abs(n.vy - 4) <= 1
+            else:
+                assert abs(n.vx - 4) <= 1
+
+    def test_each_layer_contributes(self, ws):
+        via = ViaPoint(4, 4)
+        found = _neighbors(ws, via, radius=1, passable=frozenset(),
+                           max_gaps=20000)
+        layers = {layer_index for _, layer_index in found}
+        assert layers == {0, 1, 2, 3}
+
+    def test_self_not_a_neighbor(self, ws):
+        via = ViaPoint(4, 4)
+        found = _neighbors(ws, via, radius=1, passable=frozenset(),
+                           max_gaps=20000)
+        assert all(n != via for n, _ in found)
+
+    def test_radius_zero_degenerates_to_lines(self, ws):
+        via = ViaPoint(4, 4)
+        found = _neighbors(ws, via, radius=0, passable=frozenset(),
+                           max_gaps=20000)
+        for n, layer_index in found:
+            orientation = ws.layers[layer_index].orientation
+            if orientation is Orientation.HORIZONTAL:
+                assert n.vy == 4
+            else:
+                assert n.vx == 4
+
+
+class TestBackChain:
+    def test_chain_order_source_first(self):
+        marks = {
+            ViaPoint(0, 0): (0, None, None),
+            ViaPoint(3, 0): (1, ViaPoint(0, 0), 1),
+            ViaPoint(3, 5): (2, ViaPoint(3, 0), 0),
+        }
+        chain = _back_chain(marks, ViaPoint(3, 5))
+        assert [v for v, _ in chain] == [
+            ViaPoint(0, 0), ViaPoint(3, 0), ViaPoint(3, 5)
+        ]
+        assert [layer for _, layer in chain] == [None, 1, 0]
+
+    def test_single_node(self):
+        marks = {ViaPoint(2, 2): (0, None, None)}
+        assert _back_chain(marks, ViaPoint(2, 2)) == [(ViaPoint(2, 2), None)]

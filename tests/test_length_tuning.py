@@ -1,0 +1,137 @@
+"""Unit tests for length tuning (Section 10.1)."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.core.router import GreedyRouter
+from repro.extensions.length_tuning import (
+    DelayModel,
+    route_delay_ns,
+    tune_connection,
+    tune_with_cost_mod,
+)
+from repro.grid.coords import ViaPoint
+
+from tests.conftest import make_connection
+from tests.helpers import assert_route_connected, assert_workspace_consistent
+
+
+def routed_board(ax=5, ay=15, bx=30, by=15, via_nx=40, via_ny=30, layers=4):
+    board = Board.create(
+        via_nx=via_nx, via_ny=via_ny, n_signal_layers=layers, name="tune"
+    )
+    conn = make_connection(board, ViaPoint(ax, ay), ViaPoint(bx, by))
+    router = GreedyRouter(board)
+    result = router.route([conn])
+    assert result.complete
+    return board, conn, router.workspace
+
+
+class TestDelayModel:
+    def test_speeds_from_rules(self):
+        board = Board.create(via_nx=10, via_ny=10, n_signal_layers=4)
+        model = DelayModel.for_board(board)
+        # Outer layers ~10% faster (Section 10.1).
+        assert model.layer_speeds[0] == pytest.approx(6.6)
+        assert model.layer_speeds[1] == pytest.approx(6.0)
+        assert model.layer_speeds[3] == pytest.approx(6.6)
+
+    def test_inches_per_cell(self):
+        board = Board.create(via_nx=10, via_ny=10, n_signal_layers=2)
+        model = DelayModel.for_board(board)
+        # 100-mil pitch over 3 routing steps.
+        assert model.inches_per_cell == pytest.approx(0.1 / 3)
+
+    def test_link_delay(self):
+        board = Board.create(via_nx=10, via_ny=10, n_signal_layers=2)
+        model = DelayModel.for_board(board)
+        # 60 cells = 2 inches on an inner... layer 1 here is outer too
+        # (2-layer board): 2in / 6.6 in/ns.
+        assert model.link_delay_ns(1, 60) == pytest.approx(2.0 / 6.6)
+
+    def test_min_delay_bound(self):
+        board, conn, ws = routed_board()
+        model = DelayModel.for_board(board)
+        d = route_delay_ns(board, ws.records[conn.conn_id])
+        assert d >= model.min_delay_ns(conn.a, conn.b, 3) - 1e-9
+
+
+class TestTuneConnection:
+    def test_reaches_target(self):
+        board, conn, ws = routed_board()
+        base = route_delay_ns(board, ws.records[conn.conn_id])
+        result = tune_connection(
+            ws, board, conn, target_ns=base + 0.4, tolerance_ns=0.05
+        )
+        assert result.success
+        assert result.achieved_ns == pytest.approx(base + 0.4, abs=0.06)
+        assert result.detours_added > 0
+        assert_route_connected(ws, conn, ws.records[conn.conn_id])
+        assert_workspace_consistent(ws)
+
+    def test_route_stays_installed_and_valid(self):
+        board, conn, ws = routed_board()
+        base = route_delay_ns(board, ws.records[conn.conn_id])
+        tune_connection(ws, board, conn, target_ns=base + 0.2)
+        assert ws.is_routed(conn.conn_id)
+
+    def test_target_below_current_fails_cleanly(self):
+        board, conn, ws = routed_board()
+        base = route_delay_ns(board, ws.records[conn.conn_id])
+        result = tune_connection(ws, board, conn, target_ns=base * 0.5)
+        assert not result.success
+        assert result.reason == "already slower than target"
+        assert ws.is_routed(conn.conn_id)
+
+    def test_requires_routed_connection(self):
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=4)
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(10, 2))
+        from repro.channels.workspace import RoutingWorkspace
+
+        ws = RoutingWorkspace(board)
+        with pytest.raises(ValueError):
+            tune_connection(ws, board, conn, target_ns=1.0)
+
+    def test_detour_count_scales_with_target(self):
+        board1, conn1, ws1 = routed_board()
+        base = route_delay_ns(board1, ws1.records[conn1.conn_id])
+        small = tune_connection(ws1, board1, conn1, target_ns=base + 0.15)
+        board2, conn2, ws2 = routed_board()
+        large = tune_connection(ws2, board2, conn2, target_ns=base + 0.6)
+        assert small.success and large.success
+        assert large.detours_added > small.detours_added
+
+    def test_workspace_unharmed_by_failed_tuning(self):
+        # An impossible target on a tiny board: fails, but the route and
+        # workspace stay coherent.
+        board, conn, ws = routed_board(
+            ax=1, ay=1, bx=4, by=1, via_nx=6, via_ny=3
+        )
+        base = route_delay_ns(board, ws.records[conn.conn_id])
+        result = tune_connection(ws, board, conn, target_ns=base + 50.0)
+        assert not result.success
+        assert ws.is_routed(conn.conn_id)
+        assert_workspace_consistent(ws)
+
+
+class TestCostModVariant:
+    def test_requires_unrouted(self):
+        board, conn, ws = routed_board()
+        with pytest.raises(ValueError):
+            tune_with_cost_mod(ws, board, conn, target_ns=1.0)
+
+    def test_reports_false_solutions(self):
+        # The paper's point: the delay-targeted cost function generates
+        # candidates that verify too fast or too slow.
+        board = Board.create(via_nx=40, via_ny=30, n_signal_layers=4)
+        conn = make_connection(board, ViaPoint(5, 15), ViaPoint(30, 15))
+        from repro.channels.workspace import RoutingWorkspace
+
+        ws = RoutingWorkspace(board)
+        result = tune_with_cost_mod(
+            ws, board, conn, target_ns=1.0, tolerance_ns=0.01,
+            max_candidates=5,
+        )
+        assert result.candidates_tried >= 1
+        if not result.success:
+            assert result.reason in ("false solutions", "unroutable")

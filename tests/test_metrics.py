@@ -1,0 +1,75 @@
+"""Unit tests for problem/solution metrics (Section 9)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    channel_demand,
+    channel_supply,
+    percent_chan,
+    table1_row,
+)
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.core.router import GreedyRouter
+from repro.grid.coords import ViaPoint
+
+from tests.conftest import make_connection
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=12, via_ny=10, n_signal_layers=4)
+
+
+def simple_conns(n=3):
+    return [
+        Connection(i, 0, 0, 1, ViaPoint(1, i + 1), ViaPoint(9, i + 1))
+        for i in range(n)
+    ]
+
+
+class TestChannelMetrics:
+    def test_demand_in_grid_cells(self, board):
+        conns = simple_conns(1)
+        # 8 via units * 3 grid steps.
+        assert channel_demand(board, conns) == 24
+
+    def test_supply_counts_all_signal_layers(self, board):
+        grid = board.grid
+        assert channel_supply(board) == 4 * grid.nx * grid.ny
+
+    def test_percent_chan(self, board):
+        conns = simple_conns(2)
+        expected = 100.0 * 48 / channel_supply(board)
+        assert percent_chan(board, conns) == pytest.approx(expected)
+
+    def test_percent_chan_empty(self, board):
+        assert percent_chan(board, []) == 0.0
+
+    def test_more_layers_lower_percent(self):
+        conns = simple_conns(2)
+        b2 = Board.create(via_nx=12, via_ny=10, n_signal_layers=2)
+        b6 = Board.create(via_nx=12, via_ny=10, n_signal_layers=6)
+        assert percent_chan(b2, conns) == pytest.approx(
+            3 * percent_chan(b6, conns)
+        )
+
+
+class TestTable1Row:
+    def test_problem_columns(self, board):
+        conns = simple_conns(3)
+        row = table1_row(board, conns)
+        assert row["board"] == board.name
+        assert row["layers"] == 4
+        assert row["conn"] == 3
+        assert "pct_chan" in row
+        assert "pct_lee" not in row
+
+    def test_solution_columns(self, board):
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(9, 4))
+        result = GreedyRouter(board).route([conn])
+        row = table1_row(board, [conn], result)
+        assert row["complete"]
+        assert row["pct_lee"] == 0.0
+        assert row["rip_ups"] == 0
+        assert row["vias"] == 0.0

@@ -1,0 +1,98 @@
+"""Unit tests for the netlist generator internals."""
+
+import random
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.nets import NetKind
+from repro.board.parts import PinRole, sip_package
+from repro.board.technology import LogicFamily
+from repro.grid.coords import ViaPoint
+from repro.workloads.netlist_gen import (
+    NetlistSpec,
+    _fanout,
+    bind_power_nets,
+    generate_nets,
+)
+
+
+class TestFanout:
+    def test_at_least_one(self):
+        rng = random.Random(1)
+        assert all(_fanout(rng, 0.5) == 1 for _ in range(20))
+
+    def test_mean_tracks_parameter(self):
+        rng = random.Random(2)
+        samples = [_fanout(rng, 3.0) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        assert 2.4 < mean < 3.4
+
+    def test_capped(self):
+        rng = random.Random(3)
+        assert max(_fanout(rng, 50.0) for _ in range(200)) <= 8
+
+
+class TestGenerateNets:
+    def _board(self, n=20):
+        board = Board.create(via_nx=30, via_ny=30, n_signal_layers=2)
+        for i in range(n):
+            role = PinRole.OUTPUT if i % 3 == 0 else PinRole.INPUT
+            board.add_part(
+                sip_package(1),
+                ViaPoint(1 + (i % 14) * 2, 1 + (i // 14) * 3),
+                roles=[role],
+            )
+        return board
+
+    def test_net_fraction_controls_count(self):
+        board = self._board(30)
+        outputs = sum(1 for p in board.pins if p.role is PinRole.OUTPUT)
+        nets = generate_nets(
+            board, NetlistSpec(net_fraction=0.5, mean_fanout=1.0, seed=1)
+        )
+        assert len(nets) <= int(outputs * 0.5)
+
+    def test_inputs_never_shared(self):
+        board = self._board(30)
+        generate_nets(board, NetlistSpec(mean_fanout=3.0, seed=1))
+        seen = set()
+        for net in board.signal_nets:
+            for pin_id in net.pin_ids[1:]:
+                assert pin_id not in seen
+                seen.add(pin_id)
+
+    def test_ecl_fraction_zero_gives_ttl(self):
+        board = self._board(30)
+        nets = generate_nets(
+            board, NetlistSpec(ecl_fraction=0.0, seed=1)
+        )
+        assert nets
+        assert all(n.family is LogicFamily.TTL for n in nets)
+
+    def test_stops_when_inputs_exhausted(self):
+        board = self._board(6)  # 2 outputs, 4 inputs
+        nets = generate_nets(
+            board, NetlistSpec(net_fraction=1.0, mean_fanout=8.0, seed=1)
+        )
+        used_inputs = sum(len(n.pin_ids) - 1 for n in nets)
+        assert used_inputs <= 4
+
+
+class TestBindPowerNets:
+    def test_round_robin_groups(self):
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=2)
+        for i in range(6):
+            board.add_part(
+                sip_package(1), ViaPoint(1 + i * 2, 1), roles=[PinRole.POWER]
+            )
+        nets = bind_power_nets(board, n_power_nets=2)
+        assert len(nets) == 2
+        assert nets[0].name == "vcc" and nets[1].name == "gnd"
+        assert all(n.kind is NetKind.POWER for n in nets)
+        sizes = sorted(len(n.pin_ids) for n in nets)
+        assert sizes == [3, 3]
+
+    def test_no_power_pins_no_nets(self):
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=2)
+        assert bind_power_nets(board) == []

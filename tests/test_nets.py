@@ -1,0 +1,63 @@
+"""Unit tests for nets and connections."""
+
+import pytest
+
+from repro.board.nets import Connection, Net, NetKind
+from repro.board.technology import LogicFamily
+from repro.grid.coords import ViaPoint
+
+
+def conn(ax, ay, bx, by, conn_id=0):
+    return Connection(
+        conn_id=conn_id,
+        net_id=0,
+        pin_a=0,
+        pin_b=1,
+        a=ViaPoint(ax, ay),
+        b=ViaPoint(bx, by),
+    )
+
+
+class TestConnectionGeometry:
+    def test_dx_dy_absolute(self):
+        c = conn(5, 8, 2, 3)
+        assert c.dx == 3
+        assert c.dy == 5
+
+    def test_manhattan_length(self):
+        assert conn(0, 0, 3, 4).manhattan_length == 7
+
+    def test_degenerate_connection(self):
+        c = conn(4, 4, 4, 4)
+        assert c.manhattan_length == 0
+
+
+class TestSortKey:
+    def test_straight_before_diagonal(self):
+        # Section 6: straightness (min(dx,dy)) dominates length.
+        straight_long = conn(0, 0, 20, 0, conn_id=1)
+        diagonal_short = conn(0, 0, 2, 2, conn_id=2)
+        assert straight_long.sort_key() < diagonal_short.sort_key()
+
+    def test_shorter_within_equal_straightness(self):
+        short = conn(0, 0, 3, 0, conn_id=1)
+        long = conn(0, 0, 9, 0, conn_id=2)
+        assert short.sort_key() < long.sort_key()
+
+    def test_key_is_deterministic_tiebreak(self):
+        a = conn(0, 0, 3, 1, conn_id=1)
+        b = conn(5, 5, 8, 6, conn_id=2)
+        assert a.sort_key() != b.sort_key()
+
+    def test_axis_symmetry(self):
+        horizontal = conn(0, 0, 7, 2, conn_id=1)
+        vertical = conn(0, 0, 2, 7, conn_id=1)
+        assert horizontal.sort_key() == vertical.sort_key()
+
+
+class TestNet:
+    def test_defaults(self):
+        net = Net(net_id=3)
+        assert net.kind is NetKind.SIGNAL
+        assert net.family is LogicFamily.ECL
+        assert net.pin_ids == []

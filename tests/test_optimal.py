@@ -1,0 +1,168 @@
+"""Unit tests for the optimal zero-via and one-via strategies (Section 8.1)."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.optimal import (
+    direct_layers,
+    one_via_candidates,
+    try_one_via,
+    try_zero_via,
+)
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Orientation
+
+from tests.conftest import make_connection
+from tests.helpers import assert_route_connected, assert_workspace_consistent
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=16, via_ny=12, n_signal_layers=4)
+
+
+class TestDirectLayers:
+    def test_radius_gates_orientation(self, board):
+        ws = RoutingWorkspace(board)
+        # dy = 0: all horizontal layers allowed; dx = 8 > radius blocks
+        # vertical layers.
+        allowed = direct_layers(ws, ViaPoint(1, 4), ViaPoint(9, 4), radius=1)
+        orientations = {ws.layers[i].orientation for i in allowed}
+        assert orientations == {Orientation.HORIZONTAL}
+
+    def test_within_radius_both_orientations(self, board):
+        ws = RoutingWorkspace(board)
+        allowed = direct_layers(ws, ViaPoint(1, 4), ViaPoint(2, 5), radius=1)
+        orientations = {ws.layers[i].orientation for i in allowed}
+        assert orientations == {
+            Orientation.HORIZONTAL,
+            Orientation.VERTICAL,
+        }
+
+    def test_major_axis_layers_ranked_first(self, board):
+        ws = RoutingWorkspace(board)
+        allowed = direct_layers(ws, ViaPoint(1, 4), ViaPoint(9, 5), radius=1)
+        assert ws.layers[allowed[0]].orientation is Orientation.HORIZONTAL
+
+    def test_diagonal_beyond_radius_has_no_direct_layer(self, board):
+        ws = RoutingWorkspace(board)
+        assert (
+            direct_layers(ws, ViaPoint(1, 1), ViaPoint(9, 9), radius=1) == []
+        )
+
+
+class TestZeroVia:
+    def test_straight_connection(self, board):
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(12, 4))
+        ws = RoutingWorkspace(board)
+        record = try_zero_via(ws, conn, radius=1, passable=frozenset((0, -1, -2)))
+        assert record is not None
+        assert record.via_count == 0
+        assert len(record.links) == 1
+        assert_route_connected(ws, conn, record)
+        assert_workspace_consistent(ws)
+
+    def test_small_jog_within_radius(self, board):
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(12, 5))
+        ws = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        record = try_zero_via(ws, conn, radius=1, passable=passable)
+        assert record is not None
+        assert record.via_count == 0
+        assert_route_connected(ws, conn, record)
+
+    def test_diagonal_rejected(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        ws = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        assert try_zero_via(ws, conn, radius=1, passable=passable) is None
+
+    def test_blocked_channel_fails_over_radius(self, board):
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(12, 4))
+        ws = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        # Wall off the radius strip on every horizontal layer.
+        for layer_index, layer in enumerate(ws.layers):
+            if layer.orientation is Orientation.HORIZONTAL:
+                for row in range(12 - 3, 12 + 4):
+                    ws.add_segment(layer_index, row, 20, 20, owner=50)
+        assert try_zero_via(ws, conn, radius=1, passable=passable) is None
+
+
+class TestOneViaCandidates:
+    def test_square_sizes(self, board):
+        ws = RoutingWorkspace(board)
+        candidates = one_via_candidates(
+            ws, ViaPoint(3, 3), ViaPoint(9, 8), radius=1
+        )
+        # Two (2r+1)^2 squares = 18 candidates (Figure 10), all on-board,
+        # none coinciding with an endpoint here.
+        assert len(candidates) == 18
+        assert len(set(candidates)) == 18
+
+    def test_corners_enumerated_center_first(self, board):
+        ws = RoutingWorkspace(board)
+        candidates = one_via_candidates(
+            ws, ViaPoint(3, 3), ViaPoint(9, 8), radius=1
+        )
+        assert candidates[0] == ViaPoint(3, 8)  # first corner center
+        assert candidates[1] == ViaPoint(9, 3)  # second corner center
+
+    def test_endpoints_excluded(self, board):
+        ws = RoutingWorkspace(board)
+        candidates = one_via_candidates(
+            ws, ViaPoint(3, 3), ViaPoint(3, 8), radius=1
+        )
+        assert ViaPoint(3, 3) not in candidates
+        assert ViaPoint(3, 8) not in candidates
+
+    def test_clipped_to_board(self, board):
+        ws = RoutingWorkspace(board)
+        candidates = one_via_candidates(
+            ws, ViaPoint(0, 0), ViaPoint(4, 5), radius=2
+        )
+        assert all(ws.grid.contains_via(v) for v in candidates)
+
+
+class TestOneVia:
+    def test_l_shaped_connection(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        ws = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        record = try_one_via(ws, conn, radius=1, passable=passable)
+        assert record is not None
+        assert record.via_count == 1
+        assert len(record.links) == 2
+        assert_route_connected(ws, conn, record)
+        assert_workspace_consistent(ws)
+
+    def test_via_site_near_corner(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        ws = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        record = try_one_via(ws, conn, radius=1, passable=passable)
+        via = record.vias[0]
+        corners = {ViaPoint(2, 9), ViaPoint(12, 2)}
+        assert any(
+            abs(via.vx - c.vx) <= 1 and abs(via.vy - c.vy) <= 1
+            for c in corners
+        )
+
+    def test_occupied_corner_skipped(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        ws = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        ws.drill_via(ViaPoint(2, 9), owner=70)  # block corner center 1
+        record = try_one_via(ws, conn, radius=1, passable=passable)
+        assert record is not None
+        assert record.vias[0] != ViaPoint(2, 9)
+
+    def test_returns_none_when_blocked(self, board):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        ws = RoutingWorkspace(board)
+        passable = frozenset((conn.conn_id, -1, -2))
+        # Occupy every candidate via site.
+        for v in one_via_candidates(ws, conn.a, conn.b, radius=1):
+            ws.drill_via(v, owner=70)
+        assert try_one_via(ws, conn, radius=1, passable=passable) is None

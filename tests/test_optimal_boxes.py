@@ -1,0 +1,45 @@
+"""Unit tests for the optimal strategies' search-box geometry."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.optimal import direct_box
+from repro.grid.coords import GridPoint
+from repro.grid.geometry import Orientation
+
+
+@pytest.fixture
+def ws():
+    board = Board.create(via_nx=12, via_ny=10, n_signal_layers=2)
+    return RoutingWorkspace(board)
+
+
+class TestDirectBox:
+    def test_horizontal_widens_rows_only(self, ws):
+        a, b = GridPoint(3, 9), GridPoint(21, 9)
+        box = direct_box(ws, a, b, Orientation.HORIZONTAL, radius=1)
+        assert box.x_lo == 3 and box.x_hi == 21
+        assert box.y_lo == 9 - 3 and box.y_hi == 9 + 3
+
+    def test_vertical_widens_columns_only(self, ws):
+        a, b = GridPoint(9, 3), GridPoint(9, 18)
+        box = direct_box(ws, a, b, Orientation.VERTICAL, radius=2)
+        assert box.y_lo == 3 and box.y_hi == 18
+        assert box.x_lo == 9 - 6 and box.x_hi == 9 + 6
+
+    def test_clipped_to_board(self, ws):
+        a, b = GridPoint(0, 0), GridPoint(6, 0)
+        box = direct_box(ws, a, b, Orientation.HORIZONTAL, radius=2)
+        assert box.y_lo == 0  # not negative
+
+    def test_radius_zero_is_bounding_box(self, ws):
+        a, b = GridPoint(3, 9), GridPoint(21, 12)
+        box = direct_box(ws, a, b, Orientation.HORIZONTAL, radius=0)
+        assert box.y_lo == 9 and box.y_hi == 12
+        assert box.x_lo == 3 and box.x_hi == 21
+
+    def test_diagonal_pair_keeps_both_rows(self, ws):
+        a, b = GridPoint(3, 9), GridPoint(21, 12)
+        box = direct_box(ws, a, b, Orientation.HORIZONTAL, radius=1)
+        assert box.y_lo == 9 - 3 and box.y_hi == 12 + 3

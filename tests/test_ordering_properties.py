@@ -1,0 +1,92 @@
+"""Property-based tests of ordering invariants (sorting and cost)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board.nets import Connection
+from repro.core.cost import distance_cost, distance_hops_cost, unit_cost
+from repro.core.sorting import minimal_path_count, sort_connections
+from repro.grid.coords import ViaPoint, manhattan
+
+separation = st.tuples(st.integers(0, 40), st.integers(0, 40))
+
+
+def _conn(conn_id, sep):
+    return Connection(
+        conn_id=conn_id,
+        net_id=0,
+        pin_a=0,
+        pin_b=1,
+        a=ViaPoint(0, 0),
+        b=ViaPoint(*sep),
+    )
+
+
+@given(st.lists(separation, min_size=2, max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_sort_is_total_and_stable(separations):
+    connections = [_conn(i, s) for i, s in enumerate(separations)]
+    ordered = sort_connections(connections)
+    assert sorted(c.conn_id for c in ordered) == list(
+        range(len(connections))
+    )
+    keys = [c.sort_key() for c in ordered]
+    assert keys == sorted(keys)
+
+
+@given(separation, separation)
+@settings(max_examples=200, deadline=None)
+def test_straighter_never_sorts_after_equal_length_diagonal(s1, s2):
+    """Among equal-Manhattan-length connections, the straighter one (fewer
+    minimal paths) sorts first."""
+    c1, c2 = _conn(0, s1), _conn(1, s2)
+    if c1.manhattan_length != c2.manhattan_length:
+        return
+    paths1 = minimal_path_count(c1.dx, c1.dy)
+    paths2 = minimal_path_count(c2.dx, c2.dy)
+    if paths1 < paths2:
+        assert c1.sort_key() < c2.sort_key()
+    elif paths2 < paths1:
+        assert c2.sort_key() < c1.sort_key()
+
+
+@given(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+    st.integers(1, 6),
+)
+@settings(max_examples=200, deadline=None)
+def test_cost_functions_basic_laws(n_xy, m_xy, target_xy, hops):
+    n, m, target = ViaPoint(*n_xy), ViaPoint(*m_xy), ViaPoint(*target_xy)
+    # Non-negativity.
+    for fn in (unit_cost, distance_cost, distance_hops_cost):
+        assert fn(n, target, hops) >= 0
+    # unit ignores position entirely.
+    assert unit_cost(n, target, hops) == unit_cost(m, target, hops)
+    # distance is monotone in Manhattan distance.
+    if manhattan(n, target) < manhattan(m, target):
+        assert distance_cost(n, target, hops) < distance_cost(m, target, hops)
+        assert distance_hops_cost(n, target, hops) <= distance_hops_cost(
+            m, target, hops
+        )
+    # distance*hops is monotone in hops away from the target.
+    if manhattan(n, target) > 0:
+        assert distance_hops_cost(n, target, hops + 1) > distance_hops_cost(
+            n, target, hops
+        )
+    # Zero exactly at the target for the goal-directed functions.
+    assert distance_cost(target, target, hops) == 0
+    assert distance_hops_cost(target, target, hops) == 0
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+@settings(max_examples=100, deadline=None)
+def test_minimal_path_count_recurrence(dx, dy):
+    """Pascal's recurrence: paths(dx,dy) = paths(dx-1,dy) + paths(dx,dy-1)."""
+    if dx == 0 or dy == 0:
+        assert minimal_path_count(dx, dy) == 1
+    else:
+        assert minimal_path_count(dx, dy) == minimal_path_count(
+            dx - 1, dy
+        ) + minimal_path_count(dx, dy - 1)

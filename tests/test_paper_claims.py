@@ -1,0 +1,134 @@
+"""Direct checks of quantitative claims quoted from the paper's text.
+
+Each test quotes the claim it verifies.  These complement the benchmark
+shape-assertions with fast, deterministic spot checks.
+"""
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.technology import TechRules
+from repro.core.result import Strategy
+from repro.core.router import GreedyRouter
+from repro.grid.coords import ViaPoint
+from repro.stringer import Stringer
+from repro.workloads import make_titan_board
+
+
+class TestSection2Claims:
+    def test_100_mil_through_hole_pitch(self):
+        """'Spacings of 100 mils ... are common for through-hole pins.'"""
+        assert TechRules().via_pitch == 100.0
+
+    def test_half_the_layers_power(self):
+        """'often half of the copper layers are reserved for power and
+        ground' — the stack constructor supports that split."""
+        board = Board.create(
+            via_nx=10, via_ny=10, n_signal_layers=6, n_power_layers=6
+        )
+        assert len(board.stack.layers) == 12
+        assert len(board.stack.power_layers) == 6
+
+
+class TestFigure1And3Claims:
+    def test_two_traces_between_vias(self):
+        """'The fabrication process allows two signal traces between vias
+        at this pitch.'"""
+        assert TechRules().tracks_between_vias == 2
+
+    def test_grid_cannot_reach_max_density(self):
+        """'the grid model cannot represent wiring at maximum density':
+        the 4 minimum-pitch traces that would fit in a 60-mil pad width
+        exceed the 2 the grid offers."""
+        rules = TechRules()
+        # 60-mil pad strip fits floor((60+8)/16) = 4 legal 8/8 tracks.
+        tracks_physical = int(
+            (rules.via_pad_diameter + rules.trace_spacing)
+            // (rules.trace_width + rules.trace_spacing)
+        )
+        assert tracks_physical == 4
+        assert rules.tracks_between_vias + 1 < tracks_physical
+
+
+class TestSection8Claims:
+    def test_one_via_candidate_count(self):
+        """'there are (2*radius+1)^2 vias in each of the two squares' —
+        18 candidates at radius 1 away from edges."""
+        from repro.channels.workspace import RoutingWorkspace
+        from repro.core.optimal import one_via_candidates
+
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=2)
+        ws = RoutingWorkspace(board)
+        candidates = one_via_candidates(
+            ws, ViaPoint(5, 5), ViaPoint(12, 14), radius=1
+        )
+        assert len(candidates) == 2 * (2 * 1 + 1) ** 2
+
+    def test_ninety_percent_optimal_on_titan_rows(self):
+        """'it is essential that about 90% of the connections be routed
+        with these optimal strategies' — every passing Table 1 stand-in
+        clears that bar."""
+        for name in ("tna", "coproc", "nmc_4l"):
+            board = make_titan_board(name, scale=0.25, seed=1)
+            connections = Stringer(board).string_all()
+            result = GreedyRouter(board).route(connections)
+            assert result.complete
+            optimal = result.strategy_count(
+                Strategy.ZERO_VIA
+            ) + result.strategy_count(Strategy.ONE_VIA)
+            assert optimal / result.total_count >= 0.88, name
+
+
+class TestSection9Claims:
+    def test_terminator_connections_are_straight_and_short(self):
+        """'the large number of straight terminating resistor connections
+        in these ECL boards (10% to 25% of connections)' — and they route
+        cheaply because 'the terminating resistors were chosen carefully
+        by the stringer'."""
+        board = make_titan_board("tna", scale=0.25, seed=1)
+        connections = Stringer(board).string_all()
+        from repro.board.parts import PinRole
+
+        terminator_conns = [
+            c
+            for c in connections
+            if board.pins[c.pin_b].role is PinRole.TERMINATOR
+        ]
+        share = len(terminator_conns) / len(connections)
+        assert 0.10 <= share <= 0.35
+        mean_term = sum(
+            c.manhattan_length for c in terminator_conns
+        ) / len(terminator_conns)
+        mean_all = sum(c.manhattan_length for c in connections) / len(
+            connections
+        )
+        assert mean_term < mean_all
+
+    def test_vias_below_one_per_connection(self):
+        """'The vias column ... is below 1 for all examples.'"""
+        board = make_titan_board("dcache", scale=0.25, seed=1)
+        connections = Stringer(board).string_all()
+        result = GreedyRouter(board).route(connections)
+        assert result.complete
+        assert result.vias_per_connection < 1.0
+
+
+class TestSection10Claims:
+    def test_six_inches_per_nanosecond(self):
+        """'signals propagate at around six inches per nanosecond', 10%
+        faster on the two outer layers."""
+        rules = TechRules()
+        assert rules.layer_speed(is_outer=False) == 6.0
+        assert rules.layer_speed(is_outer=True) == pytest.approx(6.6)
+
+    def test_few_hundred_picosecond_accuracy(self):
+        """'length tuning can be used to adjust propagation delays to
+        accuracies of a few hundred picoseconds' — one detour's delay
+        quantum is well under that."""
+        from repro.extensions.length_tuning import DelayModel
+
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=4)
+        model = DelayModel.for_board(board)
+        # A two-via detour adds 2 via pitches of trace (out and back).
+        quantum_ns = model.link_delay_ns(1, 2 * board.grid.grid_per_via)
+        assert quantum_ns * 1000 < 200  # < 200 ps

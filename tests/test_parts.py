@@ -1,0 +1,81 @@
+"""Unit tests for packages, parts and pins."""
+
+import pytest
+
+from repro.board.parts import (
+    Package,
+    Part,
+    Pin,
+    PinRole,
+    dip_package,
+    sip_package,
+)
+from repro.grid.coords import ViaPoint
+
+
+class TestDipPackage:
+    def test_pin_count(self):
+        assert dip_package(24).pin_count == 24
+
+    def test_two_rows(self):
+        package = dip_package(8, row_separation=3)
+        ys = {dy for _, dy in package.pin_offsets}
+        assert ys == {0, 3}
+
+    def test_counterclockwise_numbering(self):
+        package = dip_package(4, row_separation=3)
+        # Bottom row left to right, top row right to left.
+        assert package.pin_offsets == ((0, 0), (1, 0), (1, 3), (0, 3))
+
+    def test_extent(self):
+        assert dip_package(24, row_separation=3).extent == (12, 4)
+
+    def test_rejects_odd_pin_count(self):
+        with pytest.raises(ValueError):
+            dip_package(7)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            dip_package(0)
+
+
+class TestSipPackage:
+    def test_single_row(self):
+        package = sip_package(12)
+        assert package.pin_count == 12
+        assert all(dy == 0 for _, dy in package.pin_offsets)
+
+    def test_extent(self):
+        assert sip_package(12).extent == (12, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sip_package(0)
+
+
+class TestPin:
+    def test_owner_token_is_negative_and_unique(self):
+        tokens = {
+            Pin(pin_id=i, part_id=0, position=ViaPoint(0, 0)).owner_token
+            for i in range(100)
+        }
+        assert len(tokens) == 100
+        assert all(t < 0 for t in tokens)
+
+    def test_owner_token_never_collides_with_connections(self):
+        # Connection owners are >= 0.
+        assert Pin(pin_id=0, part_id=0, position=ViaPoint(0, 0)).owner_token == -1
+
+
+class TestPart:
+    def test_pin_positions_offset_from_origin(self):
+        part = Part(
+            part_id=0,
+            package=sip_package(3),
+            origin=ViaPoint(5, 7),
+        )
+        assert part.pin_positions() == [
+            ViaPoint(5, 7),
+            ViaPoint(6, 7),
+            ViaPoint(7, 7),
+        ]

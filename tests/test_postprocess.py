@@ -1,0 +1,126 @@
+"""Unit tests for the photoplot postprocessor (Figure 21 footnote)."""
+
+import math
+
+import pytest
+
+from repro.board.board import Board
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.extensions.postprocess import (
+    TracePolyline,
+    chamfer,
+    link_polyline,
+    postprocess_board,
+    postprocess_connection,
+)
+from repro.grid.coords import ViaPoint
+
+from tests.conftest import make_connection
+
+
+@pytest.fixture
+def routed():
+    board = Board.create(via_nx=16, via_ny=12, n_signal_layers=4)
+    conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+    router = GreedyRouter(board)
+    result = router.route([conn])
+    assert result.complete
+    return board, conn, router.workspace
+
+
+class TestLinkPolyline:
+    def test_straight_link_two_points(self, routed):
+        board, conn, ws = routed
+        record = ws.records[conn.conn_id]
+        for link in record.links:
+            points = link_polyline(ws, link)
+            assert points[0] == (float(link.a.gx), float(link.a.gy))
+            assert points[-1] == (float(link.b.gx), float(link.b.gy))
+            # Rectilinear: consecutive points share an axis.
+            for (x0, y0), (x1, y1) in zip(points, points[1:]):
+                assert x0 == x1 or y0 == y1
+
+    def test_jogged_link(self):
+        board = Board.create(via_nx=16, via_ny=12, n_signal_layers=4)
+        conn = make_connection(board, ViaPoint(2, 4), ViaPoint(12, 4))
+        from repro.channels.workspace import RoutingWorkspace
+
+        ws = RoutingWorkspace(board)
+        ws.add_segment(0, 12, 20, 25, owner=50)  # force a jog on row 12
+        router = GreedyRouter(board, workspace=ws)
+        result = router.route([conn])
+        assert result.complete
+        record = ws.records[conn.conn_id]
+        link = record.links[0]
+        points = link_polyline(ws, link)
+        assert len(points) >= 4  # at least one jog = two extra corners
+
+
+class TestChamfer:
+    def test_corner_replaced_by_diagonal(self):
+        points = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]
+        cut = chamfer(points, cut=2.0)
+        assert cut[0] == (0.0, 0.0)
+        assert cut[-1] == (10.0, 10.0)
+        assert (8.0, 0.0) in cut
+        assert (10.0, 2.0) in cut
+        assert (10.0, 0.0) not in cut  # the right angle is gone
+
+    def test_chamfer_shortens_path(self):
+        points = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]
+        raw = TracePolyline(0, points).length
+        cut = TracePolyline(0, chamfer(points, cut=2.0)).length
+        assert cut < raw
+        # Each chamfer saves (2 - sqrt(2)) * cut.
+        assert raw - cut == pytest.approx((2 - math.sqrt(2)) * 2.0)
+
+    def test_cut_clamped_to_half_arm(self):
+        points = [(0.0, 0.0), (2.0, 0.0), (2.0, 10.0)]
+        cut = chamfer(points, cut=5.0)
+        # The incoming arm is 2 long, so the cut backs off at most 1.
+        assert (1.0, 0.0) in cut
+
+    def test_straight_line_untouched(self):
+        points = [(0.0, 0.0), (5.0, 0.0)]
+        assert chamfer(points) == points
+
+    def test_staircase_all_corners_cut(self):
+        points = [
+            (0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (8.0, 4.0), (8.0, 8.0),
+        ]
+        cut = chamfer(points, cut=1.0)
+        for corner in points[1:-1]:
+            assert corner not in cut
+
+
+class TestBoardPostprocess:
+    def test_every_routed_connection_covered(self, routed):
+        board, conn, ws = routed
+        polylines = postprocess_board(ws)
+        assert set(polylines) == set(ws.records)
+
+    def test_endpoints_preserved(self, routed):
+        board, conn, ws = routed
+        for polyline in postprocess_connection(ws, conn.conn_id):
+            assert len(polyline.points) >= 2
+            assert polyline.length > 0
+
+    def test_diagonals_present_after_chamfer(self, routed):
+        board, conn, ws = routed
+        found_diagonal = False
+        for polyline in postprocess_connection(ws, conn.conn_id, cut=1.0):
+            for (x0, y0), (x1, y1) in zip(
+                polyline.points, polyline.points[1:]
+            ):
+                if x0 != x1 and y0 != y1:
+                    found_diagonal = True
+        # The L-shaped route has at least one corner per link or a via
+        # junction; if any link jogs, a diagonal must appear.  The one-via
+        # route here is two straight links, so relax: chamfering straight
+        # links is a no-op, which is also correct behaviour.
+        total_corners = sum(
+            len(link_polyline(ws, link)) - 2
+            for link in ws.records[conn.conn_id].links
+        )
+        if total_corners:
+            assert found_diagonal

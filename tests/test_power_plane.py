@@ -1,0 +1,114 @@
+"""Unit tests for power-plane generation (Appendix, Figure 22)."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.nets import NetKind
+from repro.board.parts import PinRole, sip_package
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter
+from repro.extensions.power_plane import (
+    FeatureKind,
+    default_mounting_holes,
+    generate_power_plane,
+)
+from repro.grid.coords import ViaPoint
+
+from tests.conftest import make_connection
+
+
+@pytest.fixture
+def setup():
+    board = Board.create(via_nx=16, via_ny=12, n_signal_layers=2,
+                         n_power_layers=2)
+    power_pins = [
+        board.add_part(
+            sip_package(1), ViaPoint(3 + 3 * i, 3), roles=[PinRole.POWER]
+        ).pins[0]
+        for i in range(3)
+    ]
+    power_net = board.add_net(
+        [p.pin_id for p in power_pins], name="gnd", kind=NetKind.POWER
+    )
+    conn = make_connection(board, ViaPoint(2, 8), ViaPoint(13, 5))
+    router = GreedyRouter(board)
+    result = router.route([conn])
+    assert result.complete
+    return board, power_net, router.workspace, result
+
+
+class TestFeatures:
+    def test_member_pins_get_thermal_reliefs(self, setup):
+        board, net, ws, _ = setup
+        pattern = generate_power_plane(board, ws, net.net_id)
+        assert pattern.count(FeatureKind.THERMAL_RELIEF) == 3
+
+    def test_non_member_holes_get_clearances(self, setup):
+        board, net, ws, result = setup
+        pattern = generate_power_plane(board, ws, net.net_id)
+        # Signal pins (2) plus any signal vias: all cleared.
+        signal_vias = result.vias_added
+        assert pattern.count(FeatureKind.CLEARANCE) == 2 + signal_vias
+
+    def test_mounting_holes_at_corners(self, setup):
+        board, net, ws, _ = setup
+        pattern = generate_power_plane(board, ws, net.net_id)
+        holes = [
+            f.position
+            for f in pattern.features
+            if f.kind is FeatureKind.MOUNTING_HOLE
+        ]
+        assert set(holes) == set(default_mounting_holes(board))
+
+    def test_every_drilled_hole_accounted_for(self, setup):
+        board, net, ws, _ = setup
+        pattern = generate_power_plane(board, ws, net.net_id)
+        drilled = set(ws.via_map.drilled_sites())
+        covered = {
+            f.position
+            for f in pattern.features
+            if f.kind is not FeatureKind.MOUNTING_HOLE
+        }
+        holes = set(default_mounting_holes(board))
+        assert covered == drilled - holes
+
+    def test_clearance_larger_than_pad(self, setup):
+        board, net, ws, _ = setup
+        pattern = generate_power_plane(board, ws, net.net_id)
+        clearances = [
+            f for f in pattern.features if f.kind is FeatureKind.CLEARANCE
+        ]
+        assert all(
+            f.diameter_mils > board.rules.via_pad_diameter
+            for f in clearances
+        )
+
+    def test_deterministic_feature_order(self, setup):
+        board, net, ws, _ = setup
+        p1 = generate_power_plane(board, ws, net.net_id)
+        p2 = generate_power_plane(board, ws, net.net_id)
+        assert [f.position for f in p1.features] == [
+            f.position for f in p2.features
+        ]
+
+    def test_two_power_nets_complementary(self, setup):
+        board, net, ws, _ = setup
+        # A second power net over different pins swaps relief/clearance.
+        extra = board.add_part(
+            sip_package(1), ViaPoint(8, 9), roles=[PinRole.POWER]
+        ).pins[0]
+        vcc = board.add_net([extra.pin_id], name="vcc", kind=NetKind.POWER)
+        ws2 = RoutingWorkspace(board)
+        gnd_pattern = generate_power_plane(board, ws2, net.net_id)
+        vcc_pattern = generate_power_plane(board, ws2, vcc.net_id)
+        gnd_reliefs = {
+            f.position
+            for f in gnd_pattern.features
+            if f.kind is FeatureKind.THERMAL_RELIEF
+        }
+        vcc_reliefs = {
+            f.position
+            for f in vcc_pattern.features
+            if f.kind is FeatureKind.THERMAL_RELIEF
+        }
+        assert gnd_reliefs.isdisjoint(vcc_reliefs)

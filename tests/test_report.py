@@ -1,0 +1,44 @@
+"""Unit tests for table formatting."""
+
+from repro.analysis.report import format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([], title="t") == "t"
+
+    def test_columns_inferred_in_order(self):
+        rows = [{"a": 1, "b": 2}, {"b": 3, "c": 4}]
+        out = format_table(rows)
+        header = out.splitlines()[0]
+        assert header.split() == ["a", "b", "c"]
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b", "a"])
+        assert out.splitlines()[0].split() == ["b", "a"]
+
+    def test_missing_cells_dashed(self):
+        rows = [{"a": 1}, {"a": 2, "b": 5}]
+        out = format_table(rows)
+        assert "-" in out.splitlines()[2]
+
+    def test_bool_rendering(self):
+        out = format_table([{"ok": True}, {"ok": False}])
+        lines = out.splitlines()
+        assert "yes" in lines[2]
+        assert "no" in lines[3]
+
+    def test_float_trimming(self):
+        out = format_table([{"x": 1.50}, {"x": 2.00}])
+        assert "1.5" in out
+        assert "2" in out
+
+    def test_title_line(self):
+        out = format_table([{"a": 1}], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_alignment(self):
+        rows = [{"col": 1}, {"col": 100}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[2]) == len(lines[3])

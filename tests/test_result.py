@@ -1,0 +1,98 @@
+"""Unit tests for routing results and statistics."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.result import RoutingResult, Strategy
+from repro.grid.coords import GridPoint, ViaPoint
+
+
+@pytest.fixture
+def setup():
+    board = Board.create(via_nx=10, via_ny=8, n_signal_layers=2)
+    ws = RoutingWorkspace(board)
+    from repro.board.nets import Connection
+
+    conns = [
+        Connection(i, 0, 0, 1, ViaPoint(0, i), ViaPoint(5, i))
+        for i in range(4)
+    ]
+    result = RoutingResult(workspace=ws, connections=conns)
+    return board, ws, conns, result
+
+
+def fake_route(ws, conn_id, row, vias=0):
+    builder = ws.route_builder(conn_id)
+    builder.add_link(
+        0, GridPoint(0, row), GridPoint(9, row), [(row, 0, 9)]
+    )
+    for i in range(vias):
+        builder.drill(ViaPoint(i, row // 3))
+    return builder.commit()
+
+
+class TestCounts:
+    def test_empty_result(self, setup):
+        _, _, conns, result = setup
+        assert result.routed_count == 0
+        assert result.total_count == 4
+        assert not result.complete
+        assert result.completion_rate == 0.0
+
+    def test_complete_when_all_routed(self, setup):
+        _, ws, conns, result = setup
+        for i in range(4):
+            fake_route(ws, i, row=3 * i)
+            result.routed_by[i] = Strategy.ZERO_VIA
+        assert result.complete
+        assert result.completion_rate == 1.0
+
+    def test_percent_lee(self, setup):
+        _, ws, conns, result = setup
+        result.routed_by = {
+            0: Strategy.ZERO_VIA,
+            1: Strategy.LEE,
+            2: Strategy.ONE_VIA,
+            3: Strategy.LEE,
+        }
+        assert result.percent_lee == 50.0
+
+    def test_strategy_count(self, setup):
+        _, _, _, result = setup
+        result.routed_by = {0: Strategy.PUTBACK, 1: Strategy.PUTBACK}
+        assert result.strategy_count(Strategy.PUTBACK) == 2
+        assert result.strategy_count(Strategy.LEE) == 0
+
+
+class TestViaStats:
+    def test_vias_added_counts_route_vias_only(self, setup):
+        _, ws, _, result = setup
+        fake_route(ws, 0, row=0, vias=2)
+        fake_route(ws, 1, row=3, vias=1)
+        result.routed_by = {0: Strategy.LEE, 1: Strategy.ONE_VIA}
+        assert result.vias_added == 3
+        assert result.vias_per_connection == pytest.approx(1.5)
+
+    def test_vias_per_connection_zero_when_unrouted(self, setup):
+        _, _, _, result = setup
+        assert result.vias_per_connection == 0.0
+
+
+class TestSummary:
+    def test_summary_dict(self, setup):
+        _, ws, _, result = setup
+        fake_route(ws, 0, row=0)
+        result.routed_by = {0: Strategy.ZERO_VIA}
+        result.passes = 2
+        result.rip_up_count = 5
+        summary = result.summary()
+        assert summary["routed"] == 1
+        assert summary["rip_ups"] == 5
+        assert summary["passes"] == 2
+        assert summary["zero_via"] == 1
+
+    def test_total_wire_length(self, setup):
+        _, ws, _, result = setup
+        fake_route(ws, 0, row=0)
+        assert result.total_wire_length == 9

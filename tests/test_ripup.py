@@ -1,0 +1,104 @@
+"""Unit tests for rip-up victim selection and putback (Section 8.3)."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.ripup import put_back, rip_up, select_victims
+from repro.grid.coords import GridPoint, ViaPoint
+
+from tests.helpers import assert_workspace_consistent
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=12, via_ny=10, n_signal_layers=2)
+
+
+def route_straight(ws, conn_id, row_via):
+    """Install a straight routed connection along one via row."""
+    row = row_via * ws.grid.grid_per_via
+    builder = ws.route_builder(conn_id)
+    builder.add_link(
+        0,
+        GridPoint(0, row),
+        GridPoint(ws.grid.nx - 1, row),
+        [(row, 0, ws.grid.nx - 1)],
+    )
+    return builder.commit()
+
+
+class TestSelectVictims:
+    def test_nearby_routed_connection_selected(self, board):
+        ws = RoutingWorkspace(board)
+        route_straight(ws, 3, row_via=4)
+        victims = select_victims(ws, ViaPoint(5, 4), rip_radius=2)
+        assert victims == {3}
+
+    def test_far_connection_not_selected(self, board):
+        ws = RoutingWorkspace(board)
+        route_straight(ws, 3, row_via=9)
+        victims = select_victims(ws, ViaPoint(5, 1), rip_radius=2)
+        assert victims == set()
+
+    def test_pins_never_selected(self, board):
+        from repro.board.parts import sip_package
+
+        board.add_part(sip_package(3), ViaPoint(4, 4))
+        ws = RoutingWorkspace(board)
+        victims = select_victims(ws, ViaPoint(5, 4), rip_radius=2)
+        assert victims == set()
+
+    def test_fill_never_selected(self, board):
+        from repro.grid.geometry import Box
+
+        ws = RoutingWorkspace(board)
+        ws.fill_free_space(0, Box(0, 9, 33, 15))
+        victims = select_victims(ws, ViaPoint(5, 4), rip_radius=2)
+        assert victims == set()
+
+    def test_passable_not_selected(self, board):
+        ws = RoutingWorkspace(board)
+        route_straight(ws, 3, row_via=4)
+        victims = select_victims(
+            ws, ViaPoint(5, 4), rip_radius=2, passable=frozenset((3,))
+        )
+        assert victims == set()
+
+
+class TestRipUpAndPutBack:
+    def test_rip_up_removes_and_records(self, board):
+        ws = RoutingWorkspace(board)
+        route_straight(ws, 3, row_via=4)
+        ripped = rip_up(ws, {3})
+        assert not ws.is_routed(3)
+        assert set(ripped) == {3}
+        assert_workspace_consistent(ws)
+
+    def test_put_back_restores_unblocked(self, board):
+        ws = RoutingWorkspace(board)
+        route_straight(ws, 3, row_via=4)
+        ripped = rip_up(ws, {3})
+        failed = put_back(ws, ripped)
+        assert failed == []
+        assert ws.is_routed(3)
+        assert_workspace_consistent(ws)
+
+    def test_put_back_reports_blocked(self, board):
+        ws = RoutingWorkspace(board)
+        route_straight(ws, 3, row_via=4)
+        ripped = rip_up(ws, {3})
+        # Another connection takes part of the corridor meanwhile.
+        ws.add_segment(0, 12, 5, 8, owner=4)
+        failed = put_back(ws, ripped)
+        assert failed == [3]
+        assert not ws.is_routed(3)
+
+    def test_put_back_skips_rerouted(self, board):
+        ws = RoutingWorkspace(board)
+        route_straight(ws, 3, row_via=4)
+        ripped = rip_up(ws, {3})
+        route_straight(ws, 3, row_via=5)  # re-routed elsewhere meanwhile
+        failed = put_back(ws, ripped)
+        assert failed == []
+        assert ws.is_routed(3)

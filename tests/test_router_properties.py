@@ -1,0 +1,111 @@
+"""Property-based tests of the router on random small problems.
+
+The strongest invariants of the whole system: whatever the input, every
+routed connection is electrically connected, the board state stays
+coherent, and no two connections short together.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.board.parts import PinRole, sip_package
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.grid.coords import ViaPoint
+
+from tests.helpers import assert_result_valid
+
+VIA_NX, VIA_NY = 14, 12
+
+
+@st.composite
+def routing_problem(draw):
+    """A random set of distinct pin positions paired into connections."""
+    n_conns = draw(st.integers(1, 6))
+    positions = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, VIA_NX - 1), st.integers(0, VIA_NY - 1)
+            ),
+            min_size=2 * n_conns,
+            max_size=2 * n_conns,
+            unique=True,
+        )
+    )
+    layers = draw(st.sampled_from([2, 4]))
+    radius = draw(st.integers(1, 2))
+    cost = draw(st.sampled_from(["unit", "distance", "distance_hops"]))
+    return positions, layers, radius, cost
+
+
+def build(positions, layers):
+    board = Board.create(
+        via_nx=VIA_NX, via_ny=VIA_NY, n_signal_layers=layers, name="prop"
+    )
+    connections = []
+    for i in range(0, len(positions), 2):
+        (ax, ay), (bx, by) = positions[i], positions[i + 1]
+        pin_a = board.add_part(
+            sip_package(1), ViaPoint(ax, ay), roles=[PinRole.OUTPUT]
+        ).pins[0]
+        pin_b = board.add_part(
+            sip_package(1), ViaPoint(bx, by), roles=[PinRole.INPUT]
+        ).pins[0]
+        net = board.add_net([pin_a.pin_id, pin_b.pin_id])
+        connections.append(
+            Connection(
+                conn_id=i // 2,
+                net_id=net.net_id,
+                pin_a=pin_a.pin_id,
+                pin_b=pin_b.pin_id,
+                a=ViaPoint(ax, ay),
+                b=ViaPoint(bx, by),
+            )
+        )
+    return board, connections
+
+
+@given(routing_problem())
+@settings(max_examples=60, deadline=None)
+def test_routed_connections_are_always_valid(problem):
+    positions, layers, radius, cost = problem
+    board, connections = build(positions, layers)
+    config = RouterConfig(radius=radius, cost=cost)
+    result = GreedyRouter(board, config).route(connections)
+    # Whether or not everything routed, what did route must be connected
+    # and the workspace must be coherent (no shorts, via map exact).
+    assert_result_valid(board, connections, result)
+    assert set(result.routed_by) | set(result.failed) == {
+        c.conn_id for c in connections
+    }
+
+
+@given(routing_problem())
+@settings(max_examples=30, deadline=None)
+def test_empty_board_problems_route_completely(problem):
+    # With at most 6 connections on an otherwise empty multi-layer board,
+    # the strategy stack should never fail.
+    positions, layers, radius, cost = problem
+    board, connections = build(positions, layers)
+    result = GreedyRouter(board, RouterConfig(radius=radius)).route(
+        connections
+    )
+    assert result.complete, f"failed {result.failed} on empty board"
+
+
+@given(routing_problem())
+@settings(max_examples=20, deadline=None)
+def test_rip_up_preserves_validity(problem):
+    positions, layers, radius, cost = problem
+    board, connections = build(positions, layers)
+    # Aggressive settings to exercise rip-up paths more often.
+    config = RouterConfig(
+        radius=radius, max_ripup_rounds=3, rip_radius=1,
+        enable_one_via=False,
+    )
+    result = GreedyRouter(board, config).route(connections)
+    assert_result_valid(board, connections, result)

@@ -1,0 +1,83 @@
+"""Unit tests for the routing grid geometry."""
+
+import pytest
+
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box
+from repro.grid.routing_grid import RoutingGrid
+
+
+@pytest.fixture
+def grid():
+    return RoutingGrid(via_nx=10, via_ny=8)
+
+
+class TestDimensions:
+    def test_grid_size_from_via_grid(self, grid):
+        # (n-1) pitches of 3 steps plus the last via column/row.
+        assert grid.nx == 28
+        assert grid.ny == 22
+
+    def test_bounds(self, grid):
+        assert grid.bounds == Box(0, 0, 27, 21)
+
+    def test_physical_dimensions(self, grid):
+        assert grid.width_inches == pytest.approx(0.9)
+        assert grid.height_inches == pytest.approx(0.7)
+        assert grid.area_sq_inches == pytest.approx(0.63)
+
+    def test_rejects_degenerate_grid(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(via_nx=1, via_ny=5)
+        with pytest.raises(ValueError):
+            RoutingGrid(via_nx=5, via_ny=5, grid_per_via=0)
+
+
+class TestContainment:
+    def test_contains_grid(self, grid):
+        assert grid.contains_grid(GridPoint(0, 0))
+        assert grid.contains_grid(GridPoint(27, 21))
+        assert not grid.contains_grid(GridPoint(28, 0))
+        assert not grid.contains_grid(GridPoint(0, -1))
+
+    def test_contains_via(self, grid):
+        assert grid.contains_via(ViaPoint(9, 7))
+        assert not grid.contains_via(ViaPoint(10, 0))
+
+
+class TestViaMapping:
+    def test_corner_vias_are_on_grid_corners(self, grid):
+        assert grid.via_to_grid(ViaPoint(9, 7)) == GridPoint(27, 21)
+
+    def test_is_via_site(self, grid):
+        assert grid.is_via_site(GridPoint(3, 6))
+        assert not grid.is_via_site(GridPoint(3, 5))
+
+    def test_iter_via_sites_count(self, grid):
+        assert sum(1 for _ in grid.iter_via_sites()) == 80
+
+
+class TestViaStrip:
+    def test_horizontal_strip_spans_board_width(self, grid):
+        # Figure 9/11: the strip runs the whole board in the layer's
+        # preferred direction, radius via units across.
+        strip = grid.via_strip(ViaPoint(5, 3), radius=1, axis="x")
+        assert strip.x_lo == 0 and strip.x_hi == grid.nx - 1
+        assert strip.y_lo == 9 - 3 and strip.y_hi == 9 + 3
+
+    def test_vertical_strip(self, grid):
+        strip = grid.via_strip(ViaPoint(5, 3), radius=2, axis="y")
+        assert strip.y_lo == 0 and strip.y_hi == grid.ny - 1
+        assert strip.x_lo == 15 - 6 and strip.x_hi == 15 + 6
+
+    def test_strip_clipped_at_board_edge(self, grid):
+        strip = grid.via_strip(ViaPoint(0, 0), radius=2, axis="x")
+        assert strip.y_lo == 0
+
+    def test_radius_zero_is_single_line(self, grid):
+        strip = grid.via_strip(ViaPoint(4, 4), radius=0, axis="x")
+        assert strip.y_lo == strip.y_hi == 12
+
+    def test_bad_axis_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.via_strip(ViaPoint(0, 0), radius=1, axis="z")

@@ -1,0 +1,73 @@
+"""Unit tests for connection sorting (Section 6)."""
+
+import pytest
+
+from repro.board.nets import Connection
+from repro.core.sorting import minimal_path_count, sort_connections
+from repro.grid.coords import ViaPoint
+
+
+def conn(conn_id, ax, ay, bx, by):
+    return Connection(
+        conn_id=conn_id,
+        net_id=0,
+        pin_a=0,
+        pin_b=1,
+        a=ViaPoint(ax, ay),
+        b=ViaPoint(bx, by),
+    )
+
+
+class TestMinimalPathCount:
+    def test_straight_connection_has_one_path(self):
+        assert minimal_path_count(7, 0) == 1
+        assert minimal_path_count(0, 9) == 1
+
+    def test_unit_diagonal_has_two(self):
+        assert minimal_path_count(1, 1) == 2
+
+    def test_binomial(self):
+        # C(dx + dy, dx)
+        assert minimal_path_count(3, 4) == 35
+        assert minimal_path_count(2, 2) == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            minimal_path_count(-1, 3)
+
+
+class TestSortConnections:
+    def test_easiest_first(self):
+        # "The shortest straight connections will [be] attempted first.
+        # The longest diagonal connections will be attempted last."
+        connections = [
+            conn(0, 0, 0, 8, 8),   # long diagonal: last
+            conn(1, 0, 0, 2, 0),   # short straight: first
+            conn(2, 0, 0, 9, 0),   # long straight
+            conn(3, 0, 0, 3, 2),   # slightly diagonal
+        ]
+        ordered = [c.conn_id for c in sort_connections(connections)]
+        assert ordered == [1, 2, 3, 0]
+
+    def test_sort_tracks_path_count_trend(self):
+        # The two-key sort approximates ordering by number of minimal
+        # paths: check it is monotone on a ladder of connections.
+        ladder = [
+            conn(0, 0, 0, 10, 0),
+            conn(1, 0, 0, 9, 1),
+            conn(2, 0, 0, 7, 3),
+            conn(3, 0, 0, 5, 5),
+        ]
+        ordered = sort_connections(ladder)
+        counts = [minimal_path_count(c.dx, c.dy) for c in ordered]
+        assert counts == sorted(counts)
+
+    def test_stable_deterministic(self):
+        connections = [conn(i, 0, 0, 4, 2) for i in range(5)]
+        ordered = [c.conn_id for c in sort_connections(connections)]
+        assert ordered == [0, 1, 2, 3, 4]
+
+    def test_input_not_mutated(self):
+        connections = [conn(0, 0, 0, 8, 8), conn(1, 0, 0, 1, 0)]
+        sort_connections(connections)
+        assert connections[0].conn_id == 0

@@ -1,0 +1,123 @@
+"""Property-based tests of the stringer on random nets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board.board import Board
+from repro.board.parts import PinRole, sip_package
+from repro.grid.coords import ViaPoint, manhattan
+from repro.stringer import Stringer
+from repro.stringer.stringer import chain_length
+
+VIA_N = 24
+
+
+@st.composite
+def net_problem(draw):
+    """Random pin placement: some outputs, some inputs, spare terminators."""
+    n_outputs = draw(st.integers(1, 3))
+    n_inputs = draw(st.integers(1, 6))
+    n_terms = draw(st.integers(1, 4))
+    total = n_outputs + n_inputs + n_terms
+    positions = draw(
+        st.lists(
+            st.tuples(st.integers(0, VIA_N - 1), st.integers(0, VIA_N - 1)),
+            min_size=total,
+            max_size=total,
+            unique=True,
+        )
+    )
+    return n_outputs, n_inputs, positions
+
+
+def _build(n_outputs, n_inputs, positions):
+    board = Board.create(via_nx=VIA_N, via_ny=VIA_N, n_signal_layers=2)
+    pins = []
+    for i, (vx, vy) in enumerate(positions):
+        if i < n_outputs:
+            role = PinRole.OUTPUT
+        elif i < n_outputs + n_inputs:
+            role = PinRole.INPUT
+        else:
+            role = PinRole.TERMINATOR
+        pins.append(
+            board.add_part(
+                sip_package(1), ViaPoint(vx, vy), roles=[role]
+            ).pins[0]
+        )
+    net = board.add_net(
+        [p.pin_id for p in pins[: n_outputs + n_inputs]]
+    )
+    return board, net, pins
+
+
+@given(net_problem())
+@settings(max_examples=100, deadline=None)
+def test_chain_covers_every_pin_once(problem):
+    n_outputs, n_inputs, positions = problem
+    board, net, pins = _build(n_outputs, n_inputs, positions)
+    chain = Stringer(board).string_net(net)
+    ids = [p.pin_id for p in chain]
+    # Every net pin exactly once, plus exactly one terminator at the end.
+    assert len(ids) == len(set(ids))
+    assert set(ids[:-1]) >= {p.pin_id for p in pins[: n_outputs + n_inputs]}
+    assert len(ids) == n_outputs + n_inputs + 1
+    assert chain[-1].role is PinRole.TERMINATOR
+
+
+@given(net_problem())
+@settings(max_examples=100, deadline=None)
+def test_outputs_precede_inputs(problem):
+    n_outputs, n_inputs, positions = problem
+    board, net, pins = _build(n_outputs, n_inputs, positions)
+    chain = Stringer(board).string_net(net)
+    roles = [p.role for p in chain]
+    last_output = max(
+        i for i, r in enumerate(roles) if r is PinRole.OUTPUT
+    )
+    first_input = min(
+        i for i, r in enumerate(roles) if r is PinRole.INPUT
+    )
+    assert last_output < first_input
+
+
+@given(net_problem())
+@settings(max_examples=60, deadline=None)
+def test_nearest_neighbor_invariant(problem):
+    """Each input hop goes to the nearest *remaining* input pin.
+
+    This is the defining property of the greedy chain: at every position,
+    the next input appended is at least as close to the current tail as
+    any input that appears later in the chain.
+    """
+    n_outputs, n_inputs, positions = problem
+    board, net, pins = _build(n_outputs, n_inputs, positions)
+    chain = Stringer(board).string_net(net)
+    roles = [p.role for p in chain]
+    for i in range(len(chain) - 2):  # exclude the terminator hop
+        if roles[i + 1] is not PinRole.INPUT:
+            continue
+        tail = chain[i].position
+        next_distance = manhattan(tail, chain[i + 1].position)
+        for later in chain[i + 2 : -1]:
+            if later.role is PinRole.INPUT:
+                assert next_distance <= manhattan(tail, later.position)
+
+
+@given(net_problem())
+@settings(max_examples=60, deadline=None)
+def test_terminator_is_near_chain_end(problem):
+    """The terminator is the nearest free one to the chain's last pin."""
+    n_outputs, n_inputs, positions = problem
+    board, net, pins = _build(n_outputs, n_inputs, positions)
+    chain = Stringer(board).string_net(net)
+    tail = chain[-2].position
+    chosen = chain[-1]
+    terminators = [
+        p for p in pins[n_outputs + n_inputs :]
+    ]
+    best = min(manhattan(tail, t.position) for t in terminators)
+    assert manhattan(tail, chosen.position) == best

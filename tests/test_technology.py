@@ -1,0 +1,65 @@
+"""Unit tests for technology rules and logic families."""
+
+import pytest
+
+from repro.board.technology import LogicFamily, TechRules
+
+
+class TestDefaultsMatchFigure1:
+    def test_figure_1_dimensions(self):
+        rules = TechRules()
+        assert rules.trace_width == 8.0
+        assert rules.trace_spacing == 8.0
+        assert rules.via_pad_diameter == 60.0
+        assert rules.via_pitch == 100.0
+
+    def test_two_tracks_between_vias(self):
+        # Figure 3: "The fabrication process allows two signal traces
+        # between vias at this pitch."
+        assert TechRules().tracks_between_vias == 2
+
+    def test_grid_per_via_is_three(self):
+        assert TechRules().grid_per_via == 3
+
+
+class TestDerivedRules:
+    def test_wider_traces_reduce_track_count(self):
+        rules = TechRules(trace_width=16.0, trace_spacing=16.0)
+        assert rules.tracks_between_vias == 0
+        assert rules.grid_per_via == 1
+
+    def test_finer_process_fits_more_tracks(self):
+        rules = TechRules(trace_width=4.0, trace_spacing=4.0)
+        assert rules.tracks_between_vias == 4
+
+    def test_layer_speed_outer_faster(self):
+        # Section 10.1: outer layers about 10% faster than inner layers.
+        rules = TechRules()
+        assert rules.layer_speed(is_outer=True) == pytest.approx(6.6)
+        assert rules.layer_speed(is_outer=False) == pytest.approx(6.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_widths(self):
+        with pytest.raises(ValueError):
+            TechRules(trace_width=0)
+        with pytest.raises(ValueError):
+            TechRules(trace_spacing=-1)
+
+    def test_rejects_pad_smaller_than_drill(self):
+        with pytest.raises(ValueError):
+            TechRules(via_pad_diameter=30.0, via_drill_diameter=37.0)
+
+    def test_rejects_pitch_smaller_than_pad(self):
+        with pytest.raises(ValueError):
+            TechRules(via_pitch=50.0)
+
+
+class TestLogicFamily:
+    def test_ecl_needs_termination_and_order(self):
+        assert LogicFamily.ECL.needs_termination
+        assert LogicFamily.ECL.order_matters
+
+    def test_ttl_is_free_form(self):
+        assert not LogicFamily.TTL.needs_termination
+        assert not LogicFamily.TTL.order_matters

@@ -1,0 +1,142 @@
+"""Unit tests for ECL/TTL tesselation separation (Section 10.2)."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.technology import LogicFamily
+from repro.channels.segment import FILL_OWNER
+from repro.channels.workspace import RoutingWorkspace
+from repro.extensions.tesselation import (
+    Tesselation,
+    Tile,
+    route_mixed,
+    split_tesselation,
+)
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box
+from repro.stringer import Stringer
+from repro.workloads.boards import BoardSpec, generate_board
+from repro.workloads.netlist_gen import NetlistSpec
+
+from tests.helpers import assert_workspace_consistent
+
+
+@pytest.fixture
+def mixed_board():
+    spec = BoardSpec(
+        name="mixed",
+        via_nx=40,
+        via_ny=40,
+        n_signal_layers=4,
+        netlist=NetlistSpec(
+            net_fraction=0.8,
+            mean_fanout=2.0,
+            locality=0.9,
+            local_radius=8,
+            family_split_column=20,
+            seed=3,
+        ),
+        seed=3,
+    )
+    return generate_board(spec)
+
+
+class TestSplitTesselation:
+    def test_tiles_cover_every_layer_twice(self):
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=4)
+        tess = split_tesselation(board, split_via_column=10)
+        assert len(tess.tiles) == 8
+        assert len(tess.tiles_for(LogicFamily.ECL)) == 4
+        assert len(tess.tiles_for(LogicFamily.TTL)) == 4
+
+    def test_tiles_partition_the_board(self):
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=2)
+        tess = split_tesselation(board, split_via_column=10)
+        for layer_index in range(2):
+            tiles = [t for t in tess.tiles if t.layer_index == layer_index]
+            total = sum(t.box.width * t.box.height for t in tiles)
+            assert total == board.grid.nx * board.grid.ny
+
+    def test_tiles_against(self):
+        board = Board.create(via_nx=20, via_ny=20, n_signal_layers=2)
+        tess = split_tesselation(board, split_via_column=10)
+        against_ecl = tess.tiles_against(LogicFamily.ECL)
+        assert all(t.family is LogicFamily.TTL for t in against_ecl)
+
+
+class TestFillSemantics:
+    def test_mixed_routing_fill_is_removed_afterwards(self, mixed_board):
+        conns = Stringer(mixed_board).string_all()
+        tess = split_tesselation(mixed_board, 20)
+        ws = RoutingWorkspace(mixed_board)
+        route_mixed(mixed_board, conns, tess, workspace=ws)
+        for layer in ws.layers:
+            for channel in layer.channels:
+                assert all(s.owner != FILL_OWNER for s in channel)
+        assert_workspace_consistent(ws)
+
+
+class TestRouteMixed:
+    def test_completes_both_families(self, mixed_board):
+        conns = Stringer(mixed_board).string_all()
+        families = {c.family for c in conns}
+        assert families == {LogicFamily.ECL, LogicFamily.TTL}
+        tess = split_tesselation(mixed_board, 20)
+        result = route_mixed(mixed_board, conns, tess)
+        assert result.complete
+        assert result.total_count == len(conns)
+
+    def test_traces_respect_their_tiles(self, mixed_board):
+        conns = Stringer(mixed_board).string_all()
+        tess = split_tesselation(mixed_board, 20)
+        ws = RoutingWorkspace(mixed_board)
+        result = route_mixed(mixed_board, conns, tess, workspace=ws)
+        split_gx = 20 * mixed_board.grid.grid_per_via
+        by_id = {c.conn_id: c for c in conns}
+        for conn_id, record in ws.records.items():
+            family = by_id[conn_id].family
+            for layer_index, channel, lo, hi in record.segments:
+                layer = ws.layers[layer_index]
+                for coord in (lo, hi):
+                    point = layer.cc_point(channel, coord)
+                    if family is LogicFamily.ECL:
+                        assert point.gx < split_gx, (
+                            f"ECL conn {conn_id} strays into TTL tiles"
+                        )
+                    else:
+                        assert point.gx >= split_gx, (
+                            f"TTL conn {conn_id} strays into ECL tiles"
+                        )
+
+    def test_summary(self, mixed_board):
+        conns = Stringer(mixed_board).string_all()
+        tess = split_tesselation(mixed_board, 20)
+        result = route_mixed(mixed_board, conns, tess)
+        summary = result.summary()
+        assert summary["routed"] == summary["connections"]
+        assert summary["ecl"] is not None
+        assert summary["ttl"] is not None
+
+    def test_single_family_board_single_pass(self):
+        spec = BoardSpec(
+            name="ecl_only",
+            via_nx=30,
+            via_ny=30,
+            n_signal_layers=4,
+            netlist=NetlistSpec(
+                net_fraction=0.5, mean_fanout=1.5, locality=0.9,
+                local_radius=8, ecl_fraction=1.0, seed=5,
+            ),
+            seed=5,
+        )
+        board = generate_board(spec)
+        conns = Stringer(board).string_all()
+        tess = Tesselation(
+            [
+                Tile(i, board.grid.bounds, LogicFamily.ECL)
+                for i in range(board.stack.n_signal)
+            ]
+        )
+        result = route_mixed(board, conns, tess)
+        assert LogicFamily.TTL not in result.by_family
+        assert result.complete

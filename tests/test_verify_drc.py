@@ -1,0 +1,91 @@
+"""Unit tests for the design-rule checker."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.parts import sip_package
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.stringer import Stringer
+from repro.verify import Severity, run_drc
+from repro.workloads import BoardSpec, generate_board
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=12, via_ny=10, n_signal_layers=2)
+
+
+class TestCleanBoards:
+    def test_empty_workspace_clean(self, board):
+        ws = RoutingWorkspace(board)
+        report = run_drc(board, ws)
+        assert report.clean
+        assert report.violations == []
+
+    def test_routed_board_clean(self):
+        board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+        connections = Stringer(board).string_all()
+        router = GreedyRouter(board)
+        result = router.route(connections)
+        assert result.complete
+        report = run_drc(board, router.workspace)
+        assert report.clean, [v.message for v in report.errors]
+
+
+class TestCorruptionDetected:
+    def test_overlapping_segments(self, board):
+        ws = RoutingWorkspace(board)
+        # Bypass the channel API to inject an overlap.
+        channel = ws.layers[0].channel(5)
+        channel._los.extend([3, 6])
+        channel._his.extend([8, 10])
+        channel._owners.extend([1, 2])
+        report = run_drc(board, ws)
+        assert any(v.rule == "segment-overlap" for v in report.errors)
+
+    def test_out_of_bounds_segment(self, board):
+        ws = RoutingWorkspace(board)
+        channel = ws.layers[0].channel(0)
+        channel._los.append(-5)
+        channel._his.append(2)
+        channel._owners.append(1)
+        report = run_drc(board, ws)
+        assert any(v.rule == "segment-out-of-bounds" for v in report.errors)
+
+    def test_via_map_desync(self, board):
+        ws = RoutingWorkspace(board)
+        ws.via_map.add_cover(ViaPoint(3, 3), owner=7)  # no backing segment
+        report = run_drc(board, ws)
+        assert any(v.rule == "via-map-count" for v in report.errors)
+
+    def test_uncovered_drill(self, board):
+        ws = RoutingWorkspace(board)
+        ws.via_map.drill(ViaPoint(3, 3), owner=7)  # no segments added
+        report = run_drc(board, ws)
+        assert any(v.rule == "via-uncovered" for v in report.errors)
+
+    def test_missing_pin(self, board):
+        board.add_part(sip_package(1), ViaPoint(4, 4))
+        ws = RoutingWorkspace(board, install_pins=False)
+        report = run_drc(board, ws)
+        assert any(v.rule == "pin-not-drilled" for v in report.errors)
+
+
+class TestWarnings:
+    def test_trace_over_free_via_site_warns(self, board):
+        ws = RoutingWorkspace(board)
+        # A trace along a via row covers several free via sites.
+        ws.add_segment(0, 0, 0, 12, owner=3)
+        report = run_drc(board, ws)
+        assert report.clean  # warnings do not fail DRC
+        assert any(
+            v.rule == "trace-over-via-site" for v in report.warnings
+        )
+
+    def test_track_channels_do_not_warn(self, board):
+        ws = RoutingWorkspace(board)
+        ws.add_segment(0, 1, 0, 12, owner=3)  # between via rows
+        report = run_drc(board, ws)
+        assert not report.warnings

@@ -1,0 +1,97 @@
+"""Unit tests for the via map (Section 4)."""
+
+import pytest
+
+from repro.channels.via_map import ViaMap
+from repro.grid.coords import ViaPoint
+
+
+@pytest.fixture
+def via_map():
+    return ViaMap(via_nx=8, via_ny=6, n_layers=4)
+
+
+V = ViaPoint(3, 2)
+
+
+class TestCounts:
+    def test_free_site_has_zero_count(self, via_map):
+        assert via_map.count(V) == 0
+        assert via_map.is_available(V)
+
+    def test_cover_increments(self, via_map):
+        via_map.add_cover(V, owner=1)
+        assert via_map.count(V) == 1
+
+    def test_used_via_counts_layers(self, via_map):
+        # "It will be equal to the number of signal layers for a used via."
+        for _ in range(4):
+            via_map.add_cover(V, owner=1)
+        assert via_map.count(V) == 4
+
+    def test_remove_restores_free(self, via_map):
+        via_map.add_cover(V, owner=1)
+        via_map.remove_cover(V, owner=1)
+        assert via_map.count(V) == 0
+        assert via_map.is_available(V)
+
+    def test_underflow_rejected(self, via_map):
+        with pytest.raises(ValueError):
+            via_map.remove_cover(V, owner=1)
+
+
+class TestAvailability:
+    def test_unavailable_when_covered_by_other(self, via_map):
+        via_map.add_cover(V, owner=1)
+        assert not via_map.is_available(V, passable=frozenset((2,)))
+
+    def test_available_to_sole_owner(self, via_map):
+        via_map.add_cover(V, owner=1)
+        via_map.add_cover(V, owner=1)
+        assert via_map.is_available(V, passable=frozenset((1,)))
+
+    def test_mixed_owners_block_everyone(self, via_map):
+        via_map.add_cover(V, owner=1)
+        via_map.add_cover(V, owner=2)
+        assert not via_map.is_available(V, passable=frozenset((1,)))
+        assert not via_map.is_available(V, passable=frozenset((1, 2)))
+
+    def test_mixed_recomputed_on_remove(self, via_map):
+        via_map.add_cover(V, owner=1)
+        via_map.add_cover(V, owner=2)
+        via_map.remove_cover(V, owner=2, recompute_owners=lambda v: {1})
+        assert via_map.is_available(V, passable=frozenset((1,)))
+
+    def test_mixed_stays_conservative_without_recompute(self, via_map):
+        via_map.add_cover(V, owner=1)
+        via_map.add_cover(V, owner=2)
+        via_map.remove_cover(V, owner=2)
+        assert not via_map.is_available(V, passable=frozenset((1,)))
+
+
+class TestDrill:
+    def test_drill_and_owner(self, via_map):
+        via_map.drill(V, owner=7)
+        assert via_map.is_drilled(V)
+        assert via_map.drilled_owner(V) == 7
+        assert via_map.used_via_count() == 1
+
+    def test_double_drill_rejected(self, via_map):
+        via_map.drill(V, owner=7)
+        with pytest.raises(ValueError):
+            via_map.drill(V, owner=8)
+
+    def test_undrill_owner_checked(self, via_map):
+        via_map.drill(V, owner=7)
+        with pytest.raises(ValueError):
+            via_map.undrill(V, owner=8)
+        via_map.undrill(V, owner=7)
+        assert not via_map.is_drilled(V)
+
+    def test_drilled_sites_snapshot(self, via_map):
+        via_map.drill(ViaPoint(0, 0), owner=1)
+        via_map.drill(ViaPoint(1, 1), owner=-5)
+        sites = via_map.drilled_sites()
+        assert sites == {ViaPoint(0, 0): 1, ViaPoint(1, 1): -5}
+        sites.clear()
+        assert via_map.used_via_count() == 2  # snapshot is a copy

@@ -1,0 +1,148 @@
+"""Unit tests for the ASCII and PPM renderers."""
+
+import os
+
+import pytest
+
+from repro.core.router import GreedyRouter
+from repro.extensions.power_plane import generate_power_plane
+from repro.stringer import Stringer
+from repro.viz import (
+    render_all_layers,
+    render_layer,
+    render_postprocessed_layer,
+    render_power_plane,
+    render_problem,
+    render_signal_layer,
+    render_via_map,
+    write_ppm,
+)
+from repro.viz.ppm import Canvas
+from repro.workloads import BoardSpec, generate_board
+
+
+@pytest.fixture(scope="module")
+def routed():
+    board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))
+    conns = Stringer(board).string_all()
+    router = GreedyRouter(board)
+    result = router.route(conns)
+    return board, conns, router.workspace, result
+
+
+class TestAscii:
+    def test_layer_dimensions(self, routed):
+        board, _, ws, _ = routed
+        text = render_layer(ws, 0)
+        lines = text.splitlines()
+        assert len(lines) == board.grid.ny
+        assert len(lines[0]) == board.grid.nx
+
+    def test_layer_characters(self, routed):
+        _, _, ws, _ = routed
+        text = render_layer(ws, 0)
+        assert "O" in text  # pins
+        assert "-" in text  # horizontal traces
+        vertical = render_layer(ws, 1)
+        assert "|" in vertical
+
+    def test_box_clipping(self, routed):
+        from repro.grid.geometry import Box
+
+        _, _, ws, _ = routed
+        text = render_layer(ws, 0, Box(0, 0, 9, 4))
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert len(lines[0]) == 10
+
+    def test_via_map_digits(self, routed):
+        board, _, ws, _ = routed
+        text = render_via_map(ws)
+        lines = text.splitlines()
+        assert len(lines) == board.grid.via_ny
+        used = sum(1 for ch in text if ch.isdigit())
+        assert used >= len(board.pins)
+
+
+class TestCanvas:
+    def test_line_endpoints_painted(self):
+        canvas = Canvas(10, 10)
+        canvas.draw_line(1, 1, 8, 8, (0, 0, 0))
+        assert tuple(canvas.pixels[1, 1]) == (0, 0, 0)
+        assert tuple(canvas.pixels[8, 8]) == (0, 0, 0)
+
+    def test_disk_radius(self):
+        canvas = Canvas(20, 20)
+        canvas.draw_disk(10, 10, 3.0, (0, 0, 0))
+        assert tuple(canvas.pixels[10, 13]) == (0, 0, 0)
+        assert tuple(canvas.pixels[10, 14]) == (255, 255, 255)
+
+    def test_ring_has_hole(self):
+        canvas = Canvas(20, 20)
+        canvas.draw_ring(10, 10, 6.0, 2.0, (0, 0, 0))
+        assert tuple(canvas.pixels[10, 16]) == (0, 0, 0)
+        assert tuple(canvas.pixels[10, 10]) == (255, 255, 255)
+
+    def test_clipping_out_of_bounds(self):
+        canvas = Canvas(5, 5)
+        canvas.draw_disk(-10, -10, 3.0, (0, 0, 0))
+        canvas.draw_line(-5, 0, 20, 0, (0, 0, 0))
+        # No exception, and the in-bounds stretch of the line is painted.
+        assert tuple(canvas.pixels[0, 2]) == (0, 0, 0)
+
+
+class TestPpmFiles:
+    def test_write_ppm_header(self, tmp_path):
+        canvas = Canvas(7, 5)
+        path = str(tmp_path / "x.ppm")
+        write_ppm(canvas, path)
+        with open(path, "rb") as f:
+            data = f.read()
+        assert data.startswith(b"P6\n7 5\n255\n")
+        assert len(data) == len(b"P6\n7 5\n255\n") + 7 * 5 * 3
+
+    def test_figure_20_problem(self, routed, tmp_path):
+        board, conns, _, _ = routed
+        path = str(tmp_path / "fig20.ppm")
+        render_problem(board, conns, path=path)
+        assert os.path.getsize(path) > 100
+
+    def test_figure_21_signal_layer(self, routed, tmp_path):
+        board, _, ws, _ = routed
+        path = str(tmp_path / "fig21.ppm")
+        canvas = render_signal_layer(board, ws, 0, path=path)
+        # Some copper must have been drawn.
+        assert (canvas.pixels == 0).any()
+
+    def test_composite_all_layers(self, routed, tmp_path):
+        board, _, ws, _ = routed
+        path = str(tmp_path / "stack.ppm")
+        canvas = render_all_layers(board, ws, path=path)
+        # At least two distinct layer colors must appear.
+        from repro.viz.ppm import LAYER_COLORS
+        import numpy as np
+
+        present = 0
+        for color in LAYER_COLORS[: ws.n_layers]:
+            if (canvas.pixels == np.array(color, dtype=np.uint8)).all(
+                axis=-1
+            ).any():
+                present += 1
+        assert present >= 2
+        assert os.path.exists(path)
+
+    def test_postprocessed_layer(self, routed, tmp_path):
+        board, _, ws, _ = routed
+        path = str(tmp_path / "fig21b.ppm")
+        canvas = render_postprocessed_layer(board, ws, 0, path=path)
+        assert (canvas.pixels == 0).any()
+        assert os.path.exists(path)
+
+    def test_figure_22_power_plane(self, routed, tmp_path):
+        board, _, ws, _ = routed
+        net = board.power_nets[0]
+        pattern = generate_power_plane(board, ws, net.net_id)
+        path = str(tmp_path / "fig22.ppm")
+        canvas = render_power_plane(board, pattern, path=path)
+        assert (canvas.pixels == 0).any()
+        assert os.path.exists(path)

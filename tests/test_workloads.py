@@ -1,0 +1,137 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.board.nets import NetKind
+from repro.board.parts import PinRole
+from repro.board.technology import LogicFamily
+from repro.grid.coords import manhattan
+from repro.workloads import (
+    TITAN_CONFIGS,
+    BoardSpec,
+    generate_board,
+    make_titan_board,
+)
+from repro.workloads.netlist_gen import NetlistSpec
+
+
+class TestGenerateBoard:
+    def test_parts_placed(self):
+        board = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=1))
+        assert len(board.parts) > 0
+        ics = [p for p in board.parts if p.package.name.startswith("dip")]
+        sips = [p for p in board.parts if p.package.name.startswith("sip")]
+        assert ics and sips
+
+    def test_deterministic_for_seed(self):
+        spec = BoardSpec(via_nx=40, via_ny=40, seed=7)
+        b1 = generate_board(spec)
+        b2 = generate_board(spec)
+        assert [tuple(p.origin) for p in b1.parts] == [
+            tuple(p.origin) for p in b2.parts
+        ]
+        assert [n.pin_ids for n in b1.nets] == [n.pin_ids for n in b2.nets]
+
+    def test_different_seeds_differ(self):
+        b1 = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=1))
+        b2 = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=2))
+        assert [n.pin_ids for n in b1.nets] != [n.pin_ids for n in b2.nets]
+
+    def test_roles_present(self):
+        board = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=1))
+        roles = {p.role for p in board.pins}
+        assert PinRole.OUTPUT in roles
+        assert PinRole.INPUT in roles
+        assert PinRole.TERMINATOR in roles
+        assert PinRole.POWER in roles
+
+    def test_power_nets_bound(self):
+        board = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=1))
+        assert len(board.power_nets) >= 1
+        power_pins = {
+            pin_id for net in board.power_nets for pin_id in net.pin_ids
+        }
+        assert all(
+            board.pins[p].role is PinRole.POWER for p in power_pins
+        )
+
+    def test_every_signal_net_has_driver(self):
+        board = generate_board(BoardSpec(via_nx=40, via_ny=40, seed=1))
+        for net in board.signal_nets:
+            roles = [board.pins[p].role for p in net.pin_ids]
+            assert roles.count(PinRole.OUTPUT) == 1
+
+    def test_locality_shortens_nets(self):
+        def total_span(locality):
+            spec = BoardSpec(
+                via_nx=48,
+                via_ny=48,
+                seed=3,
+                netlist=NetlistSpec(
+                    locality=locality, local_radius=8, seed=3
+                ),
+            )
+            board = generate_board(spec)
+            spans = []
+            for net in board.signal_nets:
+                pins = [board.pins[p].position for p in net.pin_ids]
+                driver = pins[0]
+                spans.extend(manhattan(driver, p) for p in pins[1:])
+            return sum(spans) / max(len(spans), 1)
+
+        assert total_span(0.95) < total_span(0.05)
+
+    def test_family_split(self):
+        spec = BoardSpec(
+            via_nx=40,
+            via_ny=40,
+            seed=2,
+            netlist=NetlistSpec(family_split_column=20, seed=2),
+        )
+        board = generate_board(spec)
+        for net in board.signal_nets:
+            positions = [board.pins[p].position for p in net.pin_ids]
+            driver = positions[0]
+            expected = (
+                LogicFamily.ECL if driver.vx < 20 else LogicFamily.TTL
+            )
+            assert net.family is expected
+            # Receivers stay in the driver's half.
+            assert all((p.vx < 20) == (driver.vx < 20) for p in positions)
+
+
+class TestTitanConfigs:
+    def test_all_nine_rows_present(self):
+        assert len(TITAN_CONFIGS) == 9
+        assert set(TITAN_CONFIGS) == {
+            "kdj11_2l", "nmc_4l", "dpath", "coproc", "kdj11_4l",
+            "icache", "nmc_6l", "dcache", "tna",
+        }
+
+    def test_paper_rows_recorded(self):
+        coproc = TITAN_CONFIGS["coproc"].paper
+        assert coproc.layers == 6
+        assert coproc.connections == 5937
+        assert coproc.percent_chan == 40.5
+        assert TITAN_CONFIGS["kdj11_2l"].paper.failed
+
+    def test_layer_pairs_share_problem(self):
+        # kdj11 and nmc appear twice with different layer counts but the
+        # same generator knobs (the paper routes the same problem).
+        k2, k4 = TITAN_CONFIGS["kdj11_2l"], TITAN_CONFIGS["kdj11_4l"]
+        assert (k2.net_fraction, k2.mean_fanout, k2.locality) == (
+            k4.net_fraction, k4.mean_fanout, k4.locality
+        )
+        assert k2.paper.layers == 2 and k4.paper.layers == 4
+
+    def test_make_titan_board(self):
+        board = make_titan_board("tna", scale=0.25, seed=1)
+        assert board.name == "tna"
+        assert board.stack.n_signal == 6
+        assert len(board.pins) > 100
+
+    def test_scale_controls_size(self):
+        small = make_titan_board("coproc", scale=0.2, seed=1)
+        large = make_titan_board("coproc", scale=0.35, seed=1)
+        assert large.grid.via_nx > small.grid.via_nx
+        assert len(large.pins) > len(small.pins)

@@ -1,0 +1,188 @@
+"""Unit tests for the routing workspace: coherent channel/via-map state."""
+
+import pytest
+
+from repro.board.board import Board
+from repro.board.parts import PinRole, sip_package
+from repro.channels.channel import ChannelConflictError
+from repro.channels.segment import FILL_OWNER
+from repro.channels.workspace import RoutingWorkspace
+from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.geometry import Box
+
+from tests.helpers import assert_workspace_consistent
+
+
+@pytest.fixture
+def board():
+    return Board.create(via_nx=10, via_ny=8, n_signal_layers=4)
+
+
+@pytest.fixture
+def ws(board):
+    return RoutingWorkspace(board)
+
+
+class TestPins:
+    def test_pins_drilled_on_all_layers(self, board):
+        part = board.add_part(sip_package(2), ViaPoint(2, 3))
+        ws = RoutingWorkspace(board)
+        for pin in part.pins:
+            assert ws.via_map.is_drilled(pin.position)
+            assert ws.via_map.count(pin.position) == ws.n_layers
+            assert ws.via_map.drilled_owner(pin.position) == pin.owner_token
+        assert_workspace_consistent(ws)
+
+    def test_pin_blocks_every_layer(self, board):
+        board.add_part(sip_package(1), ViaPoint(2, 3))
+        ws = RoutingWorkspace(board)
+        point = ws.grid.via_to_grid(ViaPoint(2, 3))
+        for layer in ws.layers:
+            assert layer.owner_at(point) is not None
+
+
+class TestSegments:
+    def test_add_segment_updates_via_map(self, ws):
+        # Channel 0 of layer 0 (horizontal, row gy=0) covers via row 0.
+        ws.add_segment(0, 0, 0, 8, owner=3)
+        assert ws.via_map.count(ViaPoint(0, 0)) == 1
+        assert ws.via_map.count(ViaPoint(2, 0)) == 1
+        assert ws.via_map.count(ViaPoint(3, 0)) == 0
+
+    def test_track_channels_do_not_touch_via_map(self, ws):
+        ws.add_segment(0, 1, 0, 20, owner=3)
+        assert ws.via_map.count(ViaPoint(0, 0)) == 0
+
+    def test_remove_segment_reverts(self, ws):
+        ws.add_segment(0, 0, 0, 8, owner=3)
+        ws.remove_segment(0, 0, 0, 8, owner=3)
+        assert ws.via_map.count(ViaPoint(0, 0)) == 0
+        assert_workspace_consistent(ws)
+
+    def test_owners_covering(self, ws):
+        ws.add_segment(0, 0, 0, 8, owner=3)
+        ws.add_segment(1, 0, 0, 8, owner=4)  # vertical layer channel gx=0
+        assert ws.owners_covering(ViaPoint(0, 0)) == {3, 4}
+
+
+class TestVias:
+    def test_drill_via_covers_all_layers(self, ws):
+        installed = ws.drill_via(ViaPoint(4, 4), owner=9)
+        assert len(installed) == ws.n_layers
+        assert ws.via_map.count(ViaPoint(4, 4)) == ws.n_layers
+        assert ws.via_map.drilled_owner(ViaPoint(4, 4)) == 9
+        assert_workspace_consistent(ws)
+
+    def test_drill_conflict_rolls_back(self, ws):
+        # Block the site on one layer with another owner's trace.
+        ws.add_segment(2, 12, 10, 14, owner=5)  # layer 2 horizontal, gy=12
+        with pytest.raises(ChannelConflictError):
+            ws.drill_via(ViaPoint(4, 4), owner=9)
+        # Nothing from the failed drill may remain.
+        assert ws.via_map.count(ViaPoint(4, 4)) == 1  # just the blocker
+        assert not ws.via_map.is_drilled(ViaPoint(4, 4))
+        assert_workspace_consistent(ws)
+
+    def test_remove_via(self, ws):
+        ws.drill_via(ViaPoint(4, 4), owner=9)
+        ws.remove_via(ViaPoint(4, 4), owner=9)
+        assert ws.via_map.count(ViaPoint(4, 4)) == 0
+        assert not ws.via_map.is_drilled(ViaPoint(4, 4))
+
+
+class TestRouteBuilder:
+    def test_commit_records_route(self, ws):
+        builder = ws.route_builder(7)
+        builder.add_link(0, GridPoint(0, 0), GridPoint(9, 0), [(0, 0, 9)])
+        record = builder.commit()
+        assert ws.is_routed(7)
+        assert record.wire_length == 9
+        assert record.segments == [(0, 0, 0, 9)]
+
+    def test_abort_rolls_back(self, ws):
+        builder = ws.route_builder(7)
+        builder.add_link(0, GridPoint(0, 0), GridPoint(9, 0), [(0, 0, 9)])
+        builder.drill(ViaPoint(3, 0))
+        builder.abort()
+        assert not ws.is_routed(7)
+        assert ws.via_map.count(ViaPoint(0, 0)) == 0
+        assert not ws.via_map.is_drilled(ViaPoint(3, 0))
+        assert_workspace_consistent(ws)
+
+    def test_drill_reuse_is_noop(self, ws):
+        builder = ws.route_builder(7)
+        builder.drill(ViaPoint(3, 0))
+        builder.drill(ViaPoint(3, 0))
+        record = builder.commit()
+        assert record.vias == [ViaPoint(3, 0)]
+
+    def test_double_commit_rejected(self, ws):
+        builder = ws.route_builder(7)
+        builder.commit()
+        with pytest.raises(ValueError):
+            ws.route_builder(7).commit()
+
+
+class TestRemoveRestore:
+    def _route(self, ws, conn_id, row):
+        builder = ws.route_builder(conn_id)
+        builder.add_link(
+            0, GridPoint(0, row), GridPoint(9, row), [(row, 0, 9)]
+        )
+        builder.drill(ViaPoint(2, row // 3))
+        return builder.commit()
+
+    def test_remove_connection_clears_everything(self, ws):
+        self._route(ws, 5, row=0)
+        record = ws.remove_connection(5)
+        assert not ws.is_routed(5)
+        assert ws.via_map.count(ViaPoint(0, 0)) == 0
+        assert record.conn_id == 5
+        assert_workspace_consistent(ws)
+
+    def test_restore_record_exact(self, ws):
+        self._route(ws, 5, row=0)
+        record = ws.remove_connection(5)
+        assert ws.restore_record(record)
+        assert ws.is_routed(5)
+        assert ws.via_map.is_drilled(ViaPoint(2, 0))
+        assert_workspace_consistent(ws)
+
+    def test_restore_fails_when_blocked(self, ws):
+        self._route(ws, 5, row=0)
+        record = ws.remove_connection(5)
+        ws.add_segment(0, 0, 4, 5, owner=6)  # someone took the corridor
+        assert not ws.restore_record(record)
+        assert not ws.is_routed(5)
+        # Failed restore must leave no residue.
+        assert ws.via_map.count(ViaPoint(2, 0)) == 0
+        assert_workspace_consistent(ws)
+
+
+class TestFill:
+    def test_fill_blocks_free_space_only(self, board):
+        board.add_part(sip_package(1), ViaPoint(1, 1))
+        ws = RoutingWorkspace(board)
+        record = ws.fill_free_space(0, Box(0, 0, 8, 8))
+        point = GridPoint(5, 5)
+        assert ws.layers[0].owner_at(point) == FILL_OWNER
+        pin_point = ws.grid.via_to_grid(ViaPoint(1, 1))
+        assert ws.layers[0].owner_at(pin_point) != FILL_OWNER
+
+    def test_unfill_restores(self, ws):
+        before = ws.used_cells()
+        record = ws.fill_free_space(1, Box(0, 0, 27, 21))
+        assert ws.used_cells() > before
+        ws.unfill(record)
+        assert ws.used_cells() == before
+        assert_workspace_consistent(ws)
+
+    def test_fill_blocks_vias(self, ws):
+        ws.fill_free_space(0, Box(0, 0, 27, 21))
+        assert not ws.via_map.is_available(ViaPoint(4, 4))
+
+
+class TestMetrics:
+    def test_channel_supply(self, ws):
+        grid = ws.grid
+        assert ws.channel_supply() == 4 * grid.nx * grid.ny

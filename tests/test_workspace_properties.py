@@ -1,0 +1,151 @@
+"""Property-based fuzz of workspace mutations: the via map never drifts.
+
+Random interleavings of segment adds/removes, via drills/undrills, fills
+and unfills must leave the via map exactly equal to a recount of the
+layers — the coherence the paper's Section 4 design depends on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board.board import Board
+from repro.channels.channel import ChannelConflictError
+from repro.channels.workspace import RoutingWorkspace
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Box
+
+from tests.helpers import assert_workspace_consistent
+
+VIA_N = 5
+
+operation = st.one_of(
+    st.tuples(
+        st.just("seg"),
+        st.integers(0, 1),    # layer
+        st.integers(0, 12),   # channel
+        st.integers(0, 12),   # lo
+        st.integers(1, 5),    # length
+        st.integers(0, 3),    # owner
+    ),
+    st.tuples(
+        st.just("via"),
+        st.integers(0, VIA_N - 1),
+        st.integers(0, VIA_N - 1),
+        st.integers(0, 3),
+    ),
+    st.tuples(
+        st.just("fill"),
+        st.integers(0, 1),
+        st.integers(0, 10),
+        st.integers(0, 10),
+    ),
+)
+
+
+@given(st.lists(operation, min_size=1, max_size=30), st.randoms())
+@settings(max_examples=100, deadline=None)
+def test_via_map_never_drifts(ops, rng):
+    board = Board.create(via_nx=VIA_N, via_ny=VIA_N, n_signal_layers=2)
+    ws = RoutingWorkspace(board)
+    installed: List[tuple] = []   # ("seg", layer, channel, lo, hi, owner)
+    drilled: List[tuple] = []     # (via, owner)
+    fills: List[object] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "seg":
+            _, layer_index, channel, lo, length, owner = op
+            layer = ws.layers[layer_index]
+            if channel >= layer.n_channels:
+                continue
+            hi = min(lo + length - 1, layer.channel_length - 1)
+            if lo > hi:
+                continue
+            try:
+                pieces = ws.add_segment(layer_index, channel, lo, hi, owner)
+                installed.extend(pieces)
+            except ChannelConflictError:
+                pass
+        elif kind == "via":
+            _, vx, vy, owner = op
+            via = ViaPoint(vx, vy)
+            if ws.via_map.is_drilled(via):
+                continue
+            try:
+                pieces = ws.drill_via(via, owner)
+                drilled.append((via, owner))
+                installed.extend(pieces)
+            except ChannelConflictError:
+                pass
+        else:
+            _, layer_index, x, y = op
+            record = ws.fill_free_space(
+                layer_index, Box(x, y, x + 6, y + 6)
+            )
+            fills.append(record)
+        # Consistency must hold after *every* mutation, not just at the
+        # end — check at random points to keep the run fast.
+        if rng.random() < 0.2:
+            assert_workspace_consistent(ws)
+    assert_workspace_consistent(ws)
+    # Unwind everything; the workspace must return to pins-free state.
+    for record in fills:
+        ws.unfill(record)
+    assert_workspace_consistent(ws)
+
+
+@given(st.lists(operation, min_size=1, max_size=25))
+@settings(max_examples=80, deadline=None)
+def test_full_unwind_restores_empty_board(ops):
+    board = Board.create(via_nx=VIA_N, via_ny=VIA_N, n_signal_layers=2)
+    ws = RoutingWorkspace(board)
+    journal: List[tuple] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "seg":
+            _, layer_index, channel, lo, length, owner = op
+            layer = ws.layers[layer_index]
+            if channel >= layer.n_channels:
+                continue
+            hi = min(lo + length - 1, layer.channel_length - 1)
+            if lo > hi:
+                continue
+            try:
+                for piece in ws.add_segment(
+                    layer_index, channel, lo, hi, owner
+                ):
+                    journal.append(("seg", piece, owner))
+            except ChannelConflictError:
+                pass
+        elif kind == "via":
+            _, vx, vy, owner = op
+            via = ViaPoint(vx, vy)
+            if ws.via_map.is_drilled(via):
+                continue
+            try:
+                pieces = ws.drill_via(via, owner)
+                journal.append(("drill", via, owner, pieces))
+            except ChannelConflictError:
+                pass
+        else:
+            _, layer_index, x, y = op
+            record = ws.fill_free_space(layer_index, Box(x, y, x + 6, y + 6))
+            journal.append(("fill", record))
+    for entry in reversed(journal):
+        if entry[0] == "seg":
+            _, (layer_index, channel, lo, hi), owner = entry
+            ws.remove_segment(layer_index, channel, lo, hi, owner)
+        elif entry[0] == "drill":
+            _, via, owner, pieces = entry
+            ws.via_map.undrill(via, owner)
+            for layer_index, channel, lo, hi in pieces:
+                ws.remove_segment(layer_index, channel, lo, hi, owner)
+        else:
+            ws.unfill(entry[1])
+    assert ws.used_cells() == 0
+    assert ws.via_map.used_via_count() == 0
+    assert_workspace_consistent(ws)

@@ -12,14 +12,11 @@ generate-string-route-render pipeline for the coproc-style board.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.board.board import Board
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.router import GreedyRouter
 from repro.extensions.power_plane import generate_power_plane
-from repro.grid.coords import GridPoint
-from repro.grid.geometry import Box
 from repro.stringer import Stringer
 from repro.viz import (
     render_layer,

@@ -1,0 +1,225 @@
+"""P1 — Parallel wave routing: serial-vs-parallel wall time and parity.
+
+Runs the Table 1 suite (parity: with a fixed seed the parallel router
+must complete exactly the set of connections the serial router does, for
+every worker count) plus large locality-heavy boards (timing: the wave
+phase should approach the core count on hardware that has the cores).
+
+Results land in ``BENCH_parallel.json`` so CI can upload the perf
+trajectory from PR 1 onward.  Parity failures always exit non-zero;
+the wall-clock speedup assertion is opt-in (``--assert-speedup``)
+because it is meaningless on single-core runners — the JSON records the
+measured speedup and the core count either way.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py --out BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import repro  # noqa: F401 - probe whether src/ is importable
+except ImportError:  # direct script run without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.core.router import GreedyRouter, RouterConfig, make_router
+from repro.stringer import Stringer
+from repro.workloads import (
+    TITAN_CONFIGS,
+    BoardSpec,
+    NetlistSpec,
+    generate_board,
+    make_titan_board,
+)
+
+#: Scale of the Table 1 parity suite (matches bench_table1.py).
+SUITE_SCALE = 0.30
+
+#: Worker counts the parity criterion quantifies over.
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _titan_problem(name: str, scale: float) -> Callable:
+    def build() -> Tuple[Board, List[Connection]]:
+        board = make_titan_board(name, scale=scale, seed=1)
+        return board, Stringer(board).string_all()
+
+    return build
+
+
+def _local_problem(name: str, via_n: int, radius: int) -> Callable:
+    spec = BoardSpec(
+        name=name,
+        via_nx=via_n,
+        via_ny=via_n,
+        n_signal_layers=6,
+        netlist=NetlistSpec(locality=0.9, local_radius=radius, seed=7),
+        seed=7,
+    )
+
+    def build() -> Tuple[Board, List[Connection]]:
+        board = generate_board(spec)
+        return board, Stringer(board).string_all()
+
+    return build
+
+
+def suite_boards(smoke: bool) -> List[Tuple[str, Callable]]:
+    """(name, problem-builder) pairs; the last entry is the largest."""
+    boards = [
+        (name, _titan_problem(name, SUITE_SCALE)) for name in TITAN_CONFIGS
+    ]
+    boards.append(("wavelocal_120", _local_problem("wavelocal", 120, 10)))
+    if not smoke:
+        boards.append(("wavelocal_200", _local_problem("wavelocal", 200, 12)))
+    return boards
+
+
+def run_board(
+    name: str, build: Callable, worker_counts: Sequence[int]
+) -> Dict:
+    """Serial-vs-parallel comparison for one board."""
+    board, connections = build()
+    started = time.perf_counter()
+    serial_result = GreedyRouter(board).route(connections)
+    serial_seconds = time.perf_counter() - started
+    serial_completed = set(serial_result.routed_by)
+    row: Dict = {
+        "board": name,
+        "connections": len(connections),
+        "serial": {
+            "seconds": round(serial_seconds, 3),
+            "routed": len(serial_completed),
+            "complete": serial_result.complete,
+        },
+        "parallel": {},
+    }
+    for workers in worker_counts:
+        board_n, connections_n = build()
+        router = make_router(board_n, RouterConfig(workers=workers))
+        started = time.perf_counter()
+        result = router.route(connections_n)
+        seconds = time.perf_counter() - started
+        completed = set(result.routed_by)
+        row["parallel"][str(workers)] = {
+            "seconds": round(seconds, 3),
+            "routed": len(completed),
+            "complete": result.complete,
+            "waves": result.waves,
+            "demoted": result.demoted,
+            "fallback_serial": result.fallback_serial,
+            "parity": completed == serial_completed,
+            "speedup": round(serial_seconds / seconds, 3)
+            if seconds > 0
+            else None,
+        }
+    return row
+
+
+def run_benchmark(
+    smoke: bool = False,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+) -> Dict:
+    """The whole benchmark; returns the JSON-ready report dict."""
+    rows = []
+    for name, build in suite_boards(smoke):
+        row = run_board(name, build, worker_counts)
+        serial = row["serial"]
+        status = " ".join(
+            f"x{w}={p['seconds']}s"
+            f"{'' if p['parity'] else ' PARITY-MISMATCH'}"
+            for w, p in row["parallel"].items()
+        )
+        print(
+            f"{name:14s} conns={row['connections']:5d} "
+            f"serial={serial['seconds']}s {status}",
+            flush=True,
+        )
+        rows.append(row)
+    largest = rows[-1]
+    top_workers = str(max(worker_counts))
+    parity_all = all(
+        p["parity"] for row in rows for p in row["parallel"].values()
+    )
+    speedup = largest["parallel"][top_workers]["speedup"]
+    return {
+        "experiment": "parallel_wave_routing",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "affinity_count": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "suite_scale": SUITE_SCALE,
+        "worker_counts": list(worker_counts),
+        "boards": rows,
+        "summary": {
+            "parity_all": parity_all,
+            "largest_board": largest["board"],
+            "largest_serial_seconds": largest["serial"]["seconds"],
+            "largest_speedup_at_max_workers": speedup,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small boards only (the CI perf-smoke configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_parallel.json",
+        help="artifact path (default: BENCH_parallel.json)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless the largest board shows >= X speedup at the "
+        "highest worker count (only meaningful on multi-core hosts)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(smoke=args.smoke)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    summary = report["summary"]
+    print(
+        f"wrote {args.out}: largest={summary['largest_board']} "
+        f"speedup={summary['largest_speedup_at_max_workers']} "
+        f"parity_all={summary['parity_all']} "
+        f"(cores available: {report['affinity_count']})"
+    )
+    if not summary["parity_all"]:
+        print("FAIL: parallel/serial completion parity broken", file=sys.stderr)
+        return 1
+    if args.assert_speedup is not None:
+        measured = summary["largest_speedup_at_max_workers"]
+        if measured is None or measured < args.assert_speedup:
+            print(
+                f"FAIL: speedup {measured} < {args.assert_speedup}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import format_table, percent_chan, table1_row
+from repro.analysis import format_table, table1_row
 from repro.core.router import GreedyRouter
 from repro.workloads import TITAN_CONFIGS
 

@@ -9,7 +9,6 @@ EXPERIMENTS.md can be regenerated with a single command:
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest

@@ -15,12 +15,12 @@ number of free-space segments — the contrast measured by
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.board.nets import Connection
-from repro.channels.workspace import RouteRecord, RoutingWorkspace
-from repro.grid.coords import GridPoint, ViaPoint
+from repro.channels.workspace import RoutingWorkspace
+from repro.grid.coords import GridPoint
 from repro.grid.geometry import Orientation
 
 #: Search state: (layer index, gx, gy).

@@ -84,12 +84,12 @@ class LayerStack:
     @property
     def signal_layers(self) -> List[Layer]:
         """Signal layers in stack order."""
-        return [l for l in self.layers if l.kind is LayerKind.SIGNAL]
+        return [layer for layer in self.layers if layer.kind is LayerKind.SIGNAL]
 
     @property
     def power_layers(self) -> List[Layer]:
         """Power layers in stack order."""
-        return [l for l in self.layers if l.kind is LayerKind.POWER]
+        return [layer for layer in self.layers if layer.kind is LayerKind.POWER]
 
     @property
     def n_signal(self) -> int:
@@ -99,7 +99,7 @@ class LayerStack:
     def __post_init__(self) -> None:
         signal = self.signal_layers
         if len(signal) >= 2:
-            orientations = {l.orientation for l in signal}
+            orientations = {layer.orientation for layer in signal}
             if len(orientations) < 2:
                 raise ValueError(
                     "a multi-layer board needs both horizontal and vertical "
@@ -108,4 +108,4 @@ class LayerStack:
 
     def signal_by_orientation(self, orientation: Orientation) -> List[Layer]:
         """Signal layers with the given preferred orientation."""
-        return [l for l in self.signal_layers if l.orientation is orientation]
+        return [layer for layer in self.signal_layers if layer.orientation is orientation]

@@ -21,8 +21,31 @@ import numpy as np
 
 from repro.grid.coords import ViaPoint
 
+class _MixedMarker:
+    """Singleton marker that survives pickling with identity intact.
+
+    Workspace snapshots (:meth:`repro.channels.workspace.RoutingWorkspace.
+    snapshot`) round-trip the via map through pickle; ``is MIXED`` checks
+    must keep working in the copy, so the marker reduces to the module
+    singleton instead of a fresh anonymous object.
+    """
+
+    _instance: Optional["_MixedMarker"] = None
+
+    def __new__(cls) -> "_MixedMarker":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_MixedMarker, ())
+
+    def __repr__(self) -> str:
+        return "MIXED"
+
+
 #: Marker meaning segments from more than one owner cover the site.
-MIXED = object()
+MIXED = _MixedMarker()
 
 
 class ViaMap:

@@ -8,8 +8,10 @@ rip-up, putback and length tuning.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Set, Tuple
 
 from repro.board.board import Board
 from repro.channels.channel import Channel, ChannelConflictError
@@ -236,6 +238,72 @@ class RoutingWorkspace:
             self.via_map.drill(via, conn)
         self.commit_record(record)
         return True
+
+    # ------------------------------------------------------------------
+    # snapshot / merge (parallel wave routing)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> "RoutingWorkspace":
+        """An independent deep copy of the whole workspace.
+
+        Parallel workers route against a snapshot while the master stays
+        untouched; their :class:`RouteRecord` results are merged back with
+        :meth:`apply_record`.  The copy is made with pickle (everything the
+        workspace holds is plain data), so it is also exactly what a
+        ``spawn``-based worker receives on the wire.  Fork-based pools get
+        the copy for free from the OS and never call this.
+        """
+        return pickle.loads(pickle.dumps(self, pickle.HIGHEST_PROTOCOL))
+
+    def apply_record(self, record: RouteRecord) -> bool:
+        """Merge a route produced against a snapshot into this workspace.
+
+        Deterministic conflict detection for wave merging: the record is
+        installed if and only if every segment and via it claims is still
+        free here; otherwise the workspace is left untouched and False is
+        returned (the caller demotes the connection to a later wave).  A
+        connection that is already routed is a conflict by definition.
+        """
+        if record.conn_id in self.records:
+            return False
+        return self.restore_record(record)
+
+    def canonical_state(self) -> Tuple:
+        """Order-independent value equal for equal wiring states.
+
+        Two workspaces that hold the same installed segments, drilled vias
+        and route records compare equal regardless of the order mutations
+        were applied in — the merge tests use this to check that snapshot →
+        route → merge leaves the master identical to routing serially.
+        """
+        layers = tuple(
+            tuple(
+                sorted(
+                    (ci, seg.lo, seg.hi, seg.owner)
+                    for ci, channel in enumerate(layer.channels)
+                    for seg in channel
+                )
+            )
+            for layer in self.layers
+        )
+        vias = tuple(sorted(self.via_map.drilled_sites().items()))
+        records = tuple(
+            sorted(
+                (
+                    conn_id,
+                    tuple(sorted(rec.segments)),
+                    tuple(sorted(rec.vias)),
+                )
+                for conn_id, rec in self.records.items()
+            )
+        )
+        return (layers, vias, records)
+
+    def state_digest(self) -> str:
+        """Stable hex digest of :meth:`canonical_state` (for artifacts)."""
+        return hashlib.sha256(
+            repr(self.canonical_state()).encode()
+        ).hexdigest()
 
     # ------------------------------------------------------------------
     # tesselation fill (Section 10.2)

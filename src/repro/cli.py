@@ -21,7 +21,7 @@ from typing import List, Optional
 
 from repro.analysis import format_table, table1_row
 from repro.channels.workspace import RoutingWorkspace
-from repro.core.router import GreedyRouter, RouterConfig
+from repro.core.router import GreedyRouter, RouterConfig, make_router
 from repro.io import (
     load_routes,
     read_board,
@@ -61,9 +61,17 @@ def _cmd_route(args: argparse.Namespace) -> int:
         board = read_board(f)
     with open(args.connections) as f:
         connections = read_connections(f)
-    config = RouterConfig(radius=args.radius, cost=args.cost)
-    router = GreedyRouter(board, config)
+    config = RouterConfig(
+        radius=args.radius, cost=args.cost, workers=args.workers
+    )
+    router = make_router(board, config)
     result = router.route(connections)
+    if args.workers > 1:
+        print(
+            f"parallel: {args.workers} workers, {result.waves} waves, "
+            f"{result.demoted} demoted"
+            + (", serial fallback" if result.fallback_serial else "")
+        )
     with open(args.routes, "w") as f:
         save_routes(router.workspace, f)
     print(format_table([table1_row(board, connections, result)]))
@@ -179,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cost",
         default="distance_hops",
         choices=["unit", "distance", "distance_hops"],
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for parallel wave routing (1 = serial)",
     )
     p.set_defaults(func=_cmd_route)
 

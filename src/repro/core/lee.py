@@ -14,7 +14,7 @@ modifications from the paper:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -22,8 +22,8 @@ from repro.board.nets import Connection
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
 from repro.core.cost import CostFunction, distance_hops_cost
 from repro.core.single_layer import DEFAULT_MAX_GAPS, reachable_vias, trace
-from repro.grid.coords import GridPoint, ViaPoint
-from repro.grid.geometry import Box, Orientation
+from repro.grid.coords import ViaPoint
+from repro.grid.geometry import Orientation
 
 #: Per-side wavefront mark: (hops from source, parent via, layer index used).
 Mark = Tuple[int, Optional[ViaPoint], Optional[int]]

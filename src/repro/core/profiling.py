@@ -32,17 +32,44 @@ class RouterProfile:
     """Per-phase timing of a routing run."""
 
     phases: Dict[str, PhaseTiming] = field(default_factory=dict)
+    #: Live nesting depth per phase; only the outermost ``measure`` of a
+    #: phase accumulates wall time, so re-entrant calls don't double-count.
+    _depth: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @contextmanager
     def measure(self, phase: str) -> Iterator[None]:
-        """Time one call of a phase."""
+        """Time one call of a phase.
+
+        Re-entrant calls on the same phase count as calls but only the
+        outermost frame adds elapsed wall time — nested frames would
+        otherwise be counted twice (once themselves, once inside their
+        caller's interval).
+        """
         timing = self.phases.setdefault(phase, PhaseTiming())
         timing.calls += 1
+        depth = self._depth.get(phase, 0)
+        self._depth[phase] = depth + 1
         started = time.perf_counter()
         try:
             yield
         finally:
-            timing.seconds += time.perf_counter() - started
+            self._depth[phase] -= 1
+            if depth == 0:
+                timing.seconds += time.perf_counter() - started
+
+    def merge(self, other: "RouterProfile") -> "RouterProfile":
+        """Fold another profile's phases into this one (returns self).
+
+        Used by the parallel router to aggregate the per-worker profiles
+        returned from routing waves into the master profile.
+        """
+        for phase, timing in other.phases.items():
+            mine = self.phases.setdefault(phase, PhaseTiming())
+            mine.calls += timing.calls
+            mine.seconds += timing.seconds
+        return self
 
     @property
     def total_seconds(self) -> float:

@@ -34,6 +34,14 @@ class RoutingResult:
     passes: int = 0
     cpu_seconds: float = 0.0
     lee_expansions: int = 0
+    #: Parallel wave routing statistics (zero for serial runs).
+    waves: int = 0
+    #: Wave-routed connections whose merge collided with an earlier route
+    #: and were demoted to a later wave or the serial residue.
+    demoted: int = 0
+    #: True when the parallel pipeline came up short and the whole board
+    #: was re-routed serially from scratch (parity fallback).
+    fallback_serial: bool = False
 
     @property
     def routed_count(self) -> int:
@@ -113,4 +121,7 @@ class RoutingResult:
             "two_via": self.strategy_count(Strategy.TWO_VIA),
             "lee": self.strategy_count(Strategy.LEE),
             "putback": self.strategy_count(Strategy.PUTBACK),
+            "waves": self.waves,
+            "demoted": self.demoted,
+            "fallback_serial": self.fallback_serial,
         }

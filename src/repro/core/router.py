@@ -11,7 +11,7 @@ connections.  This stops infinite looping on impossible problems."
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.board.board import Board
@@ -22,7 +22,7 @@ from repro.core.lee import LeeSearchResult, lee_route
 from repro.core.optimal import try_one_via, try_two_via, try_zero_via
 from repro.core.profiling import RouterProfile
 from repro.core.result import RoutingResult, Strategy
-from repro.core.ripup import put_back, rip_up, select_victims
+from repro.core.ripup import rip_up, select_victims
 from repro.core.sorting import sort_connections
 from repro.grid.coords import ViaPoint
 
@@ -56,10 +56,22 @@ class RouterConfig:
     #: short stall lets pass N+1 profit from space freed by pass N's
     #: rip-ups before declaring the problem impossible.
     max_stalled_passes: int = 2
+    #: Worker processes for parallel wave routing.  1 keeps the classic
+    #: serial router; >1 makes :func:`make_router` return a
+    #: :class:`repro.parallel.ParallelRouter` that bulk-routes spatially
+    #: disjoint groups concurrently and repairs the remainder serially.
+    workers: int = 1
+    #: Parallel runs that end incomplete discard their attempt and
+    #: re-route the whole board serially, so an incomplete parallel
+    #: result is always exactly the serial result (pure-accelerator
+    #: guarantee).  Disable for ablation of the fallback cost.
+    parity_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.radius < 0:
             raise ValueError("radius must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
         if self.cost not in COST_FUNCTIONS:
             raise ValueError(
                 f"unknown cost function {self.cost!r}; "
@@ -70,6 +82,27 @@ class RouterConfig:
     def cost_fn(self) -> CostFunction:
         """The resolved wavefront cost function."""
         return COST_FUNCTIONS[self.cost]
+
+
+def make_router(
+    board: Board,
+    config: Optional[RouterConfig] = None,
+    workspace: Optional[RoutingWorkspace] = None,
+):
+    """Build the router the config asks for.
+
+    ``workers == 1`` (the default) gives the classic serial
+    :class:`GreedyRouter`; ``workers > 1`` gives the wave-parallel
+    :class:`repro.parallel.ParallelRouter`, which shares the same
+    ``route()`` contract.  The import is deferred because the parallel
+    package builds on this module.
+    """
+    cfg = config or RouterConfig()
+    if cfg.workers > 1:
+        from repro.parallel import ParallelRouter
+
+        return ParallelRouter(board, cfg, workspace)
+    return GreedyRouter(board, cfg, workspace)
 
 
 class GreedyRouter:

@@ -17,7 +17,7 @@ on-grid pin that the router treats like any through-hole pin.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.board.board import Board
 from repro.board.parts import Pin, PinRole, sip_package

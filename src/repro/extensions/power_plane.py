@@ -16,7 +16,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.board.board import Board
-from repro.board.parts import PinRole
 from repro.channels.workspace import RoutingWorkspace
 from repro.grid.coords import ViaPoint
 

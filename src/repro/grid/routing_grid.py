@@ -9,7 +9,7 @@ logically uniform: three routing steps per via pitch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.grid.coords import GRID_PER_VIA, GridPoint, ViaPoint

@@ -16,7 +16,7 @@ Roles: O=output, I=input, T=terminator, P=power, U=unused.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, TextIO, Union
+from typing import Dict, List, Sequence, TextIO
 
 from repro.board.board import Board
 from repro.board.nets import Connection, NetKind

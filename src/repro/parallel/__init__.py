@@ -1,0 +1,37 @@
+"""Parallel wave routing: partition, fan out, merge, repair serially.
+
+See :mod:`repro.parallel.router` for the pipeline and its determinism
+guarantees, and ``docs/ALGORITHMS.md`` ("Parallel wave routing") for the
+design rationale.
+"""
+
+from repro.parallel.merge import MergeOutcome, merge_wave
+from repro.parallel.partition import (
+    WAVE_SPECS,
+    StripSpec,
+    WaveGroup,
+    assign_strips,
+    connection_span,
+    routing_margin,
+    shard_round_robin,
+    strip_spec,
+)
+from repro.parallel.router import ParallelRouter
+from repro.parallel.worker import GroupResult, route_group_in, worker_config
+
+__all__ = [
+    "MergeOutcome",
+    "merge_wave",
+    "WAVE_SPECS",
+    "StripSpec",
+    "WaveGroup",
+    "assign_strips",
+    "connection_span",
+    "routing_margin",
+    "shard_round_robin",
+    "strip_spec",
+    "ParallelRouter",
+    "GroupResult",
+    "route_group_in",
+    "worker_config",
+]

@@ -1,0 +1,72 @@
+"""Deterministic merging of wave results into the master workspace.
+
+Groups are merged in strip order and, within a group, in routing order —
+a pure function of the partition plan, never of pool scheduling.  Each
+record is installed with :meth:`RoutingWorkspace.apply_record`, which
+checks every claimed segment and via against the master state; a record
+whose claims collide with an earlier-merged route (possible only when a
+Lee search escaped its strip) is rejected whole and its connection is
+demoted to the next wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.result import RoutingResult, Strategy
+
+from repro.parallel.worker import GroupResult
+
+
+@dataclass
+class MergeOutcome:
+    """What one wave's merge did to the master workspace."""
+
+    merged: int = 0
+    #: Connections whose record conflicted and must re-route later.
+    demoted: Set[int] = field(default_factory=set)
+    #: Connections the worker itself could not route without rip-up.
+    failed: Set[int] = field(default_factory=set)
+
+
+def merge_wave(
+    workspace: RoutingWorkspace,
+    group_results: Sequence[GroupResult],
+    result: RoutingResult,
+    rank: Optional[Dict[int, int]] = None,
+) -> MergeOutcome:
+    """Fold one wave's group results into the master workspace/result.
+
+    Without ``rank`` records merge group by group in strip order (strip
+    waves: groups are spatially disjoint, so cross-group order barely
+    matters).  With ``rank`` (connection id → priority), records from all
+    groups are interleaved and merged in that order — the speculative
+    wave uses the master's sorted routing order so that when two shards
+    did claim the same space, the connection the serial router would have
+    routed first wins and the other is demoted.
+    """
+    outcome = MergeOutcome()
+    ordered: List[GroupResult] = sorted(
+        group_results, key=lambda gr: gr.strip_index
+    )
+    merged_records: List[Tuple[RouteRecord, Strategy]] = []
+    for group in ordered:
+        for record in group.records:
+            merged_records.append(
+                (record, group.routed_by[record.conn_id])
+            )
+        outcome.failed.update(group.failed)
+        result.lee_expansions += group.lee_expansions
+    if rank is not None:
+        merged_records.sort(
+            key=lambda pair: rank.get(pair[0].conn_id, len(rank))
+        )
+    for record, strategy in merged_records:
+        if workspace.apply_record(record):
+            result.routed_by[record.conn_id] = strategy
+            outcome.merged += 1
+        else:
+            outcome.demoted.add(record.conn_id)
+    return outcome

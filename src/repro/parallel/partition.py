@@ -1,0 +1,139 @@
+"""Spatial partitioning of a connection list into parallel waves.
+
+The router's connection list is mostly spatially independent (Section 12:
+the Lee fallback for the last ~10% dominates CPU time, but the easy 90%
+touch disjoint regions of the board).  To route concurrently without
+locking, each wave slices the via grid into disjoint strips; a connection
+joins a strip's group only when its margin-expanded bounding box lies
+entirely inside the strip, so two groups of the same wave can never claim
+the same channel cell through the optimal (bounded-deviation) strategies.
+Lee routes may still wander outside the box; the merge step catches those
+with exact conflict detection and demotes the offenders.
+
+Successive waves rotate the slicing axis and offset the strip boundaries
+by half a strip, so connections straddling one wave's boundaries usually
+fit a later wave.  Whatever never fits any wave is routed serially by the
+residue phase.
+
+Everything here is deterministic: strip boundaries depend only on the
+board extent and worker count, group membership only on connection
+geometry, and group order only on the (already sorted) input order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.board.nets import Connection
+
+#: Axis ("x" or "y") and half-strip offset of each successive wave.
+WAVE_SPECS: Tuple[Tuple[str, bool], ...] = (
+    ("x", False),
+    ("y", False),
+    ("x", True),
+    ("y", True),
+)
+
+
+@dataclass(frozen=True)
+class StripSpec:
+    """One wave's slicing geometry."""
+
+    axis: str  #: "x" slices into vertical strips, "y" into horizontal.
+    offset: bool  #: Shift boundaries by half a strip width.
+    strips: int  #: Number of strips across the board.
+    width: int  #: Strip width in via cells.
+
+
+@dataclass
+class WaveGroup:
+    """The connections assigned to one strip of one wave."""
+
+    strip_index: int
+    connections: List[Connection] = field(default_factory=list)
+
+
+def connection_span(conn: Connection, margin: int) -> Tuple[int, int, int, int]:
+    """Margin-expanded via-grid bounding box (x_lo, y_lo, x_hi, y_hi)."""
+    x_lo = min(conn.a.vx, conn.b.vx) - margin
+    x_hi = max(conn.a.vx, conn.b.vx) + margin
+    y_lo = min(conn.a.vy, conn.b.vy) - margin
+    y_hi = max(conn.a.vy, conn.b.vy) + margin
+    return x_lo, y_lo, x_hi, y_hi
+
+
+def strip_spec(
+    axis: str, offset: bool, via_nx: int, via_ny: int, workers: int, margin: int
+) -> StripSpec:
+    """Choose the strip count/width for one wave.
+
+    One strip per worker, reduced until every strip is wide enough to hold
+    at least one margin-expanded connection (otherwise nothing would fit).
+    """
+    extent = via_nx if axis == "x" else via_ny
+    min_width = 2 * margin + 2
+    strips = max(1, workers)
+    while strips > 1 and extent // strips < min_width:
+        strips -= 1
+    return StripSpec(
+        axis=axis, offset=offset, strips=strips, width=max(extent // strips, 1)
+    )
+
+
+def assign_strips(
+    connections: Sequence[Connection], spec: StripSpec, margin: int
+) -> Tuple[List[WaveGroup], List[Connection]]:
+    """Split connections into per-strip groups plus boundary straddlers.
+
+    A connection joins strip ``k`` iff its expanded bounding box projects
+    entirely into strip ``k`` on the slicing axis; everything else is
+    returned as leftover for the next wave.  Groups preserve the input
+    order internally and are returned in strip order, so the whole
+    assignment is a pure function of the inputs.
+    """
+    shift = spec.width // 2 if spec.offset else 0
+    buckets: Dict[int, WaveGroup] = {}
+    leftover: List[Connection] = []
+    for conn in connections:
+        x_lo, y_lo, x_hi, y_hi = connection_span(conn, margin)
+        lo, hi = (x_lo, x_hi) if spec.axis == "x" else (y_lo, y_hi)
+        k_lo = (lo - shift) // spec.width
+        k_hi = (hi - shift) // spec.width
+        if k_lo == k_hi:
+            group = buckets.get(k_lo)
+            if group is None:
+                group = buckets[k_lo] = WaveGroup(strip_index=k_lo)
+            group.connections.append(conn)
+        else:
+            leftover.append(conn)
+    groups = [buckets[k] for k in sorted(buckets)]
+    return groups, leftover
+
+
+def shard_round_robin(
+    connections: Sequence[Connection], shards: int
+) -> List[WaveGroup]:
+    """Deal connections round-robin into ``shards`` groups.
+
+    Used for the speculative wave over the strip residue: the groups are
+    *not* spatially disjoint — correctness rests entirely on the merge
+    step's conflict detection — but each shard preserves the sorted order,
+    and shard membership depends only on list position, so the wave stays
+    deterministic.
+    """
+    groups = [WaveGroup(strip_index=i) for i in range(max(1, shards))]
+    for i, conn in enumerate(connections):
+        groups[i % len(groups)].connections.append(conn)
+    return [g for g in groups if g.connections]
+
+
+def routing_margin(radius: int, grid_per_via: int) -> int:
+    """Via-cell margin covering the optimal strategies' deviation.
+
+    The zero/one-via strategies move at most ``radius`` routing-grid
+    channels off the connection's bounding box (Section 8.1), and a via
+    drill claims one extra via cell; round the radius up to whole via
+    cells and add one for the drill neighborhood.
+    """
+    return 1 + (radius + grid_per_via - 1) // max(grid_per_via, 1)

@@ -1,0 +1,296 @@
+"""The parallel wave router: fan out, merge, repair serially.
+
+``ParallelRouter`` keeps the serial router's contract (``route()`` over a
+connection list, same :class:`RoutingResult`) but routes the bulk of the
+list in parallel waves (Ahrens et al., arXiv:2111.06169: bulk-route
+spatially disjoint nets concurrently, then serially repair the
+remainder):
+
+1. **Partition** — slice the board into disjoint strips and group the
+   still-unrouted connections whose margin-expanded bounding boxes fit a
+   strip (:mod:`repro.parallel.partition`).
+2. **Fan out** — route every group concurrently against a read-only
+   snapshot of the master workspace (:mod:`repro.parallel.worker`).
+3. **Merge** — install the returned records in deterministic strip order;
+   collisions are demoted to the next wave
+   (:mod:`repro.parallel.merge`).
+4. **Residue** — whatever never fit a strip, failed in a worker (rip-up
+   is disabled there) or kept colliding is routed by the unchanged serial
+   strategy stack, rip-up included, so completion can never regress.
+5. **Parity fallback** — if the board still ends incomplete, the parallel
+   attempt is discarded and the whole board is re-routed serially from
+   scratch: on boards the serial router cannot finish either, the
+   parallel router reproduces the serial result exactly, keeping
+   parallelism a pure accelerator rather than a quality change.
+
+Determinism: the partition is a pure function of board extent, worker
+count and connection geometry; workers are deterministic; each group
+routes against the wave-start snapshot in a fresh child
+(``maxtasksperchild=1``), so results do not depend on which worker a
+group lands on; and the merge order is fixed.  Hence the completed set
+depends only on the configuration, not on scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import List, Optional, Sequence
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.profiling import RouterProfile
+from repro.core.result import RoutingResult
+from repro.core.sorting import sort_connections
+
+from repro.parallel.merge import merge_wave
+from repro.parallel.partition import (
+    WAVE_SPECS,
+    WaveGroup,
+    assign_strips,
+    routing_margin,
+    shard_round_robin,
+    strip_spec,
+)
+from repro.parallel.worker import (
+    GroupResult,
+    child_main,
+    clear_parent_state,
+    route_group_in,
+    set_parent_state,
+    spawn_payload,
+    worker_config,
+)
+
+
+class ParallelRouter:
+    """Wave-parallel PCB router with a serial repair phase."""
+
+    def __init__(
+        self,
+        board: Board,
+        config=None,
+        workspace: Optional[RoutingWorkspace] = None,
+    ) -> None:
+        from repro.core.router import RouterConfig
+
+        self.board = board
+        self.config = config or RouterConfig(workers=2)
+        self.workspace = workspace or RoutingWorkspace(board)
+        self.profile = RouterProfile()
+
+    # ------------------------------------------------------------------
+    # wave execution
+    # ------------------------------------------------------------------
+
+    def _pool_context(self):
+        """Prefer fork (free copy-on-write snapshots) where available."""
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork"), True
+        return multiprocessing.get_context("spawn"), False
+
+    def _run_wave(
+        self, groups: List[WaveGroup], wave_cfg
+    ) -> List[GroupResult]:
+        """Route one wave's groups, one short-lived process per group.
+
+        At most ``workers`` children run at once; each routes exactly one
+        group against a pristine snapshot (fork copy-on-write, or the
+        pickled payload under spawn), so the outcome is independent of
+        scheduling order and worker count.  See the worker module for why
+        ``multiprocessing.Pool`` is not used here.
+        """
+        workers = min(max(1, self.config.workers), len(groups))
+        try:
+            return self._fan_out(groups, wave_cfg, workers)
+        except (OSError, PermissionError):
+            # No subprocesses available (restricted environments): route
+            # each group in-process against a private snapshot, which is
+            # behaviorally identical, just not concurrent.
+            return [
+                route_group_in(self.workspace.snapshot(), wave_cfg, group)
+                for group in groups
+            ]
+
+    def _fan_out(
+        self, groups: List[WaveGroup], wave_cfg, workers: int
+    ) -> List[GroupResult]:
+        """Launch/reap wave children with a bounded process slot count."""
+        ctx, forked = self._pool_context()
+        queue = ctx.SimpleQueue()
+        payload = None
+        if forked:
+            set_parent_state(self.workspace, wave_cfg)
+        else:
+            payload = spawn_payload(self.workspace.snapshot(), wave_cfg)
+        results: List[Optional[GroupResult]] = [None] * len(groups)
+        active = {}
+        next_index = 0
+        failure = None
+        try:
+            while next_index < len(groups) or active:
+                while (
+                    failure is None
+                    and next_index < len(groups)
+                    and len(active) < workers
+                ):
+                    proc = ctx.Process(
+                        target=child_main,
+                        args=(queue, next_index, groups[next_index], payload),
+                    )
+                    proc.start()
+                    active[next_index] = proc
+                    next_index += 1
+                if not active:
+                    break
+                index, result, error = queue.get()
+                active.pop(index).join()
+                if error is not None and failure is None:
+                    failure = error
+                results[index] = result
+        finally:
+            if forked:
+                clear_parent_state()
+            for proc in active.values():
+                proc.terminate()
+                proc.join()
+        if failure is not None:
+            raise RuntimeError(f"wave worker failed: {failure}")
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    # the route entry point
+    # ------------------------------------------------------------------
+
+    def route(self, connections: Sequence[Connection]) -> RoutingResult:
+        """Route a connection list; same contract as the serial router."""
+        from repro.core.router import GreedyRouter
+
+        started = time.perf_counter()
+        self.profile = RouterProfile()
+        cfg = self.config
+        ordered = (
+            sort_connections(connections) if cfg.sort else list(connections)
+        )
+        result = RoutingResult(
+            workspace=self.workspace, connections=list(connections)
+        )
+        ws = self.workspace
+        margin = routing_margin(cfg.radius, self.board.grid.grid_per_via)
+        wave_cfg = worker_config(cfg)
+        pending = [c for c in ordered if not ws.is_routed(c.conn_id)]
+
+        if cfg.workers > 1:
+            for axis, offset in WAVE_SPECS:
+                if not pending:
+                    break
+                with self.profile.measure("partition"):
+                    spec = strip_spec(
+                        axis,
+                        offset,
+                        self.board.grid.via_nx,
+                        self.board.grid.via_ny,
+                        cfg.workers,
+                        margin,
+                    )
+                    groups, leftover = assign_strips(pending, spec, margin)
+                if len(groups) < 2:
+                    # A single strip would just be serial routing with
+                    # pool overhead; leave the rest to the residue phase.
+                    continue
+                with self.profile.measure("wave"):
+                    group_results = self._run_wave(groups, wave_cfg)
+                for group_result in group_results:
+                    self.profile.merge(group_result.profile)
+                with self.profile.measure("merge"):
+                    outcome = merge_wave(ws, group_results, result)
+                result.waves += 1
+                result.demoted += len(outcome.demoted)
+                carry = {c.conn_id for c in leftover}
+                carry |= outcome.demoted | outcome.failed
+                pending = [
+                    c
+                    for c in pending
+                    if c.conn_id in carry and not ws.is_routed(c.conn_id)
+                ]
+
+        # Speculative wave: the strip residue is dominated by long
+        # connections whose bounding boxes never fit a strip — exactly
+        # the Lee-heavy tail worth parallelising.  Shard them round-robin
+        # with no disjointness guarantee and let the merge's conflict
+        # detection arbitrate: records merge in the master's sorted
+        # order, so contested space goes to the connection the serial
+        # router would have preferred, and the losers are demoted to the
+        # serial residue below.
+        if cfg.workers > 1 and len(pending) > cfg.workers:
+            with self.profile.measure("partition"):
+                groups = shard_round_robin(pending, cfg.workers)
+            if len(groups) >= 2:
+                with self.profile.measure("wave"):
+                    group_results = self._run_wave(groups, wave_cfg)
+                for group_result in group_results:
+                    self.profile.merge(group_result.profile)
+                with self.profile.measure("merge"):
+                    rank = {c.conn_id: i for i, c in enumerate(pending)}
+                    outcome = merge_wave(ws, group_results, result, rank)
+                result.waves += 1
+                result.demoted += len(outcome.demoted)
+                pending = [
+                    c for c in pending if not ws.is_routed(c.conn_id)
+                ]
+
+        # Serial residue: the unchanged strategy stack (rip-up included)
+        # over everything still unrouted, exactly as if those connections
+        # had reached the hard tail of a serial run.
+        serial = GreedyRouter(self.board, self._serial_config(), workspace=ws)
+        serial_result = serial.route(ordered)
+        self.profile.merge(serial.profile)
+        result.passes += serial_result.passes
+        result.rip_up_count += serial_result.rip_up_count
+        result.lee_expansions += serial_result.lee_expansions
+        result.routed_by.update(serial_result.routed_by)
+        # The residue's rip-ups may have removed wave-routed connections
+        # without restoring them; drop stale strategy entries.
+        result.routed_by = {
+            conn_id: strategy
+            for conn_id, strategy in result.routed_by.items()
+            if ws.is_routed(conn_id)
+        }
+        result.failed = [
+            c.conn_id for c in ordered if not ws.is_routed(c.conn_id)
+        ]
+
+        if result.failed and cfg.parity_fallback:
+            result = self._serial_fallback(connections, result)
+
+        result.cpu_seconds = time.perf_counter() - started
+        return result
+
+    def _serial_config(self):
+        """The config for serial phases (single worker, same knobs)."""
+        from dataclasses import replace
+
+        return replace(self.config, workers=1)
+
+    def _serial_fallback(
+        self, connections: Sequence[Connection], attempt: RoutingResult
+    ) -> RoutingResult:
+        """Discard the parallel attempt and re-route serially from scratch.
+
+        Reached only on boards the wave pipeline could not complete —
+        typically boards the serial router cannot complete either, where
+        reproducing the serial result exactly matters more than speed.
+        """
+        from repro.core.router import GreedyRouter
+
+        fresh = RoutingWorkspace(self.board)
+        serial = GreedyRouter(self.board, self._serial_config(), fresh)
+        result = serial.route(connections)
+        self.workspace = fresh
+        self.profile.merge(serial.profile)
+        result.waves = attempt.waves
+        result.demoted = attempt.demoted
+        result.fallback_serial = True
+        return result

@@ -1,0 +1,135 @@
+"""Worker-side routing of one wave group against a workspace snapshot.
+
+The fan-out protocol (one short-lived process per group, run by
+:meth:`repro.parallel.router.ParallelRouter._run_wave`):
+
+* **fork** (Linux, the fast path) — the parent stages the master
+  workspace and config in module globals and forks one child per group;
+  each child inherits a pristine copy-on-write snapshot for free, routes
+  its group, and sends the :class:`GroupResult` back over a queue.
+  Because every group gets its own fresh fork, results are independent
+  of scheduling and of the worker count.
+* **spawn** (everywhere else) — each child receives the pickled
+  ``(workspace, config)`` snapshot as an argument instead.
+
+A ``multiprocessing.Pool`` is deliberately not used: with
+``maxtasksperchild=1`` (needed for the pristine-snapshot guarantee) its
+worker-management thread polls on a ~0.1 s tick, which dwarfs the
+10–100 ms a typical wave group takes to route.
+
+Workers route with the optimal strategy stack plus Lee but with rip-up
+disabled: ripping up another group's (or an earlier wave's) routes inside
+a private snapshot could not be merged back coherently.  Connections that
+need rip-up fail fast here and fall through to the serial residue phase,
+exactly the paper's hard ~10%.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.profiling import RouterProfile
+from repro.core.result import Strategy
+from repro.parallel.partition import WaveGroup
+
+#: Parent-set state inherited by fork children (see module docstring).
+_WORKSPACE: Optional[RoutingWorkspace] = None
+_CONFIG = None
+
+
+@dataclass
+class GroupResult:
+    """Everything a worker sends back for one routed group."""
+
+    strip_index: int
+    #: Records for routed connections, in the group's routing order.
+    records: List[RouteRecord] = field(default_factory=list)
+    routed_by: Dict[int, Strategy] = field(default_factory=dict)
+    failed: List[int] = field(default_factory=list)
+    lee_expansions: int = 0
+    profile: RouterProfile = field(default_factory=RouterProfile)
+
+
+def worker_config(config):
+    """The wave-phase router config: no rip-up, no re-sorting, one pass."""
+    return replace(
+        config,
+        sort=False,
+        enable_ripup=False,
+        max_passes=1,
+        workers=1,
+    )
+
+
+def set_parent_state(workspace: RoutingWorkspace, config) -> None:
+    """Stage state in module globals for fork children to inherit."""
+    global _WORKSPACE, _CONFIG
+    _WORKSPACE = workspace
+    _CONFIG = config
+
+
+def clear_parent_state() -> None:
+    """Drop the staged globals once the wave's pool has been forked."""
+    global _WORKSPACE, _CONFIG
+    _WORKSPACE = None
+    _CONFIG = None
+
+
+def child_main(
+    queue, index: int, group: WaveGroup, payload: Optional[bytes] = None
+) -> None:
+    """Entry point of one wave child process.
+
+    Fork children find the snapshot in the inherited module globals;
+    spawn children get it as ``payload``.  The result (or the formatted
+    error) travels back over ``queue`` tagged with the group's index.
+    """
+    try:
+        if payload is not None:
+            workspace, config = pickle.loads(payload)
+        else:
+            if _WORKSPACE is None:
+                raise RuntimeError("worker state not initialised")
+            workspace, config = _WORKSPACE, _CONFIG
+        result = route_group_in(workspace, config, group)
+        queue.put((index, result, None))
+    except BaseException as exc:  # noqa: BLE001 - must reach the parent
+        import traceback
+
+        queue.put((index, None, f"{exc}\n{traceback.format_exc()}"))
+
+
+def route_group_in(
+    workspace: RoutingWorkspace, config, group: WaveGroup
+) -> GroupResult:
+    """Route a group against an explicit workspace (shared by both paths).
+
+    Also used directly by the in-process fallback when no worker pool can
+    be created, with a private :meth:`RoutingWorkspace.snapshot` standing
+    in for the forked copy.
+    """
+    from repro.core.router import GreedyRouter
+
+    router = GreedyRouter(workspace.board, config, workspace=workspace)
+    routing = router.route(group.connections)
+    result = GroupResult(strip_index=group.strip_index)
+    for conn in group.connections:
+        record = workspace.records.get(conn.conn_id)
+        if record is not None:
+            result.records.append(record)
+            result.routed_by[conn.conn_id] = routing.routed_by.get(
+                conn.conn_id, Strategy.LEE
+            )
+        else:
+            result.failed.append(conn.conn_id)
+    result.lee_expansions = routing.lee_expansions
+    result.profile = router.profile
+    return result
+
+
+def spawn_payload(workspace: RoutingWorkspace, config) -> bytes:
+    """Serialize the wave snapshot for a spawn pool's initializer."""
+    return pickle.dumps((workspace, config), pickle.HIGHEST_PROTOCOL)

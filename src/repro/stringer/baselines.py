@@ -11,7 +11,6 @@ from typing import List, Set
 
 from repro.board.board import Board
 from repro.board.nets import Connection
-from repro.board.parts import PinRole
 from repro.stringer.stringer import Stringer, StringingError
 
 

@@ -12,7 +12,7 @@ Net ordering is known to matter enormously — the paper reports a factor of
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.board.board import Board
 from repro.board.nets import Connection, Net

@@ -11,12 +11,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.board.board import Board
-from repro.channels.segment import FILL_OWNER
 from repro.channels.workspace import RoutingWorkspace
-from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.coords import ViaPoint
 
 
 class Severity(enum.Enum):

@@ -7,12 +7,11 @@ channels/via map must stay mutually consistent.
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
-from repro.grid.coords import GridPoint
 from repro.grid.geometry import Orientation
 
 

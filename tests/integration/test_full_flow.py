@@ -7,7 +7,7 @@ import pytest
 from repro.analysis import percent_chan, table1_row
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.result import Strategy
-from repro.core.router import GreedyRouter, RouterConfig
+from repro.core.router import GreedyRouter
 from repro.extensions.power_plane import FeatureKind, generate_power_plane
 from repro.io import load_routes, read_board, save_routes, write_board
 from repro.stringer import Stringer
@@ -116,6 +116,7 @@ class TestIncrementalRouting:
 
 
 class TestLayerCountEffect:
+    @pytest.mark.slow
     def test_more_layers_route_a_harder_problem(self):
         """The kdj11 story: the same problem fails on 2 layers and routes
         on 4 (Table 1 rows 1 and 5)."""

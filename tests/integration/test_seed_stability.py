@@ -23,6 +23,7 @@ class TestSeedStability:
             )
             assert result.vias_per_connection < 1.0
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", SEEDS)
     def test_layer_crossover_across_seeds(self, seed):
         """The 2-vs-4-layer kdj11 crossover holds for every seed."""

@@ -5,7 +5,6 @@ import pytest
 from repro.board.board import Board, PlacementError
 from repro.board.nets import NetKind
 from repro.board.parts import PinRole, dip_package, sip_package
-from repro.board.technology import LogicFamily
 from repro.grid.coords import ViaPoint
 
 

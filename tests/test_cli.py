@@ -65,7 +65,47 @@ class TestPipeline:
         ) == 0
 
 
+class TestParallelRoute:
+    def test_route_with_workers(self, files, capsys):
+        assert main(
+            [
+                "generate", files["board"],
+                "--config", "tna", "--scale", "0.25", "--seed", "2",
+            ]
+        ) == 0
+        assert main(["string", files["board"], files["conns"]]) == 0
+
+        serial_routes = files["routes"] + ".serial"
+        assert main(
+            ["route", files["board"], files["conns"], serial_routes]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(
+            [
+                "route", files["board"], files["conns"], files["routes"],
+                "--workers", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "parallel: 2 workers" in out
+        assert os.path.exists(files["routes"])
+
+    def test_workers_must_be_positive(self, files):
+        main(["generate", files["board"], "--config", "tna",
+              "--scale", "0.25", "--seed", "2"])
+        main(["string", files["board"], files["conns"]])
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "route", files["board"], files["conns"], files["routes"],
+                    "--workers", "0",
+                ]
+            )
+
+
 class TestFailurePath:
+    @pytest.mark.slow
     def test_route_failure_exit_code(self, files):
         """A board that cannot be fully routed exits non-zero."""
         assert main(

@@ -1,6 +1,5 @@
 """Unit tests for the congestion analysis module."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.congestion import (
@@ -14,7 +13,6 @@ from repro.analysis.congestion import (
 from repro.board.board import Board
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.router import GreedyRouter
-from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Box
 from repro.stringer import Stringer
 from repro.workloads import BoardSpec, generate_board

@@ -1,6 +1,5 @@
 """Unit tests for coordinate types and grid/via conversions."""
 
-import pytest
 
 from repro.grid.coords import (
     GRID_PER_VIA,

@@ -1,6 +1,5 @@
 """Unit tests for boxes and orientations."""
 
-import pytest
 
 from repro.grid.coords import GridPoint
 from repro.grid.geometry import Box, Orientation

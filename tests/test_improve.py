@@ -1,6 +1,5 @@
 """Unit tests for the post-routing improvement pass."""
 
-import pytest
 
 from repro.board.board import Board
 from repro.channels.workspace import RoutingWorkspace

@@ -23,7 +23,7 @@ class TestLayer:
 class TestSignalStack:
     def test_alternating_orientations(self):
         stack = LayerStack.signal_stack(4)
-        orientations = [l.orientation for l in stack.signal_layers]
+        orientations = [layer.orientation for layer in stack.signal_layers]
         assert orientations == [
             Orientation.HORIZONTAL,
             Orientation.VERTICAL,
@@ -34,7 +34,7 @@ class TestSignalStack:
     def test_outer_layers_flagged(self):
         # Section 10.1: the two outer layers carry faster signals.
         stack = LayerStack.signal_stack(6)
-        flags = [l.is_outer for l in stack.signal_layers]
+        flags = [layer.is_outer for layer in stack.signal_layers]
         assert flags == [True, False, False, False, False, True]
 
     def test_power_layers_appended(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.board.board import Board
 from repro.channels.workspace import RoutingWorkspace
-from repro.core.cost import distance_cost, unit_cost
+from repro.core.cost import unit_cost
 from repro.core.lee import lee_route
 from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Orientation

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.board.board import Board
 from repro.board.nets import NetKind

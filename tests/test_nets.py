@@ -1,6 +1,5 @@
 """Unit tests for nets and connections."""
 
-import pytest
 
 from repro.board.nets import Connection, Net, NetKind
 from repro.board.technology import LogicFamily

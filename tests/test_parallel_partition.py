@@ -1,0 +1,144 @@
+"""Unit tests for the wave partitioner (repro.parallel.partition)."""
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.grid.coords import ViaPoint
+from repro.parallel.partition import (
+    WAVE_SPECS,
+    assign_strips,
+    connection_span,
+    routing_margin,
+    shard_round_robin,
+    strip_spec,
+)
+
+from tests.conftest import make_connection
+
+
+def conn_at(conn_id, ax, ay, bx, by):
+    """A bare connection between two via points (no board bookkeeping)."""
+    return Connection(
+        conn_id=conn_id,
+        net_id=0,
+        pin_a=2 * conn_id,
+        pin_b=2 * conn_id + 1,
+        a=ViaPoint(ax, ay),
+        b=ViaPoint(bx, by),
+    )
+
+
+class TestSpan:
+    def test_expanded_bbox(self):
+        conn = conn_at(0, 5, 9, 2, 3)
+        assert connection_span(conn, 2) == (0, 1, 7, 11)
+
+    def test_zero_margin(self):
+        conn = conn_at(0, 4, 4, 4, 4)
+        assert connection_span(conn, 0) == (4, 4, 4, 4)
+
+
+class TestStripSpec:
+    def test_one_strip_per_worker(self):
+        spec = strip_spec("x", False, 48, 48, 4, 2)
+        assert spec.strips == 4
+        assert spec.width == 12
+
+    def test_narrow_board_reduces_strips(self):
+        # 12 via cells cannot hold 4 strips of minimum width 6.
+        spec = strip_spec("x", False, 12, 48, 4, 2)
+        assert spec.strips == 2
+
+    def test_single_worker_single_strip(self):
+        spec = strip_spec("y", False, 48, 48, 1, 2)
+        assert spec.strips == 1
+
+
+class TestAssignStrips:
+    def test_disjoint_groups_cover_fitting_connections(self):
+        conns = [
+            conn_at(0, 1, 1, 3, 3),  # strip 0 (width 12, margin 1)
+            conn_at(1, 14, 2, 20, 8),  # strip 1
+            conn_at(2, 26, 3, 30, 9),  # strip 2
+            conn_at(3, 2, 2, 40, 2),  # straddler
+        ]
+        spec = strip_spec("x", False, 48, 48, 4, 1)
+        groups, leftover = assign_strips(conns, spec, 1)
+        grouped = {
+            c.conn_id for g in groups for c in g.connections
+        }
+        assert grouped == {0, 1, 2}
+        assert [c.conn_id for c in leftover] == [3]
+
+    def test_groups_spatially_disjoint(self):
+        """Expanded spans of different groups never share a strip."""
+        conns = [
+            conn_at(i, x, 2, x + 2, 10)
+            for i, x in enumerate(range(1, 40, 4))
+        ]
+        spec = strip_spec("x", False, 48, 48, 4, 1)
+        groups, _ = assign_strips(conns, spec, 1)
+        for g in groups:
+            for c in g.connections:
+                lo, _, hi, _ = connection_span(c, 1)
+                assert lo // spec.width == hi // spec.width == g.strip_index
+
+    def test_preserves_input_order_within_groups(self):
+        conns = [conn_at(i, 2, 1 + i, 4, 2 + i) for i in range(6)]
+        spec = strip_spec("x", False, 48, 48, 4, 1)
+        groups, _ = assign_strips(conns, spec, 1)
+        assert len(groups) == 1
+        assert [c.conn_id for c in groups[0].connections] == list(range(6))
+
+    def test_deterministic(self):
+        conns = [
+            conn_at(i, (7 * i) % 40, (11 * i) % 40, (7 * i + 3) % 44,
+                    (11 * i + 5) % 44)
+            for i in range(60)
+        ]
+        spec = strip_spec("y", True, 48, 48, 4, 2)
+        first = assign_strips(conns, spec, 2)
+        second = assign_strips(list(conns), spec, 2)
+        assert [
+            (g.strip_index, [c.conn_id for c in g.connections])
+            for g in first[0]
+        ] == [
+            (g.strip_index, [c.conn_id for c in g.connections])
+            for g in second[0]
+        ]
+        assert [c.conn_id for c in first[1]] == [
+            c.conn_id for c in second[1]
+        ]
+
+    def test_wave_specs_alternate_axes(self):
+        axes = [axis for axis, _ in WAVE_SPECS]
+        assert axes == ["x", "y", "x", "y"]
+
+
+class TestShardRoundRobin:
+    def test_deals_in_order(self):
+        conns = [conn_at(i, 1, 1, 2, 2) for i in range(7)]
+        groups = shard_round_robin(conns, 3)
+        assert [len(g.connections) for g in groups] == [3, 2, 2]
+        assert [c.conn_id for c in groups[0].connections] == [0, 3, 6]
+
+    def test_empty_groups_dropped(self):
+        conns = [conn_at(0, 1, 1, 2, 2)]
+        groups = shard_round_robin(conns, 4)
+        assert len(groups) == 1
+
+
+class TestRoutingMargin:
+    def test_covers_radius(self):
+        assert routing_margin(1, 3) == 2
+        assert routing_margin(4, 3) == 3
+        assert routing_margin(0, 3) == 1
+
+
+class TestOnBoard:
+    def test_spans_inside_board(self, empty_board: Board):
+        conn = make_connection(
+            empty_board, ViaPoint(3, 3), ViaPoint(15, 11)
+        )
+        x_lo, y_lo, x_hi, y_hi = connection_span(conn, 2)
+        assert (x_lo, y_lo) == (1, 1)
+        assert (x_hi, y_hi) == (17, 13)

@@ -1,0 +1,110 @@
+"""End-to-end tests for the parallel wave router.
+
+The central acceptance property: for every worker count, the parallel
+router completes exactly the same set of connections as the serial
+router on the same board (fresh board per run — routing mutates it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.router import GreedyRouter, RouterConfig, make_router
+from repro.parallel import ParallelRouter
+from repro.stringer import Stringer
+from repro.workloads import BoardSpec, NetlistSpec, generate_board
+
+
+def build_problem(seed: int = 3):
+    """A small locality-heavy board: many strip-separable connections."""
+    spec = BoardSpec(
+        name="parwave",
+        via_nx=40,
+        via_ny=40,
+        n_signal_layers=4,
+        netlist=NetlistSpec(locality=0.9, local_radius=6, seed=seed),
+        seed=seed,
+    )
+    board = generate_board(spec)
+    return board, Stringer(board).string_all()
+
+
+class TestMakeRouter:
+    def test_serial_for_one_worker(self, empty_board):
+        router = make_router(empty_board, RouterConfig(workers=1))
+        assert isinstance(router, GreedyRouter)
+
+    def test_parallel_for_many_workers(self, empty_board):
+        router = make_router(empty_board, RouterConfig(workers=4))
+        assert isinstance(router, ParallelRouter)
+
+    def test_default_config_is_serial(self, empty_board):
+        assert isinstance(make_router(empty_board), GreedyRouter)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            RouterConfig(workers=0)
+
+
+class TestParallelRoute:
+    def test_empty_connection_list(self, empty_board):
+        result = ParallelRouter(empty_board, RouterConfig(workers=2)).route([])
+        assert result.complete
+        assert result.routed_by == {}
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parity_with_serial(self, workers):
+        board, connections = build_problem()
+        serial = GreedyRouter(board).route(connections)
+
+        board_n, connections_n = build_problem()
+        router = make_router(board_n, RouterConfig(workers=workers))
+        result = router.route(connections_n)
+
+        assert set(result.routed_by) == set(serial.routed_by)
+        assert result.complete == serial.complete
+
+    def test_worker_counts_agree_with_each_other(self):
+        completed = []
+        for workers in (2, 3):
+            board, connections = build_problem(seed=5)
+            result = ParallelRouter(board, RouterConfig(workers=workers)).route(
+                connections
+            )
+            completed.append(set(result.routed_by))
+        assert completed[0] == completed[1]
+
+    def test_runs_waves_and_reports_them(self):
+        board, connections = build_problem()
+        router = ParallelRouter(board, RouterConfig(workers=2))
+        result = router.route(connections)
+        assert result.waves >= 1
+        assert result.demoted >= 0
+        assert not result.fallback_serial or result.complete
+
+    def test_result_summary_includes_parallel_stats(self):
+        board, connections = build_problem()
+        result = ParallelRouter(board, RouterConfig(workers=2)).route(
+            connections
+        )
+        summary = result.summary()
+        assert summary["waves"] == result.waves
+        assert summary["demoted"] == result.demoted
+        assert summary["fallback_serial"] == result.fallback_serial
+
+    def test_workspace_records_match_routed_by(self):
+        board, connections = build_problem()
+        router = ParallelRouter(board, RouterConfig(workers=2))
+        result = router.route(connections)
+        assert set(result.routed_by) == set(router.workspace.records)
+
+
+@pytest.mark.slow
+class TestParityBench:
+    def test_smoke_suite_parity(self):
+        """The CI perf-smoke criterion, runnable locally: parity on the
+        Table 1 suite for every worker count."""
+        from benchmarks.bench_parallel import run_benchmark
+
+        report = run_benchmark(smoke=True)
+        assert report["summary"]["parity_all"]

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.board.board import Board
-from repro.core.router import GreedyRouter, RouterConfig
+from repro.core.router import GreedyRouter
 from repro.extensions.postprocess import (
     TracePolyline,
     chamfer,

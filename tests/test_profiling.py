@@ -52,6 +52,62 @@ class TestRouterProfile:
         assert rows[0]["pct"] >= rows[1]["pct"]
 
 
+class TestReentrantMeasure:
+    def test_nested_same_phase_counts_time_once(self):
+        profile = RouterProfile()
+        with profile.measure("lee"):
+            with profile.measure("lee"):
+                time.sleep(0.01)
+        timing = profile.phases["lee"]
+        assert timing.calls == 2
+        # Without the depth guard the inner frame's ~10ms would be added
+        # twice (once itself, once inside the outer interval).
+        assert timing.seconds < 0.018
+
+    def test_nested_different_phases_both_counted(self):
+        profile = RouterProfile()
+        with profile.measure("outer"):
+            with profile.measure("inner"):
+                time.sleep(0.005)
+        assert profile.phases["outer"].seconds >= 0.005
+        assert profile.phases["inner"].seconds >= 0.005
+
+    def test_depth_resets_after_exception(self):
+        profile = RouterProfile()
+        with pytest.raises(RuntimeError):
+            with profile.measure("x"):
+                raise RuntimeError("boom")
+        with profile.measure("x"):
+            time.sleep(0.005)
+        assert profile.phases["x"].seconds >= 0.005
+
+
+class TestMerge:
+    def test_merge_sums_calls_and_seconds(self):
+        a = RouterProfile()
+        with a.measure("lee"):
+            time.sleep(0.002)
+        b = RouterProfile()
+        with b.measure("lee"):
+            time.sleep(0.002)
+        with b.measure("merge"):
+            pass
+        before = a.phases["lee"].seconds
+        added = b.phases["lee"].seconds
+        assert a.merge(b) is a
+        assert a.phases["lee"].calls == 2
+        assert a.phases["lee"].seconds == pytest.approx(before + added)
+        assert a.phases["merge"].calls == 1
+
+    def test_merge_empty_is_noop(self):
+        a = RouterProfile()
+        with a.measure("x"):
+            pass
+        rows_before = a.rows()
+        a.merge(RouterProfile())
+        assert a.rows() == rows_before
+
+
 class TestRouterIntegration:
     def test_profile_populated_by_route(self):
         board = generate_board(BoardSpec(via_nx=36, via_ny=36, seed=6))

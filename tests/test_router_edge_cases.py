@@ -1,13 +1,11 @@
 """Edge-case tests for the router's less-travelled paths."""
 
-import pytest
 
 from repro.board.board import Board
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.result import Strategy
 from repro.core.router import GreedyRouter, RouterConfig
 from repro.grid.coords import ViaPoint
-from repro.grid.geometry import Box, Orientation
 
 from tests.conftest import make_connection
 from tests.helpers import assert_result_valid

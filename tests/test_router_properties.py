@@ -7,7 +7,6 @@ coherent, and no two connections short together.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,7 +9,6 @@ from repro.board.board import Board
 from repro.board.parts import PinRole, sip_package
 from repro.grid.coords import ViaPoint, manhattan
 from repro.stringer import Stringer
-from repro.stringer.stringer import chain_length
 
 VIA_N = 24
 

@@ -12,8 +12,6 @@ from repro.extensions.tesselation import (
     route_mixed,
     split_tesselation,
 )
-from repro.grid.coords import GridPoint, ViaPoint
-from repro.grid.geometry import Box
 from repro.stringer import Stringer
 from repro.workloads.boards import BoardSpec, generate_board
 from repro.workloads.netlist_gen import NetlistSpec

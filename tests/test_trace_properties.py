@@ -10,9 +10,8 @@ must lie on free cells, stay in the box, and be connected.
 from __future__ import annotations
 
 from collections import deque
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -21,7 +20,6 @@ from repro.channels.channel import ChannelConflictError
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.single_layer import reachable_vias, trace
 from repro.grid.coords import GridPoint
-from repro.grid.geometry import Box, Orientation
 
 VIA_N = 6  # 16x16 routing grid
 

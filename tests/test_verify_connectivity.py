@@ -2,9 +2,6 @@
 
 import pytest
 
-from repro.board.board import Board
-from repro.board.parts import PinRole
-from repro.channels.workspace import RoutingWorkspace
 from repro.core.router import GreedyRouter
 from repro.stringer import Stringer
 from repro.verify import check_connectivity

@@ -6,9 +6,9 @@ from repro.board.board import Board
 from repro.board.parts import sip_package
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.router import GreedyRouter
-from repro.grid.coords import GridPoint, ViaPoint
+from repro.grid.coords import ViaPoint
 from repro.stringer import Stringer
-from repro.verify import Severity, run_drc
+from repro.verify import run_drc
 from repro.workloads import BoardSpec, generate_board
 
 

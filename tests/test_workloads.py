@@ -1,8 +1,6 @@
 """Unit tests for the synthetic workload generators."""
 
-import pytest
 
-from repro.board.nets import NetKind
 from repro.board.parts import PinRole
 from repro.board.technology import LogicFamily
 from repro.grid.coords import manhattan

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.board.board import Board
-from repro.board.parts import PinRole, sip_package
+from repro.board.parts import sip_package
 from repro.channels.channel import ChannelConflictError
 from repro.channels.segment import FILL_OWNER
 from repro.channels.workspace import RoutingWorkspace

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import List
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

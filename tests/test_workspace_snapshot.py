@@ -1,0 +1,112 @@
+"""Snapshot → route-in-copy → merge-back must equal serial routing.
+
+The parallel router's correctness rests on three workspace properties:
+snapshots are fully independent of the master, a record routed inside a
+snapshot can be re-installed on the master via ``apply_record``, and the
+merged master is byte-identical (``canonical_state``) to having routed
+the same connection serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.grid.coords import ViaPoint
+
+from tests.conftest import make_connection
+
+
+def make_problem():
+    """Two spatially separated connections on a fresh board."""
+    board = Board.create(via_nx=24, via_ny=18, n_signal_layers=4, name="snap")
+    near = make_connection(board, ViaPoint(2, 2), ViaPoint(6, 5), conn_id=0)
+    far = make_connection(board, ViaPoint(16, 10), ViaPoint(21, 15), conn_id=1)
+    return board, near, far
+
+
+class TestSnapshotIndependence:
+    def test_snapshot_routing_leaves_master_untouched(self):
+        board, near, _ = make_problem()
+        master = RoutingWorkspace(board)
+        before = master.canonical_state()
+
+        copy = master.snapshot()
+        GreedyRouter(board, workspace=copy).route([near])
+
+        assert copy.is_routed(near.conn_id)
+        assert not master.is_routed(near.conn_id)
+        assert master.canonical_state() == before
+
+    def test_master_routing_leaves_snapshot_untouched(self):
+        board, near, _ = make_problem()
+        master = RoutingWorkspace(board)
+        copy = master.snapshot()
+        before = copy.canonical_state()
+
+        GreedyRouter(board, workspace=master).route([near])
+
+        assert copy.canonical_state() == before
+
+    def test_snapshot_digest_matches_source(self):
+        board, near, _ = make_problem()
+        master = RoutingWorkspace(board)
+        GreedyRouter(board, workspace=master).route([near])
+        assert master.snapshot().state_digest() == master.state_digest()
+
+
+class TestMergeRoundTrip:
+    def test_route_in_child_merge_back_equals_serial(self):
+        """The satellite criterion: snapshot → route → merge == serial."""
+        board, near, far = make_problem()
+        config = RouterConfig()
+
+        # Reference: route both connections serially on one workspace.
+        serial_ws = RoutingWorkspace(board)
+        GreedyRouter(board, config, workspace=serial_ws).route([near, far])
+        assert serial_ws.is_routed(near.conn_id)
+        assert serial_ws.is_routed(far.conn_id)
+
+        # Parallel shape: each connection routes in its own child copy.
+        master = RoutingWorkspace(board)
+        records = []
+        for conn in (near, far):
+            child = master.snapshot()
+            GreedyRouter(board, config, workspace=child).route([conn])
+            records.append(child.records[conn.conn_id])
+        for record in records:
+            assert master.apply_record(record)
+
+        assert master.canonical_state() == serial_ws.canonical_state()
+        assert master.state_digest() == serial_ws.state_digest()
+
+    def test_apply_record_rejects_duplicate(self):
+        board, near, _ = make_problem()
+        master = RoutingWorkspace(board)
+        child = master.snapshot()
+        GreedyRouter(board, workspace=child).route([near])
+        record = child.records[near.conn_id]
+
+        assert master.apply_record(record)
+        after_first = master.canonical_state()
+        assert not master.apply_record(record)
+        assert master.canonical_state() == after_first
+
+    def test_apply_record_rejects_conflicting_record(self):
+        """A record claiming occupied cells is refused, master unchanged."""
+        board, near, _ = make_problem()
+        master = RoutingWorkspace(board)
+        child = master.snapshot()
+        GreedyRouter(board, workspace=child).route([near])
+        record = child.records[near.conn_id]
+
+        assert master.apply_record(record)
+        applied = master.canonical_state()
+        # Another snapshot's route that claims the exact same cells (as a
+        # different connection) is what a wave collision looks like.
+        clash = replace(record, conn_id=record.conn_id + 99)
+        assert not master.apply_record(clash)
+        assert master.canonical_state() == applied
+        assert not master.is_routed(clash.conn_id)

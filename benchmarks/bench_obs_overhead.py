@@ -1,0 +1,282 @@
+"""O1 — Observability overhead: disabled tracing must stay under 3%.
+
+Every emit site in the router is guarded by ``if sink.enabled:`` so a
+run without tracing pays one attribute load per site and never builds an
+event.  This benchmark quantifies that cost three ways:
+
+* **wall clock** — route each board with the null sink and compare the
+  median against the pre-PR baseline (measured at the commit before the
+  event stream existed, on the same reference machine, recorded in
+  ``PRE_PR_BASELINE`` below);
+* **guard census** — route with a probe sink whose ``enabled`` is a
+  counting property, giving the exact number of guard checks a routing
+  run performs;
+* **per-check cost** — time the guard itself in a tight loop and fold
+  the census into an estimated overhead fraction that does not depend
+  on run-to-run wall-clock noise.
+
+Enabled-sink costs (ring buffer, JSONL) are measured and recorded for
+context but not asserted — tracing is opt-in.
+
+Results land in ``BENCH_obs.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --out BENCH_obs.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+try:
+    import repro  # noqa: F401 - probe whether src/ is importable
+except ImportError:  # direct script run without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.obs.sinks import EventSink, JsonlSink, RingBufferSink
+from repro.stringer import Stringer
+from repro.workloads import (
+    BoardSpec,
+    NetlistSpec,
+    generate_board,
+    make_titan_board,
+)
+
+#: Median route() seconds measured at the commit *before* the event
+#: stream existed (no guard sites at all), same boards, same machine the
+#: PR was developed on.  These anchor the wall-clock overhead check; on
+#: other hardware the guard-census estimate is the stable signal.
+PRE_PR_BASELINE = {
+    "tna": 0.1071,
+    "dcache": 0.0386,
+    "wavelocal_120": 0.4869,
+}
+
+THRESHOLD_PCT = 3.0
+REPEATS = 5
+
+
+class GuardProbeSink(EventSink):
+    """Counts guard checks: ``enabled`` is a property that tallies reads."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+
+    @property  # type: ignore[override]
+    def enabled(self) -> bool:
+        self.checks += 1
+        return False
+
+    def emit(self, event) -> None:  # pragma: no cover - never enabled
+        raise AssertionError("probe sink must never receive events")
+
+
+def _titan_problem(name: str) -> Callable:
+    def build() -> Tuple[Board, List[Connection]]:
+        board = make_titan_board(name, scale=0.30, seed=1)
+        return board, Stringer(board).string_all()
+
+    return build
+
+
+def _local_problem() -> Callable:
+    spec = BoardSpec(
+        name="wavelocal",
+        via_nx=120,
+        via_ny=120,
+        n_signal_layers=6,
+        netlist=NetlistSpec(locality=0.9, local_radius=10, seed=7),
+        seed=7,
+    )
+
+    def build() -> Tuple[Board, List[Connection]]:
+        board = generate_board(spec)
+        return board, Stringer(board).string_all()
+
+    return build
+
+
+def suite_boards(smoke: bool) -> List[Tuple[str, Callable]]:
+    boards = [("tna", _titan_problem("tna")), ("dcache", _titan_problem("dcache"))]
+    if not smoke:
+        boards.append(("wavelocal_120", _local_problem()))
+    return boards
+
+
+def _route_seconds(build: Callable, sink, repeats: int) -> float:
+    """Median wall seconds to route the board with the given sink."""
+    samples = []
+    for _ in range(repeats):
+        board, connections = build()
+        router = GreedyRouter(board, RouterConfig(), sink=sink)
+        started = time.perf_counter()
+        router.route(connections)
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def _guard_check_cost_ns(loops: int = 2_000_000) -> float:
+    """Nanoseconds per ``if sink.enabled:`` check on the null sink."""
+    from repro.obs.sinks import NULL_SINK
+
+    sink = NULL_SINK
+    started = time.perf_counter()
+    acc = 0
+    for _ in range(loops):
+        if sink.enabled:
+            acc += 1  # pragma: no cover - never taken
+    elapsed = time.perf_counter() - started
+    return elapsed / loops * 1e9
+
+
+def run_board(name: str, build: Callable, repeats: int) -> Dict:
+    null_median = _route_seconds(build, None, repeats)
+
+    ring = RingBufferSink()
+    ring_median = _route_seconds(build, ring, max(1, repeats // 2))
+
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl") as tmp:
+        jsonl = JsonlSink(tmp.name)
+        jsonl_median = _route_seconds(build, jsonl, max(1, repeats // 2))
+        jsonl.close()
+
+    probe = GuardProbeSink()
+    board, connections = build()
+    GreedyRouter(board, RouterConfig(), sink=probe).route(connections)
+
+    per_check_ns = _guard_check_cost_ns()
+    estimated_overhead_pct = (
+        probe.checks * per_check_ns / 1e9 / null_median * 100
+        if null_median > 0
+        else 0.0
+    )
+    baseline = PRE_PR_BASELINE.get(name)
+    overhead_vs_baseline_pct = (
+        (null_median - baseline) / baseline * 100
+        if baseline
+        else None
+    )
+    return {
+        "board": name,
+        "connections": len(connections),
+        "null_median_s": round(null_median, 4),
+        "ring_median_s": round(ring_median, 4),
+        "jsonl_median_s": round(jsonl_median, 4),
+        "ring_events": len(ring),
+        "guard_checks": probe.checks,
+        "guard_check_ns": round(per_check_ns, 2),
+        "estimated_overhead_pct": round(estimated_overhead_pct, 4),
+        "baseline_pre_pr_s": baseline,
+        "overhead_vs_baseline_pct": (
+            round(overhead_vs_baseline_pct, 2)
+            if overhead_vs_baseline_pct is not None
+            else None
+        ),
+    }
+
+
+def run_benchmark(smoke: bool, repeats: int) -> Dict:
+    rows = []
+    for name, build in suite_boards(smoke):
+        row = run_board(name, build, repeats)
+        print(
+            f"{row['board']:14s} conns={row['connections']:5d} "
+            f"null={row['null_median_s']}s "
+            f"ring={row['ring_median_s']}s "
+            f"jsonl={row['jsonl_median_s']}s "
+            f"guards={row['guard_checks']} "
+            f"est_overhead={row['estimated_overhead_pct']}%",
+            flush=True,
+        )
+        rows.append(row)
+    estimates = [r["estimated_overhead_pct"] for r in rows]
+    wall = [
+        r["overhead_vs_baseline_pct"]
+        for r in rows
+        if r["overhead_vs_baseline_pct"] is not None
+    ]
+    return {
+        "experiment": "obs_disabled_overhead",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "threshold_pct": THRESHOLD_PCT,
+        "baseline_pre_pr": PRE_PR_BASELINE,
+        "boards": rows,
+        "summary": {
+            "max_estimated_overhead_pct": round(max(estimates), 4),
+            "max_wall_overhead_vs_baseline_pct": (
+                round(max(wall), 2) if wall else None
+            ),
+            "pass": max(estimates) < THRESHOLD_PCT,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small boards only (the CI perf-smoke configuration)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=REPEATS, help="samples per median"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_obs.json",
+        help="artifact path (default: BENCH_obs.json)",
+    )
+    parser.add_argument(
+        "--assert-wall-clock",
+        action="store_true",
+        help="also fail if the measured wall-clock overhead vs the "
+        "recorded pre-PR baseline exceeds the threshold (reference "
+        "machine only; noisy elsewhere)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(smoke=args.smoke, repeats=args.repeats)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    summary = report["summary"]
+    print(
+        f"wrote {args.out}: max estimated overhead "
+        f"{summary['max_estimated_overhead_pct']}% "
+        f"(threshold {THRESHOLD_PCT}%), wall vs pre-PR baseline "
+        f"{summary['max_wall_overhead_vs_baseline_pct']}%"
+    )
+    if not summary["pass"]:
+        print(
+            f"FAIL: estimated disabled-tracing overhead exceeds "
+            f"{THRESHOLD_PCT}%",
+            file=sys.stderr,
+        )
+        return 1
+    if args.assert_wall_clock:
+        wall = summary["max_wall_overhead_vs_baseline_pct"]
+        if wall is not None and wall > THRESHOLD_PCT:
+            print(
+                f"FAIL: wall-clock overhead {wall}% exceeds "
+                f"{THRESHOLD_PCT}% vs pre-PR baseline",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

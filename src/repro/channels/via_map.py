@@ -15,7 +15,7 @@ own via sites, and the owner of an actually drilled via.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterator, Optional, Set
 
 import numpy as np
 
@@ -98,6 +98,24 @@ class ViaMap:
     def used_via_count(self) -> int:
         """Number of drilled vias (the vias column of Table 1 counts these)."""
         return len(self._drilled)
+
+    # ------------------------------------------------------------------
+    # audit accessors (read-only views for repro.obs.audit)
+    # ------------------------------------------------------------------
+
+    def sole_owner(self, via: ViaPoint) -> Optional[object]:
+        """Cached sole owner at the site: an owner id, MIXED, or None.
+
+        None means the cache holds nothing for the site (count zero).
+        Unlike :meth:`is_available` this does not bump ``probe_count`` —
+        it exists for the auditor, not the routing hot path.
+        """
+        return self._sole.get(via)
+
+    def covered_sites(self) -> Iterator[ViaPoint]:
+        """Every site with a nonzero cover count, in scan order."""
+        for vx, vy in np.argwhere(self._count > 0):
+            yield ViaPoint(int(vx), int(vy))
 
     # ------------------------------------------------------------------
     # updates (rare relative to probes)

@@ -329,6 +329,21 @@ class RoutingWorkspace:
             self.remove_segment(*seg, owner=FILL_OWNER)
 
     # ------------------------------------------------------------------
+    # audit accessors (read-only views for repro.obs.audit)
+    # ------------------------------------------------------------------
+
+    def iter_installed_segments(self):
+        """Every installed segment: yields (layer_index, channel_index, seg).
+
+        The flat enumeration the :class:`repro.obs.audit.WorkspaceAuditor`
+        reconciles against route records; includes pin and fill segments.
+        """
+        for layer_index, layer in enumerate(self.layers):
+            for channel_index, channel in enumerate(layer.channels):
+                for seg in channel:
+                    yield layer_index, channel_index, seg
+
+    # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ Every command reads/writes the text formats of :mod:`repro.io`.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
@@ -57,6 +58,8 @@ def _cmd_string(args: argparse.Namespace) -> int:
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.obs import JsonlSink
+
     with open(args.board) as f:
         board = read_board(f)
     with open(args.connections) as f:
@@ -64,14 +67,26 @@ def _cmd_route(args: argparse.Namespace) -> int:
     config = RouterConfig(
         radius=args.radius, cost=args.cost, workers=args.workers
     )
-    router = make_router(board, config)
-    result = router.route(connections)
+    if args.audit:
+        # --audit forces it on; otherwise the GRR_AUDIT env default holds.
+        config = dataclasses.replace(config, audit=True)
+    sink = JsonlSink(args.trace) if args.trace else None
+    try:
+        router = make_router(board, config, sink=sink)
+        result = router.route(connections)
+    finally:
+        if sink is not None:
+            sink.close()
     if args.workers > 1:
         print(
             f"parallel: {args.workers} workers, {result.waves} waves, "
             f"{result.demoted} demoted"
             + (", serial fallback" if result.fallback_serial else "")
         )
+    if sink is not None:
+        print(f"trace: {sink.emitted} events -> {args.trace}")
+    if config.audit:
+        print("audit: all post-pass invariant checks passed")
     with open(args.routes, "w") as f:
         save_routes(router.workspace, f)
     print(format_table([table1_row(board, connections, result)]))
@@ -193,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for parallel wave routing (1 = serial)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the routing event stream as JSONL to PATH",
+    )
+    p.add_argument(
+        "--audit",
+        action="store_true",
+        help="verify workspace invariants after every pass/merge "
+        "(also enabled by GRR_AUDIT=1)",
     )
     p.set_defaults(func=_cmd_route)
 

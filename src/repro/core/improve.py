@@ -15,6 +15,8 @@ from typing import List, Optional, Sequence
 
 from repro.board.nets import Connection
 from repro.core.router import GreedyRouter
+from repro.obs.audit import RestoreBlockedError, WorkspaceAuditor
+from repro.obs.events import ImproveAttempt
 
 
 @dataclass
@@ -44,9 +46,13 @@ def improve_routes(
 
     ``detour_threshold`` is the minimum installed-wire / Manhattan ratio
     for a connection to be reconsidered.  The pass never leaves the board
-    worse: a failed or longer re-route restores the original exactly.
+    worse: a failed or longer re-route restores the original exactly; a
+    restore that cannot succeed raises :class:`RestoreBlockedError` with
+    the auditor's diff of what occupies the route's space (this guard
+    must survive ``python -O``, so it is not an ``assert``).
     """
     workspace = router.workspace
+    sink = router.sink
     grid = workspace.grid
     stats = ImproveStats()
     candidates = []
@@ -71,10 +77,22 @@ def improve_routes(
         new_record, strategy, _search = router._try_strategies(
             conn, router.passable_for(conn)
         )
-        if (
+        improved = (
             new_record is not None
             and new_record.wire_length < old_record.wire_length
-        ):
+        )
+        if sink.enabled:
+            sink.emit(
+                ImproveAttempt(
+                    conn.conn_id,
+                    old_record.wire_length,
+                    new_record.wire_length
+                    if new_record is not None
+                    else old_record.wire_length,
+                    improved,
+                )
+            )
+        if improved:
             stats.improved += 1
             stats.improved_ids.append(conn.conn_id)
             stats.wire_after += new_record.wire_length
@@ -82,7 +100,13 @@ def improve_routes(
         # Not better: undo and put the original back exactly.
         if new_record is not None:
             workspace.remove_connection(conn.conn_id)
-        restored = workspace.restore_record(old_record)
-        assert restored, "original route must always fit back"
+        if not workspace.restore_record(old_record):
+            # The board would be corrupt (the route's space is gone);
+            # report exactly what holds it — a failure here is a router
+            # bug, and silent corruption under ``python -O`` is worse.
+            raise RestoreBlockedError(
+                conn.conn_id,
+                WorkspaceAuditor(workspace).restore_blockers(old_record),
+            )
         stats.wire_after += old_record.wire_length
     return stats

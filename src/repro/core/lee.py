@@ -24,6 +24,8 @@ from repro.core.cost import CostFunction, distance_hops_cost
 from repro.core.single_layer import DEFAULT_MAX_GAPS, reachable_vias, trace
 from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Orientation
+from repro.obs.events import LeeExhausted
+from repro.obs.sinks import NULL_SINK, EventSink
 
 #: Per-side wavefront mark: (hops from source, parent via, layer index used).
 Mark = Tuple[int, Optional[ViaPoint], Optional[int]]
@@ -99,13 +101,16 @@ def lee_route(
     max_expansions: int = 4000,
     max_gaps: int = DEFAULT_MAX_GAPS,
     single_front: bool = False,
+    sink: EventSink = NULL_SINK,
 ) -> LeeSearchResult:
     """Route one connection with the generalized bidirectional Lee search.
 
     ``single_front=True`` disables Modification 2: only the a-side
     wavefront spreads (the pre-modification behaviour benchmarked in
     ``benchmarks/bench_bidirectional.py``); the search still terminates
-    when a neighbor of the frontier is the target pin.
+    when a neighbor of the frontier is the target pin.  ``sink`` receives
+    a :class:`repro.obs.events.LeeExhausted` event when the search dies,
+    carrying the best points rip-up will center on.
     """
     if passable is None:
         passable = frozenset((conn.conn_id,))
@@ -162,6 +167,17 @@ def lee_route(
     best_points = (best[0][1], best[1][1])
     marked = len(marks[0]) + len(marks[1])
     if meet is None:
+        if sink.enabled:
+            sink.emit(
+                LeeExhausted(
+                    conn.conn_id,
+                    exhausted,
+                    reason,
+                    expansions,
+                    best_points[0],
+                    best_points[1],
+                )
+            )
         return LeeSearchResult(
             routed=False,
             expansions=expansions,
@@ -208,6 +224,14 @@ def _retrace(
     of the via it was discovered from; installed hop by hop so later hops
     treat earlier ones as passable.  On any failure the partial route is
     rolled back.
+
+    A via is drilled at a junction only when the resolved layers of the
+    two adjoining links actually differ: the layer-fallback attempts can
+    land consecutive links on the *same* layer, where a drill would be a
+    wasted hole (it inflated the Table 1 via counts).  The junction's
+    drill decision therefore waits until the next link's layer is known —
+    safe, because the search already proved the site available and the
+    connection's own segments are passable to its later traces.
     """
     side, p, n, meet_layer = meet
     # Edges as (u, v, layer, strip anchor): anchor is the via whose radius
@@ -234,7 +258,7 @@ def _retrace(
         ]
     builder = workspace.route_builder(conn.conn_id, passable)
     grid = workspace.grid
-    last = edges[-1][1]
+    prev_layer: Optional[int] = None
     for u, v, layer_index, anchor in edges:
         pieces = None
         attempts = [(layer_index, anchor)]
@@ -264,9 +288,15 @@ def _retrace(
         if pieces is None:
             builder.abort()
             return None
+        if (
+            prev_layer is not None
+            and layer_index != prev_layer
+            and u != conn.a
+            and u != conn.b
+        ):
+            builder.drill(u)
         builder.add_link(
             layer_index, grid.via_to_grid(u), grid.via_to_grid(v), pieces
         )
-        if v != last and v != conn.a and v != conn.b:
-            builder.drill(v)
+        prev_layer = layer_index
     return builder.commit()

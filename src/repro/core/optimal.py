@@ -179,7 +179,9 @@ def try_one_via(
         builder.add_link(
             leg1[0], grid.via_to_grid(conn.a), grid.via_to_grid(v), leg1[1]
         )
-        builder.drill(v)
+        if leg1[0] != leg2[0]:
+            # Both legs on one layer need no hole; the joint is copper.
+            builder.drill(v)
         builder.add_link(
             leg2[0], grid.via_to_grid(v), grid.via_to_grid(conn.b), leg2[1]
         )
@@ -285,11 +287,14 @@ def try_two_via(
                 leg1[0], grid.via_to_grid(conn.a), grid.via_to_grid(v),
                 leg1[1],
             )
-            builder.drill(v)
+            if leg1[0] != leg2[0]:
+                # Same-layer joints need no hole (see try_one_via).
+                builder.drill(v)
             builder.add_link(
                 leg2[0], grid.via_to_grid(v), grid.via_to_grid(w), leg2[1]
             )
-            builder.drill(w)
+            if leg2[0] != leg3[0]:
+                builder.drill(w)
             builder.add_link(
                 leg3[0], grid.via_to_grid(w), grid.via_to_grid(conn.b),
                 leg3[1],

@@ -30,7 +30,14 @@ class RoutingResult:
     connections: List[Connection]
     routed_by: Dict[int, Strategy] = field(default_factory=dict)
     failed: List[int] = field(default_factory=list)
+    #: Net rip-up displacements: victims whose route did NOT go back
+    #: unchanged during putback.  Victims restored exactly where they
+    #: were are counted in :attr:`putback_count` instead — counting them
+    #: here would overstate how much wiring rip-up actually moved.
     rip_up_count: int = 0
+    #: Rip-up victims restored unchanged by putback (Section 8.3: "Most
+    #: can be re-inserted").
+    putback_count: int = 0
     passes: int = 0
     cpu_seconds: float = 0.0
     lee_expansions: int = 0
@@ -113,6 +120,7 @@ class RoutingResult:
             "complete": self.complete,
             "percent_lee": round(self.percent_lee, 1),
             "rip_ups": self.rip_up_count,
+            "putbacks": self.putback_count,
             "vias_per_conn": round(self.vias_per_connection, 2),
             "passes": self.passes,
             "cpu_seconds": round(self.cpu_seconds, 2),

@@ -18,6 +18,8 @@ from repro.channels.workspace import RouteRecord, RoutingWorkspace
 from repro.core.single_layer import obstructions
 from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Box
+from repro.obs.events import PutbackResult, RipUpVictims
+from repro.obs.sinks import NULL_SINK, EventSink
 
 
 def select_victims(
@@ -25,11 +27,16 @@ def select_victims(
     point: ViaPoint,
     rip_radius: int,
     passable: FrozenSet[int] = frozenset(),
+    sink: EventSink = NULL_SINK,
+    for_conn: int = -1,
+    attempt: int = 0,
 ) -> Set[int]:
     """Connections obstructing the neighborhood of ``point``.
 
     ``rip_radius`` is in via-grid units.  Only routed connections are
-    returned; pins and tesselation fill are immovable.
+    returned; pins and tesselation fill are immovable.  When victims are
+    found, a :class:`repro.obs.events.RipUpVictims` event is emitted on
+    ``sink`` naming them (``for_conn`` is the instigating connection).
     """
     grid = workspace.grid
     center = grid.via_to_grid(point)
@@ -40,11 +47,18 @@ def select_victims(
     owners: Set[int] = set()
     for layer in workspace.layers:
         owners |= obstructions(layer, center, box, passable)
-    return {
+    victims = {
         owner
         for owner in owners
         if is_rippable_owner(owner) and workspace.is_routed(owner)
     }
+    if victims and sink.enabled:
+        sink.emit(
+            RipUpVictims(
+                for_conn, point, rip_radius, tuple(sorted(victims)), attempt
+            )
+        )
+    return victims
 
 
 def rip_up(
@@ -57,17 +71,23 @@ def rip_up(
 
 
 def put_back(
-    workspace: RoutingWorkspace, ripped: Dict[int, RouteRecord]
+    workspace: RoutingWorkspace,
+    ripped: Dict[int, RouteRecord],
+    sink: EventSink = NULL_SINK,
 ) -> List[int]:
     """Re-insert ripped-up routes exactly where they were.
 
     Returns the connection ids that could not be restored and must be
-    marked for re-routing in the connection list.
+    marked for re-routing in the connection list.  Each restore attempt
+    emits a :class:`repro.obs.events.PutbackResult` event on ``sink``.
     """
     failed: List[int] = []
     for conn_id, record in ripped.items():
         if workspace.is_routed(conn_id):
             continue  # already re-routed meanwhile
-        if not workspace.restore_record(record):
+        restored = workspace.restore_record(record)
+        if not restored:
             failed.append(conn_id)
+        if sink.enabled:
+            sink.emit(PutbackResult(conn_id, restored))
     return failed

@@ -10,8 +10,9 @@ connections.  This stops infinite looping on impossible problems."
 
 from __future__ import annotations
 
+import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.board.board import Board
@@ -25,6 +26,22 @@ from repro.core.result import RoutingResult, Strategy
 from repro.core.ripup import rip_up, select_victims
 from repro.core.sorting import sort_connections
 from repro.grid.coords import ViaPoint
+from repro.obs.audit import WorkspaceAuditor
+from repro.obs.events import (
+    AuditRun,
+    ConnectionFailed,
+    ConnectionRouted,
+    PassEnd,
+    PassStart,
+    PutbackResult,
+    StrategyAttempt,
+)
+from repro.obs.sinks import NULL_SINK, EventSink
+
+
+def _audit_default() -> bool:
+    """Audit after every pass when ``GRR_AUDIT`` is set (CI's audit tier)."""
+    return os.environ.get("GRR_AUDIT", "") not in ("", "0")
 
 
 @dataclass
@@ -66,6 +83,10 @@ class RouterConfig:
     #: result is always exactly the serial result (pure-accelerator
     #: guarantee).  Disable for ablation of the fallback cost.
     parity_fallback: bool = True
+    #: Run the :class:`repro.obs.WorkspaceAuditor` after every pass
+    #: (and after every parallel merge), raising on any violation.
+    #: Defaults on when the ``GRR_AUDIT`` environment variable is set.
+    audit: bool = field(default_factory=_audit_default)
 
     def __post_init__(self) -> None:
         if self.radius < 0:
@@ -88,6 +109,7 @@ def make_router(
     board: Board,
     config: Optional[RouterConfig] = None,
     workspace: Optional[RoutingWorkspace] = None,
+    sink: Optional[EventSink] = None,
 ):
     """Build the router the config asks for.
 
@@ -95,14 +117,15 @@ def make_router(
     :class:`GreedyRouter`; ``workers > 1`` gives the wave-parallel
     :class:`repro.parallel.ParallelRouter`, which shares the same
     ``route()`` contract.  The import is deferred because the parallel
-    package builds on this module.
+    package builds on this module.  ``sink`` receives the routing event
+    stream (``repro.obs``); None keeps the zero-overhead null sink.
     """
     cfg = config or RouterConfig()
     if cfg.workers > 1:
         from repro.parallel import ParallelRouter
 
-        return ParallelRouter(board, cfg, workspace)
-    return GreedyRouter(board, cfg, workspace)
+        return ParallelRouter(board, cfg, workspace, sink)
+    return GreedyRouter(board, cfg, workspace, sink)
 
 
 class GreedyRouter:
@@ -113,10 +136,13 @@ class GreedyRouter:
         board: Board,
         config: Optional[RouterConfig] = None,
         workspace: Optional[RoutingWorkspace] = None,
+        sink: Optional[EventSink] = None,
     ) -> None:
         self.board = board
         self.config = config or RouterConfig()
         self.workspace = workspace or RoutingWorkspace(board)
+        #: Routing event stream (repro.obs); the null sink by default.
+        self.sink = sink if sink is not None else NULL_SINK
         #: Per-phase CPU profile (Section 12), refreshed by each route().
         self.profile = RouterProfile()
 
@@ -140,6 +166,7 @@ class GreedyRouter:
         ]
         previous = len(unrouted) + 1
         stalled = 0
+        sink = self.sink
         while unrouted and result.passes < cfg.max_passes:
             if len(unrouted) < previous:
                 stalled = 0
@@ -149,16 +176,35 @@ class GreedyRouter:
                     break  # no progress: the problem is too hard (§8.4)
             previous = len(unrouted)
             result.passes += 1
+            if sink.enabled:
+                sink.emit(PassStart(result.passes, len(unrouted)))
             for conn in unrouted:
                 if self.workspace.is_routed(conn.conn_id):
                     continue  # restored during an earlier putback
                 self._route_connection(conn, result)
+            pending_before = len(unrouted)
             unrouted = [
                 c for c in ordered if not self.workspace.is_routed(c.conn_id)
             ]
+            if sink.enabled:
+                sink.emit(
+                    PassEnd(result.passes, pending_before, len(unrouted))
+                )
+            if cfg.audit:
+                self._audit(f"pass {result.passes}")
         result.failed = [c.conn_id for c in unrouted]
         result.cpu_seconds = time.perf_counter() - started
         return result
+
+    def _audit(self, context: str) -> None:
+        """Verify workspace invariants, emit the event, raise on breakage."""
+        report = WorkspaceAuditor(self.workspace).audit()
+        if self.sink.enabled:
+            self.sink.emit(AuditRun(context, len(report.violations)))
+        if not report.ok:
+            from repro.obs.audit import WorkspaceAuditError
+
+            raise WorkspaceAuditError(report, context)
 
     # ------------------------------------------------------------------
     # per-connection strategy stack
@@ -171,11 +217,12 @@ class GreedyRouter:
         )
 
     def _try_strategies(
-        self, conn: Connection, passable: FrozenSet[int]
+        self, conn: Connection, passable: FrozenSet[int], attempt: int = 0
     ) -> Tuple[Optional[RouteRecord], Optional[Strategy], Optional[LeeSearchResult]]:
         """One attempt through zero-via, one-via and Lee."""
         cfg = self.config
         ws = self.workspace
+        sink = self.sink
         if conn.a == conn.b:
             # Degenerate connection (both pins on one via site — possible
             # for stacked pin models); it is trivially connected.
@@ -186,6 +233,12 @@ class GreedyRouter:
                 record = try_zero_via(
                     ws, conn, cfg.radius, passable, cfg.max_gaps
                 )
+            if sink.enabled:
+                sink.emit(
+                    StrategyAttempt(
+                        conn.conn_id, "zero_via", record is not None, attempt
+                    )
+                )
             if record is not None:
                 return record, Strategy.ZERO_VIA, None
         if cfg.enable_one_via:
@@ -193,12 +246,24 @@ class GreedyRouter:
                 record = try_one_via(
                     ws, conn, cfg.radius, passable, cfg.max_gaps
                 )
+            if sink.enabled:
+                sink.emit(
+                    StrategyAttempt(
+                        conn.conn_id, "one_via", record is not None, attempt
+                    )
+                )
             if record is not None:
                 return record, Strategy.ONE_VIA, None
         if cfg.enable_two_via:
             with self.profile.measure("two_via"):
                 record = try_two_via(
                     ws, conn, cfg.radius, passable, cfg.max_gaps
+                )
+            if sink.enabled:
+                sink.emit(
+                    StrategyAttempt(
+                        conn.conn_id, "two_via", record is not None, attempt
+                    )
                 )
             if record is not None:
                 return record, Strategy.TWO_VIA, None
@@ -212,6 +277,13 @@ class GreedyRouter:
                     cost_fn=cfg.cost_fn,
                     max_expansions=cfg.max_lee_expansions,
                     max_gaps=cfg.max_gaps,
+                    sink=sink,
+                )
+            if sink.enabled:
+                sink.emit(
+                    StrategyAttempt(
+                        conn.conn_id, "lee", search.routed, attempt
+                    )
                 )
             if search.routed:
                 return search.record, Strategy.LEE, search
@@ -244,16 +316,30 @@ class GreedyRouter:
         """Route one connection, ripping up obstacles if necessary."""
         cfg = self.config
         ws = self.workspace
+        sink = self.sink
         passable = self.passable_for(conn)
         ripped: Dict[int, Tuple[RouteRecord, Optional[Strategy]]] = {}
         routed = False
+        attempt = 0
         for attempt in range(cfg.max_ripup_rounds + 1):
-            record, strategy, search = self._try_strategies(conn, passable)
+            record, strategy, search = self._try_strategies(
+                conn, passable, attempt
+            )
             if search is not None:
                 result.lee_expansions += search.expansions
             if record is not None:
                 result.routed_by[conn.conn_id] = strategy
                 routed = True
+                if sink.enabled:
+                    sink.emit(
+                        ConnectionRouted(
+                            conn.conn_id,
+                            strategy.value,
+                            attempt,
+                            record.via_count,
+                            record.wire_length,
+                        )
+                    )
                 break
             if not cfg.enable_ripup or attempt == cfg.max_ripup_rounds:
                 break
@@ -265,26 +351,44 @@ class GreedyRouter:
                 rip_radius = cfg.rip_radius + attempt // 2
                 for point in self._rip_points(conn, search):
                     victims = select_victims(
-                        ws, point, rip_radius, passable
+                        ws,
+                        point,
+                        rip_radius,
+                        passable,
+                        sink=sink,
+                        for_conn=conn.conn_id,
+                        attempt=attempt,
                     )
                     if victims:
                         break
             if not victims:
                 break  # nothing movable is in the way; truly stuck
             removed = rip_up(ws, victims)
-            result.rip_up_count += len(removed)
             for conn_id, route_record in removed.items():
                 previous = result.routed_by.pop(conn_id, None)
                 ripped[conn_id] = (route_record, previous)
+        if not routed and sink.enabled:
+            sink.emit(ConnectionFailed(conn.conn_id, attempt + 1))
         # Putback (Section 8.3): most ripped-up connections fit back
-        # unchanged; the rest stay unrouted and a later pass re-routes them.
+        # unchanged; the rest stay unrouted and a later pass re-routes
+        # them.  Only victims that do NOT go back unchanged count as
+        # rip-up displacements; unchanged restores count as putbacks.
         if ripped:
             with self.profile.measure("putback"):
                 for conn_id, (route_record, previous) in ripped.items():
                     if ws.is_routed(conn_id):
+                        result.rip_up_count += 1  # displaced: re-routed
                         continue
-                    if ws.restore_record(route_record):
+                    restored = ws.restore_record(route_record)
+                    if restored:
+                        result.putback_count += 1
                         result.routed_by[conn_id] = (
                             previous or Strategy.PUTBACK
+                        )
+                    else:
+                        result.rip_up_count += 1
+                    if sink.enabled:
+                        sink.emit(
+                            PutbackResult(conn_id, restored, conn.conn_id)
                         )
         return routed

@@ -1,0 +1,190 @@
+"""Typed routing events: the machine-readable trace of a routing run.
+
+Every event is a frozen dataclass with a class-level ``kind`` tag and a
+:meth:`RouteEvent.to_dict` that flattens it to JSON-ready primitives
+(``ViaPoint``/tuples become lists).  Events are only ever *constructed*
+behind an ``if sink.enabled:`` guard at the emit site, so a disabled run
+pays one attribute load per site and nothing else.
+
+The event vocabulary (see ``docs/OBSERVABILITY.md`` for the schema):
+
+==================  ====================================================
+kind                emitted when
+==================  ====================================================
+``pass_start``      the serial pass loop starts a pass
+``pass_end``        a pass finishes (with before/after unrouted counts)
+``strategy``        one strategy attempt on one connection resolves
+``lee_exhausted``   a Lee wavefront dies, with the best points (§8.3)
+``rip_up``          rip-up victims are selected around a point
+``putback``         one ripped-up victim is restored (or fails to be)
+``routed``          a connection's route is finally installed
+``failed``          a connection exhausts every strategy and rip-up round
+``wave_start``      the parallel router fans out one wave
+``wave_end``        one wave's merge completes
+``merge_demoted``   a wave record collides in the merge and is demoted
+``improve``         the improvement pass re-routes one detour
+``audit``           a workspace audit ran (violation count included)
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar, Dict, Optional, Tuple
+
+
+def _plain(value):
+    """Flatten one field value to JSON-ready primitives."""
+    if isinstance(value, tuple):  # ViaPoint is a NamedTuple
+        return [_plain(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RouteEvent:
+    """Base class: every event is a frozen dataclass with a ``kind`` tag."""
+
+    kind: ClassVar[str] = "event"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready flat dict: ``{"event": kind, **fields}``."""
+        out: Dict[str, object] = {"event": self.kind}
+        for f in fields(self):
+            out[f.name] = _plain(getattr(self, f.name))
+        return out
+
+
+@dataclass(frozen=True)
+class PassStart(RouteEvent):
+    """The serial pass loop begins pass ``index`` over ``pending`` conns."""
+
+    kind: ClassVar[str] = "pass_start"
+    index: int
+    pending: int
+
+
+@dataclass(frozen=True)
+class PassEnd(RouteEvent):
+    """Pass ``index`` ended leaving ``unrouted`` of ``pending`` connections."""
+
+    kind: ClassVar[str] = "pass_end"
+    index: int
+    pending: int
+    unrouted: int
+
+
+@dataclass(frozen=True)
+class StrategyAttempt(RouteEvent):
+    """One strategy resolved (succeeded or failed) for one connection."""
+
+    kind: ClassVar[str] = "strategy"
+    conn_id: int
+    strategy: str
+    routed: bool
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class LeeExhausted(RouteEvent):
+    """A Lee wavefront died; ``best_a``/``best_b`` seed rip-up (§8.3)."""
+
+    kind: ClassVar[str] = "lee_exhausted"
+    conn_id: int
+    side: str
+    reason: str
+    expansions: int
+    best_a: Optional[Tuple[int, int]] = None
+    best_b: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class RipUpVictims(RouteEvent):
+    """Victims were selected around ``point`` for connection ``for_conn``."""
+
+    kind: ClassVar[str] = "rip_up"
+    for_conn: int
+    point: Tuple[int, int]
+    radius: int
+    victims: Tuple[int, ...]
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class PutbackResult(RouteEvent):
+    """One ripped-up victim was (or could not be) restored unchanged."""
+
+    kind: ClassVar[str] = "putback"
+    conn_id: int
+    restored: bool
+    for_conn: int = -1
+
+
+@dataclass(frozen=True)
+class ConnectionRouted(RouteEvent):
+    """A connection's route was installed by ``strategy``."""
+
+    kind: ClassVar[str] = "routed"
+    conn_id: int
+    strategy: str
+    attempt: int
+    vias: int
+    wire_length: int
+
+
+@dataclass(frozen=True)
+class ConnectionFailed(RouteEvent):
+    """A connection exhausted every strategy and rip-up round this pass."""
+
+    kind: ClassVar[str] = "failed"
+    conn_id: int
+    attempts: int
+
+
+@dataclass(frozen=True)
+class WaveStart(RouteEvent):
+    """The parallel router fans out one wave of groups."""
+
+    kind: ClassVar[str] = "wave_start"
+    wave: int
+    groups: int
+    connections: int
+
+
+@dataclass(frozen=True)
+class WaveEnd(RouteEvent):
+    """One wave merged: ``merged`` installed, ``demoted`` collided."""
+
+    kind: ClassVar[str] = "wave_end"
+    wave: int
+    merged: int
+    demoted: int
+    failed: int
+
+
+@dataclass(frozen=True)
+class MergeDemoted(RouteEvent):
+    """A wave record collided with the master state and was demoted."""
+
+    kind: ClassVar[str] = "merge_demoted"
+    conn_id: int
+    wave: int
+
+
+@dataclass(frozen=True)
+class ImproveAttempt(RouteEvent):
+    """The improvement pass re-routed one detoured connection."""
+
+    kind: ClassVar[str] = "improve"
+    conn_id: int
+    wire_before: int
+    wire_after: int
+    kept: bool
+
+
+@dataclass(frozen=True)
+class AuditRun(RouteEvent):
+    """A workspace audit completed (``violations == 0`` on a clean board)."""
+
+    kind: ClassVar[str] = "audit"
+    context: str
+    violations: int

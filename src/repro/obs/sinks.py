@@ -1,0 +1,96 @@
+"""Event sinks: where the routing event stream goes.
+
+The contract is deliberately tiny so emit sites stay cheap:
+
+* ``sink.enabled`` — a plain attribute the hot path reads before
+  constructing an event.  :data:`NULL_SINK` (the default everywhere)
+  answers ``False``, so a run without tracing pays one attribute load
+  per emit site and never builds an event object.
+* ``sink.emit(event)`` — called only when ``enabled`` is true.
+* ``sink.close()`` — flush/release; sinks are also context managers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.obs.events import RouteEvent
+
+
+class EventSink:
+    """Base sink: enabled, collects nothing.  Subclass and override."""
+
+    #: Hot-path guard: emit sites skip event construction when False.
+    enabled: bool = True
+
+    def emit(self, event: RouteEvent) -> None:
+        """Receive one event (only called when ``enabled``)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources; idempotent."""
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(EventSink):
+    """The disabled sink: drops everything, reports ``enabled = False``."""
+
+    enabled = False
+
+    def emit(self, event: RouteEvent) -> None:  # pragma: no cover - guarded
+        pass
+
+
+#: Shared default sink; routers that are given no sink use this.
+NULL_SINK = NullSink()
+
+
+class RingBufferSink(EventSink):
+    """Keep the last ``capacity`` events in memory (tests, debugging)."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.events: deque = deque(maxlen=capacity)
+
+    def emit(self, event: RouteEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[RouteEvent]:
+        return iter(self.events)
+
+    def by_kind(self, kind: str) -> List[RouteEvent]:
+        """All buffered events with the given ``kind`` tag, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlSink(EventSink):
+    """Append events as JSON lines to a file or stream (``--trace``)."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        self._owns_stream = isinstance(target, str)
+        self._stream: Optional[IO[str]] = (
+            open(target, "w") if isinstance(target, str) else target
+        )
+        self.emitted = 0
+
+    def emit(self, event: RouteEvent) -> None:
+        assert self._stream is not None, "sink is closed"
+        self._stream.write(json.dumps(event.to_dict()) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._stream is None:
+            return
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+        self._stream = None

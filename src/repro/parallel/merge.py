@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
 from repro.core.result import RoutingResult, Strategy
+from repro.obs.events import MergeDemoted
+from repro.obs.sinks import NULL_SINK, EventSink
 
 from repro.parallel.worker import GroupResult
 
@@ -36,6 +38,7 @@ def merge_wave(
     group_results: Sequence[GroupResult],
     result: RoutingResult,
     rank: Optional[Dict[int, int]] = None,
+    sink: EventSink = NULL_SINK,
 ) -> MergeOutcome:
     """Fold one wave's group results into the master workspace/result.
 
@@ -46,6 +49,10 @@ def merge_wave(
     wave uses the master's sorted routing order so that when two shards
     did claim the same space, the connection the serial router would have
     routed first wins and the other is demoted.
+
+    Each rejected record emits a :class:`repro.obs.events.MergeDemoted`
+    event on ``sink`` (the wave number is the one this merge completes,
+    ``result.waves + 1``).
     """
     outcome = MergeOutcome()
     ordered: List[GroupResult] = sorted(
@@ -63,10 +70,13 @@ def merge_wave(
         merged_records.sort(
             key=lambda pair: rank.get(pair[0].conn_id, len(rank))
         )
+    wave = result.waves + 1
     for record, strategy in merged_records:
         if workspace.apply_record(record):
             result.routed_by[record.conn_id] = strategy
             outcome.merged += 1
         else:
             outcome.demoted.add(record.conn_id)
+            if sink.enabled:
+                sink.emit(MergeDemoted(record.conn_id, wave))
     return outcome

@@ -43,6 +43,9 @@ from repro.channels.workspace import RoutingWorkspace
 from repro.core.profiling import RouterProfile
 from repro.core.result import RoutingResult
 from repro.core.sorting import sort_connections
+from repro.obs.audit import WorkspaceAuditError, WorkspaceAuditor
+from repro.obs.events import AuditRun, WaveEnd, WaveStart
+from repro.obs.sinks import NULL_SINK, EventSink
 
 from repro.parallel.merge import merge_wave
 from repro.parallel.partition import (
@@ -72,12 +75,17 @@ class ParallelRouter:
         board: Board,
         config=None,
         workspace: Optional[RoutingWorkspace] = None,
+        sink: Optional[EventSink] = None,
     ) -> None:
         from repro.core.router import RouterConfig
 
         self.board = board
         self.config = config or RouterConfig(workers=2)
         self.workspace = workspace or RoutingWorkspace(board)
+        #: Master-side routing event stream (repro.obs).  Wave children
+        #: route in other processes and are not traced; their outcomes
+        #: surface here as merge/demotion events.
+        self.sink = sink if sink is not None else NULL_SINK
         self.profile = RouterProfile()
 
     # ------------------------------------------------------------------
@@ -182,6 +190,7 @@ class ParallelRouter:
         wave_cfg = worker_config(cfg)
         pending = [c for c in ordered if not ws.is_routed(c.conn_id)]
 
+        sink = self.sink
         if cfg.workers > 1:
             for axis, offset in WAVE_SPECS:
                 if not pending:
@@ -200,14 +209,35 @@ class ParallelRouter:
                     # A single strip would just be serial routing with
                     # pool overhead; leave the rest to the residue phase.
                     continue
+                if sink.enabled:
+                    sink.emit(
+                        WaveStart(
+                            result.waves + 1,
+                            len(groups),
+                            sum(len(g.connections) for g in groups),
+                        )
+                    )
                 with self.profile.measure("wave"):
                     group_results = self._run_wave(groups, wave_cfg)
                 for group_result in group_results:
                     self.profile.merge(group_result.profile)
                 with self.profile.measure("merge"):
-                    outcome = merge_wave(ws, group_results, result)
+                    outcome = merge_wave(
+                        ws, group_results, result, sink=sink
+                    )
                 result.waves += 1
                 result.demoted += len(outcome.demoted)
+                if sink.enabled:
+                    sink.emit(
+                        WaveEnd(
+                            result.waves,
+                            outcome.merged,
+                            len(outcome.demoted),
+                            len(outcome.failed),
+                        )
+                    )
+                if cfg.audit:
+                    self._audit(f"wave {result.waves} merge")
                 carry = {c.conn_id for c in leftover}
                 carry |= outcome.demoted | outcome.failed
                 pending = [
@@ -228,15 +258,34 @@ class ParallelRouter:
             with self.profile.measure("partition"):
                 groups = shard_round_robin(pending, cfg.workers)
             if len(groups) >= 2:
+                if sink.enabled:
+                    sink.emit(
+                        WaveStart(
+                            result.waves + 1, len(groups), len(pending)
+                        )
+                    )
                 with self.profile.measure("wave"):
                     group_results = self._run_wave(groups, wave_cfg)
                 for group_result in group_results:
                     self.profile.merge(group_result.profile)
                 with self.profile.measure("merge"):
                     rank = {c.conn_id: i for i, c in enumerate(pending)}
-                    outcome = merge_wave(ws, group_results, result, rank)
+                    outcome = merge_wave(
+                        ws, group_results, result, rank, sink=sink
+                    )
                 result.waves += 1
                 result.demoted += len(outcome.demoted)
+                if sink.enabled:
+                    sink.emit(
+                        WaveEnd(
+                            result.waves,
+                            outcome.merged,
+                            len(outcome.demoted),
+                            len(outcome.failed),
+                        )
+                    )
+                if cfg.audit:
+                    self._audit(f"wave {result.waves} merge")
                 pending = [
                     c for c in pending if not ws.is_routed(c.conn_id)
                 ]
@@ -244,11 +293,14 @@ class ParallelRouter:
         # Serial residue: the unchanged strategy stack (rip-up included)
         # over everything still unrouted, exactly as if those connections
         # had reached the hard tail of a serial run.
-        serial = GreedyRouter(self.board, self._serial_config(), workspace=ws)
+        serial = GreedyRouter(
+            self.board, self._serial_config(), workspace=ws, sink=sink
+        )
         serial_result = serial.route(ordered)
         self.profile.merge(serial.profile)
         result.passes += serial_result.passes
         result.rip_up_count += serial_result.rip_up_count
+        result.putback_count += serial_result.putback_count
         result.lee_expansions += serial_result.lee_expansions
         result.routed_by.update(serial_result.routed_by)
         # The residue's rip-ups may have removed wave-routed connections
@@ -268,6 +320,14 @@ class ParallelRouter:
         result.cpu_seconds = time.perf_counter() - started
         return result
 
+    def _audit(self, context: str) -> None:
+        """Verify master invariants after a merge; raise on breakage."""
+        report = WorkspaceAuditor(self.workspace).audit()
+        if self.sink.enabled:
+            self.sink.emit(AuditRun(context, len(report.violations)))
+        if not report.ok:
+            raise WorkspaceAuditError(report, context)
+
     def _serial_config(self):
         """The config for serial phases (single worker, same knobs)."""
         from dataclasses import replace
@@ -286,7 +346,9 @@ class ParallelRouter:
         from repro.core.router import GreedyRouter
 
         fresh = RoutingWorkspace(self.board)
-        serial = GreedyRouter(self.board, self._serial_config(), fresh)
+        serial = GreedyRouter(
+            self.board, self._serial_config(), fresh, sink=self.sink
+        )
         result = serial.route(connections)
         self.workspace = fresh
         self.profile.merge(serial.profile)

@@ -94,11 +94,15 @@ def connection_is_path(
         if goal not in seen:
             return False
         if i:
-            if record.links[i - 1].b != link.a:
+            prev = record.links[i - 1]
+            if prev.b != link.a:
                 return False
-            junction = grid.grid_to_via(link.a)
-            if not workspace.via_map.is_drilled(junction):
-                return False
+            if prev.layer_index != link.layer_index:
+                # A hole is required only when the path changes layer;
+                # same-layer junctions carry the signal in copper.
+                junction = grid.grid_to_via(link.a)
+                if not workspace.via_map.is_drilled(junction):
+                    return False
     return True
 
 

@@ -64,6 +64,10 @@ def assert_route_connected(
         if i:
             prev = record.links[i - 1]
             assert prev.b == link.a, "links do not chain at a shared via"
+            if prev.layer_index == link.layer_index:
+                # Same-layer junction: no hole needed (and the retrace
+                # no longer drills one there).
+                continue
             junction = grid.grid_to_via(link.a)
             owner = workspace.via_map.drilled_owner(junction)
             assert owner is not None, f"no via drilled at junction {junction}"

@@ -104,6 +104,47 @@ class TestParallelRoute:
             )
 
 
+class TestTraceAndAudit:
+    def test_route_with_trace_and_audit(self, files, tmp_path, capsys):
+        import json
+
+        trace = str(tmp_path / "trace.jsonl")
+        main(["generate", files["board"], "--config", "tna",
+              "--scale", "0.25", "--seed", "2"])
+        main(["string", files["board"], files["conns"]])
+        assert main(
+            [
+                "route", files["board"], files["conns"], files["routes"],
+                "--trace", trace, "--audit",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "audit: all post-pass invariant checks passed" in out
+        events = [
+            json.loads(line)
+            for line in open(trace)
+        ]
+        assert events, "trace must not be empty"
+        kinds = {e["event"] for e in events}
+        assert {"pass_start", "pass_end", "strategy", "routed"} <= kinds
+        assert "audit" in kinds  # --audit emits AuditRun events
+        assert all(
+            e["violations"] == 0 for e in events if e["event"] == "audit"
+        )
+
+    def test_audit_env_var_enables_audit(self, files, capsys, monkeypatch):
+        monkeypatch.setenv("GRR_AUDIT", "1")
+        main(["generate", files["board"], "--config", "tna",
+              "--scale", "0.25", "--seed", "2"])
+        main(["string", files["board"], files["conns"]])
+        assert main(
+            ["route", files["board"], files["conns"], files["routes"]]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "audit: all post-pass invariant checks passed" in out
+
+
 class TestFailurePath:
     @pytest.mark.slow
     def test_route_failure_exit_code(self, files):

@@ -2,6 +2,7 @@
 
 
 from repro.board.board import Board
+from repro.channels.segment import FILL_OWNER
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.improve import improve_routes
 from repro.core.router import GreedyRouter
@@ -19,12 +20,15 @@ class TestImproveRoutes:
         board = Board.create(via_nx=16, via_ny=12, n_signal_layers=2)
         conn = make_connection(board, ViaPoint(2, 4), ViaPoint(13, 4))
         ws = RoutingWorkspace(board)
-        # A temporary wall forces a detour on the straight row.
+        # A temporary wall forces a detour on the straight row.  It is a
+        # raw obstacle, not a route, so it carries the non-rippable fill
+        # owner (a fake connection owner would trip the record-segment
+        # invariant under GRR_AUDIT=1).
         blockers = []
         for layer_index, layer in enumerate(ws.layers):
             c, x = layer.point_cc(ws.grid.via_to_grid(ViaPoint(7, 4)))
             blockers.extend(
-                ws.add_segment(layer_index, c, x - 2, x + 2, owner=99)
+                ws.add_segment(layer_index, c, x - 2, x + 2, owner=FILL_OWNER)
             )
         router = GreedyRouter(board, workspace=ws)
         result = router.route([conn])
@@ -32,7 +36,7 @@ class TestImproveRoutes:
         detoured = ws.records[conn.conn_id].wire_length
         # Remove the blocker: the direct corridor opens up.
         for seg in blockers:
-            ws.remove_segment(*seg, owner=99)
+            ws.remove_segment(*seg, owner=FILL_OWNER)
         stats = improve_routes(router, [conn], detour_threshold=1.05)
         assert stats.attempted == 1
         assert stats.improved == 1

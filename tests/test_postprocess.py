@@ -45,8 +45,11 @@ class TestLinkPolyline:
         conn = make_connection(board, ViaPoint(2, 4), ViaPoint(12, 4))
         from repro.channels.workspace import RoutingWorkspace
 
+        from repro.channels.segment import FILL_OWNER
+
         ws = RoutingWorkspace(board)
-        ws.add_segment(0, 12, 20, 25, owner=50)  # force a jog on row 12
+        # Force a jog on row 12 with a non-rippable raw obstacle.
+        ws.add_segment(0, 12, 20, 25, owner=FILL_OWNER)
         router = GreedyRouter(board, workspace=ws)
         result = router.route([conn])
         assert result.complete

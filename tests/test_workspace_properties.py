@@ -2,22 +2,31 @@
 
 Random interleavings of segment adds/removes, via drills/undrills, fills
 and unfills must leave the via map exactly equal to a recount of the
-layers — the coherence the paper's Section 4 design depends on.
+layers — the coherence the paper's Section 4 design depends on.  A
+second fuzz drives the *router-level* operations (route, rip-up,
+putback, improve) and runs the full :class:`repro.obs.WorkspaceAuditor`
+after every single step.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.board.board import Board
 from repro.channels.channel import ChannelConflictError
-from repro.channels.workspace import RoutingWorkspace
+from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.improve import improve_routes
+from repro.core.result import RoutingResult
+from repro.core.ripup import put_back, rip_up
+from repro.core.router import GreedyRouter
 from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Box
+from repro.obs import WorkspaceAuditor
 
+from tests.conftest import make_connection
 from tests.helpers import assert_workspace_consistent
 
 VIA_N = 5
@@ -148,3 +157,69 @@ def test_full_unwind_restores_empty_board(ops):
     assert ws.used_cells() == 0
     assert ws.via_map.used_via_count() == 0
     assert_workspace_consistent(ws)
+
+
+# ---------------------------------------------------------------------------
+# router-level fuzz: every step leaves zero auditor violations
+# ---------------------------------------------------------------------------
+
+N_CONNS = 4
+
+router_op = st.one_of(
+    st.tuples(st.just("route"), st.integers(0, N_CONNS - 1)),
+    st.tuples(st.just("ripup"), st.integers(0, N_CONNS - 1)),
+    st.tuples(st.just("putback"), st.just(0)),
+    st.tuples(st.just("improve"), st.just(0)),
+)
+
+# Distinct pin sites: 2 per connection, drawn without replacement.
+pin_sites = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 9)),
+    min_size=2 * N_CONNS,
+    max_size=2 * N_CONNS,
+    unique=True,
+)
+
+
+@given(pin_sites, st.lists(router_op, min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_router_operations_never_break_invariants(sites, ops):
+    """Random route / rip-up / putback / improve sequences audit clean.
+
+    This is the auditor's reason to exist: whatever interleaving of the
+    router's mutating operations runs, the four cross-structure
+    invariants must hold after *every* step, not just at quiescence.
+    """
+    board = Board.create(via_nx=12, via_ny=10, n_signal_layers=2)
+    conns = [
+        make_connection(
+            board, ViaPoint(*sites[2 * i]), ViaPoint(*sites[2 * i + 1]),
+            conn_id=i,
+        )
+        for i in range(N_CONNS)
+    ]
+    router = GreedyRouter(board)
+    ws = router.workspace
+    auditor = WorkspaceAuditor(ws)
+    result = RoutingResult(workspace=ws, connections=conns)
+    ripped: Dict[int, RouteRecord] = {}
+    for op, index in ops:
+        conn = conns[index]
+        if op == "route":
+            if not ws.is_routed(conn.conn_id):
+                ripped.pop(conn.conn_id, None)
+                router._route_connection(conn, result)
+        elif op == "ripup":
+            if ws.is_routed(conn.conn_id):
+                ripped.update(rip_up(ws, {conn.conn_id}))
+        elif op == "putback":
+            failed = set(put_back(ws, ripped))
+            ripped = {
+                cid: rec for cid, rec in ripped.items() if cid in failed
+            }
+        else:
+            improve_routes(router, conns, detour_threshold=1.1)
+        report = auditor.audit()
+        assert report.ok, f"after {op}({index}): {report.summary()}"
+    report = auditor.audit()
+    assert report.ok, report.summary()

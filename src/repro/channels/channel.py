@@ -34,12 +34,23 @@ class ChannelConflictError(ValueError):
 class Channel:
     """Used segments along one grid line, sorted and disjoint."""
 
-    __slots__ = ("_los", "_his", "_owners")
+    __slots__ = ("_los", "_his", "_owners", "_owner_counts", "generation")
 
     def __init__(self) -> None:
         self._los: List[int] = []
         self._his: List[int] = []
         self._owners: List[int] = []
+        #: owner -> live segment count, maintained by add/remove so
+        #: owner-presence probes (the gap cache's base/passable routing
+        #: decision) cost O(1) per owner instead of a segment scan.
+        self._owner_counts: dict = {}
+        #: Monotonic mutation counter: bumped by every :meth:`add` that
+        #: inserts at least one piece and every successful :meth:`remove`.
+        #: :class:`repro.channels.gap_cache.GapCache` stamps its memoized
+        #: gap lists with this value, so a stale read is impossible as
+        #: long as all mutations go through add/remove (they do: every
+        #: workspace mutation funnels into these two methods).
+        self.generation: int = 0
 
     def __len__(self) -> int:
         return len(self._los)
@@ -90,19 +101,27 @@ class Channel:
 
         Passable segments count as free space, so gaps merge across them —
         this is how a connection walks over its own vias and traces.
+        Works on the parallel arrays directly: this is the hottest probe
+        in the router (every free-gap cache refill lands here), and the
+        per-segment ``Segment`` construction of :meth:`overlapping` was
+        measurable against it.
         """
         if hi < lo:
             return []
+        los, his, owners = self._los, self._his, self._owners
+        n = len(los)
         gaps: List[Tuple[int, int]] = []
         cursor = lo
-        for seg in self.overlapping(lo, hi):
-            if seg.owner in passable:
-                continue
-            if seg.lo > cursor:
-                gaps.append((cursor, seg.lo - 1))
-            cursor = max(cursor, seg.hi + 1)
-            if cursor > hi:
-                break
+        i = bisect_left(his, lo)
+        while i < n and los[i] <= hi:
+            if not passable or owners[i] not in passable:
+                if los[i] > cursor:
+                    gaps.append((cursor, los[i] - 1))
+                # Disjoint + sorted means his[i] + 1 only ever grows.
+                cursor = his[i] + 1
+                if cursor > hi:
+                    break
+            i += 1
         if cursor <= hi:
             gaps.append((cursor, hi))
         return gaps
@@ -143,6 +162,18 @@ class Channel:
         lo = left if left is not None else -(1 << 60)
         hi = right if right is not None else (1 << 60)
         return (lo, hi)
+
+    def owner_set(self) -> FrozenSet[int]:
+        """All owners with at least one segment in this channel."""
+        return frozenset(self._owner_counts)
+
+    def has_any_owner(self, owners: FrozenSet[int]) -> bool:
+        """True if any of ``owners`` has at least one segment here."""
+        counts = self._owner_counts
+        for owner in owners:
+            if owner in counts:
+                return True
+        return False
 
     def owners_in(
         self, lo: int, hi: int, passable: FrozenSet[int] = NO_PASSABLE
@@ -196,22 +227,53 @@ class Channel:
             self._los.insert(i, plo)
             self._his.insert(i, phi)
             self._owners.insert(i, owner)
+        if pieces:
+            counts = self._owner_counts
+            counts[owner] = counts.get(owner, 0) + len(pieces)
+            self.generation += 1
         return pieces
 
     def remove(self, lo: int, hi: int, owner: int) -> None:
-        """Remove the segment with exactly these bounds and owner."""
+        """Remove the segment with exactly these bounds and owner.
+
+        Disjointness makes ``lo`` values unique, but the lookup scans
+        forward past any equal-``lo`` candidates defensively (a broken
+        invariant should surface as a diagnosable KeyError below, not as
+        a silently wrong deletion).  On failure the KeyError names the
+        nearest actual segment, so auditor-reported removal failures say
+        what *is* there instead of a bare bounds mismatch.
+        """
         i = bisect_left(self._los, lo)
-        if (
-            i < len(self._los)
-            and self._los[i] == lo
-            and self._his[i] == hi
-            and self._owners[i] == owner
-        ):
-            del self._los[i]
-            del self._his[i]
-            del self._owners[i]
-            return
-        raise KeyError(f"no segment [{lo},{hi}] owned by {owner}")
+        j = i
+        while j < len(self._los) and self._los[j] == lo:
+            if self._his[j] == hi and self._owners[j] == owner:
+                del self._los[j]
+                del self._his[j]
+                del self._owners[j]
+                counts = self._owner_counts
+                remaining = counts[owner] - 1
+                if remaining:
+                    counts[owner] = remaining
+                else:
+                    del counts[owner]
+                self.generation += 1
+                return
+            j += 1
+        raise KeyError(
+            f"no segment [{lo},{hi}] owned by {owner}; "
+            f"nearest is {self._nearest_description(lo)}"
+        )
+
+    def _nearest_description(self, lo: int) -> str:
+        """Human-readable nearest segment to ``lo`` (for remove errors)."""
+        if not self._los:
+            return "nothing (channel is empty)"
+        i = bisect_left(self._los, lo)
+        candidates = [k for k in (i - 1, i) if 0 <= k < len(self._los)]
+        k = min(candidates, key=lambda k: abs(self._los[k] - lo))
+        return (
+            f"[{self._los[k]},{self._his[k]}] owned by {self._owners[k]}"
+        )
 
     def check_invariants(self) -> None:
         """Assert sortedness and disjointness (used by property tests)."""

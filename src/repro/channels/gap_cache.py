@@ -1,0 +1,238 @@
+"""Generation-stamped free-gap cache shared across searches.
+
+Section 7's three single-layer searches (*Trace*, *Vias*, *Obstructions*)
+all walk the same derived view — per-channel lists of maximal free gaps —
+and the Lee loop issues hundreds of such probes between consecutive board
+mutations.  Recomputing every channel's gap list per search (what the
+per-search ``_FreeSpace`` memo used to do) therefore repeats identical
+work hundreds of times.
+
+The cache memoizes, per channel:
+
+* a **base** full-span gap list (``passable`` ignored).  A probe whose
+  passable set is disjoint from the owners present in the channel gets
+  the *same* gap list a passable-aware recompute would produce (an O(1)
+  owner-count probe on the channel decides this), so one base entry
+  serves every connection — the common case, since a connection's own
+  segments and pins live in a handful of channels;
+* **passable-specific** full-span lists for the channels that do contain
+  a passable owner's segments; and
+* the **box-clipped** lists derived from either — a bisect-bounded slice
+  with the two end gaps clamped, O(log gaps + answer) instead of an
+  O(overlap) segment walk.
+
+Full-span views are built lazily, on the *second* distinct box probed
+per generation: the first probe after a mutation is served by a direct
+box-limited recompute (exactly what an uncached router would do) and
+only repeat traffic pays for — and then amortizes — the full-span
+build.  Channels probed once between mutations therefore cost the same
+as with no cache at all, while the hot channels of a Lee search get the
+full memoized treatment.
+
+Every entry is stamped with the channel's ``generation`` (a monotonic
+counter bumped by ``Channel.add``/``remove``); a lookup that finds a
+stale stamp discards that channel's entries and recomputes.  Because all
+workspace mutations funnel through add/remove, explicit invalidation
+calls are unnecessary and a stale read is structurally impossible — the
+property the hypothesis suite and the :class:`~repro.obs.audit.
+WorkspaceAuditor` (run under ``GRR_AUDIT=1``) both verify.
+
+Snapshots (:meth:`RoutingWorkspace.snapshot`, used by parallel wave
+workers) carry the generations with the channels but *reset* the cache:
+entries are cheap to rebuild and shipping them to spawn-based workers
+would be pure pickling overhead.  Forked workers inherit the parent's
+warm cache copy-on-write, which stays coherent for the same reason the
+parent's does — the generations travel with the channels.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.channels.layer_data import LayerData
+
+#: One cached full-span view: (gap list, their lo bounds, their hi bounds).
+_FullEntry = Tuple[List[Tuple[int, int]], List[int], List[int]]
+
+#: Passable-specific full-span variants kept per channel (only channels
+#: actually containing a passable owner's segments need one); exceeding
+#: it clears the channel's passable store.  Searches for one connection
+#: share a single passable set, so a handful covers the working set.
+MAX_FULL_VARIANTS = 8
+
+#: Distinct box-clipped lists kept per channel between mutations.
+MAX_CLIPPED = 64
+
+#: Entry slots: [generation, base full-span (None until promoted),
+#: base clip store, passable full-span store, passable clip store].
+_GEN, _BASE, _BASE_CLIPS, _PASS_FULLS, _PASS_CLIPS = range(5)
+
+#: ``_PASS_FULLS`` marker: this passable set was probed once this
+#: generation but its full-span view has not been built yet.
+_PROBED_ONCE = False
+
+
+class GapCache:
+    """Memoized ``(channel, box-clip, passable) -> gap list`` per layer.
+
+    One instance lives on each :class:`~repro.channels.layer_data.
+    LayerData` and persists across searches; ``_FreeSpace`` delegates its
+    gap-list fills here.  ``hits``/``misses`` count gap-list requests
+    served without / with a fresh ``free_gaps`` recompute — including
+    the per-search view's repeat serves, which credit ``hits`` directly,
+    so the counters describe every request the searches make of the
+    gap-serving subsystem.
+    """
+
+    __slots__ = ("layer", "enabled", "hits", "misses", "_entries")
+
+    def __init__(self, layer: "LayerData", enabled: bool = True) -> None:
+        self.layer = layer
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        #: channel_index -> entry list (see the slot constants above).
+        self._entries: Dict[int, list] = {}
+
+    def gaps(
+        self,
+        channel_index: int,
+        lo: int,
+        hi: int,
+        passable: FrozenSet[int],
+    ) -> List[Tuple[int, int]]:
+        """Free gaps of one channel clipped to ``[lo, hi]`` (memoized).
+
+        Equal to ``channel.free_gaps(lo, hi, passable)`` always; callers
+        must treat the returned list as immutable (it is shared).
+        """
+        channel = self.layer.channels[channel_index]
+        if not self.enabled:
+            self.misses += 1
+            return channel.free_gaps(lo, hi, passable)
+        generation = channel.generation
+        entry = self._entries.get(channel_index)
+        if entry is None or entry[_GEN] != generation:
+            entry = [generation, None, {}, {}, {}]
+            self._entries[channel_index] = entry
+        full_span = (0, self.layer.channel_length - 1)
+        if not passable or not channel.has_any_owner(passable):
+            # No passable owner has segments here: the passable-blind
+            # base view is exact for this probe, so one base entry
+            # serves every connection.
+            clipped_store = entry[_BASE_CLIPS]
+            key = (lo, hi)
+            clipped = clipped_store.get(key)
+            if clipped is not None:
+                self.hits += 1
+                return clipped
+            full = entry[_BASE]
+            if full is None:
+                self.misses += 1
+                if not clipped_store and key != full_span:
+                    # First box this generation: a direct box recompute
+                    # is what an uncached probe would cost; promote to a
+                    # full-span view only on a second distinct box.
+                    gaps = channel.free_gaps(lo, hi)
+                    clipped_store[key] = gaps
+                    return gaps
+                gaps = channel.free_gaps(*full_span)
+                full = (gaps, [g[0] for g in gaps], [g[1] for g in gaps])
+                entry[_BASE] = full
+            else:
+                self.hits += 1
+        else:
+            full_store: Dict[FrozenSet[int], object] = entry[_PASS_FULLS]
+            clipped_store = entry[_PASS_CLIPS]
+            key = (lo, hi, passable)
+            clipped = clipped_store.get(key)
+            if clipped is not None:
+                self.hits += 1
+                return clipped
+            full = full_store.get(passable)
+            if full is None or full is _PROBED_ONCE:
+                self.misses += 1
+                if len(full_store) >= MAX_FULL_VARIANTS:
+                    full_store.clear()
+                    clipped_store.clear()
+                if full is None and (lo, hi) != full_span:
+                    # Same promote-on-reuse rule, tracked per passable
+                    # set via the _PROBED_ONCE marker.
+                    full_store[passable] = _PROBED_ONCE
+                    gaps = channel.free_gaps(lo, hi, passable)
+                    if len(clipped_store) >= MAX_CLIPPED:
+                        clipped_store.clear()
+                    clipped_store[key] = gaps
+                    return gaps
+                gaps = channel.free_gaps(*full_span, passable)
+                full = (gaps, [g[0] for g in gaps], [g[1] for g in gaps])
+                full_store[passable] = full
+            else:
+                self.hits += 1
+        clipped = self._clip(full, lo, hi)
+        if len(clipped_store) >= MAX_CLIPPED:
+            clipped_store.clear()
+        clipped_store[key] = clipped
+        return clipped
+
+    @staticmethod
+    def _clip(
+        full: _FullEntry, lo: int, hi: int
+    ) -> List[Tuple[int, int]]:
+        """Intersect a full-span gap list with ``[lo, hi]``.
+
+        Freeness is pointwise, so the maximal free intervals of the box
+        are exactly the full-span intervals intersected with it.
+        """
+        gaps, los, his = full
+        i = bisect_left(his, lo)
+        j = bisect_right(los, hi)
+        if i >= j:
+            return []
+        clipped = gaps[i:j]
+        first_lo, first_hi = clipped[0]
+        if first_lo < lo:
+            clipped[0] = (lo, first_hi)
+        last_lo, last_hi = clipped[-1]
+        if last_hi > hi:
+            clipped[-1] = (last_lo, hi)
+        return clipped
+
+    # ------------------------------------------------------------------
+    # stats / maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def requests(self) -> int:
+        """Total gap-list requests served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without a recompute (0..1)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # pickling: snapshots carry generations, not cache entries
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        return (self.layer, self.enabled)
+
+    def __setstate__(self, state) -> None:
+        self.layer, self.enabled = state
+        self.hits = 0
+        self.misses = 0
+        self._entries = {}

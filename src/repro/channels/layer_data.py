@@ -16,6 +16,7 @@ from typing import Callable, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.board.layers import Layer
 from repro.channels.channel import Channel
+from repro.channels.gap_cache import GapCache
 from repro.grid.coords import GridPoint, ViaPoint
 from repro.grid.geometry import Box, Orientation
 from repro.grid.routing_grid import RoutingGrid
@@ -47,6 +48,9 @@ class LayerData:
         self.channels: List[Channel] = [
             channel_factory() for _ in range(self.n_channels)
         ]
+        #: Generation-stamped free-gap memo shared by every search on
+        #: this layer (see :mod:`repro.channels.gap_cache`).
+        self.gap_cache = GapCache(self)
 
     # ------------------------------------------------------------------
     # coordinate mapping
@@ -81,14 +85,25 @@ class LayerData:
     def via_sites_in(
         self, channel_index: int, lo: int, hi: int
     ) -> Iterator[ViaPoint]:
-        """Via sites covered by ``[lo, hi]`` of the given channel."""
+        """Via sites covered by ``[lo, hi]`` of the given channel.
+
+        Pure grid arithmetic: on a via channel every ``grid_per_via``-th
+        coordinate is a site, and the via cell indices are the integer
+        quotients — no per-site grid-point round trip.  This runs on
+        every *Vias* search gap, so the per-site cost matters.
+        """
         g = self.grid.grid_per_via
         if channel_index % g:
             return
-        start = ((lo + g - 1) // g) * g
-        for coord in range(start, hi + 1, g):
-            point = self.cc_point(channel_index, coord)
-            yield self.grid.grid_to_via(point)
+        v_channel = channel_index // g
+        v_lo = (lo + g - 1) // g  # first site at or after lo
+        v_hi = hi // g  # last site at or before hi
+        if self.orientation is Orientation.HORIZONTAL:
+            for v in range(v_lo, v_hi + 1):
+                yield ViaPoint(v, v_channel)
+        else:
+            for v in range(v_lo, v_hi + 1):
+                yield ViaPoint(v_channel, v)
 
     # ------------------------------------------------------------------
     # channel access

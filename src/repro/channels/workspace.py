@@ -77,6 +77,7 @@ class RoutingWorkspace:
         board: Board,
         channel_factory: Callable[[], Channel] = Channel,
         install_pins: bool = True,
+        gap_cache: bool = True,
     ) -> None:
         self.board = board
         self.grid = board.grid
@@ -84,6 +85,11 @@ class RoutingWorkspace:
             LayerData(layer, board.grid, channel_factory)
             for layer in board.stack.signal_layers
         ]
+        if not gap_cache:
+            # Ablation/benchmark switch: every gap-list request recomputes
+            # (the pre-cache behaviour), so A/B runs share one code path.
+            for layer in self.layers:
+                layer.gap_cache.enabled = False
         self.via_map = ViaMap(
             board.grid.via_nx, board.grid.via_ny, len(self.layers)
         )
@@ -252,6 +258,11 @@ class RoutingWorkspace:
         workspace holds is plain data), so it is also exactly what a
         ``spawn``-based worker receives on the wire.  Fork-based pools get
         the copy for free from the OS and never call this.
+
+        Channel generations are carried verbatim while the per-layer
+        :class:`~repro.channels.gap_cache.GapCache` entries are reset by
+        unpickling — the copy starts cold but coherent, and its own
+        mutations bump its own generations independently of the master's.
         """
         return pickle.loads(pickle.dumps(self, pickle.HIGHEST_PROTOCOL))
 
@@ -346,6 +357,12 @@ class RoutingWorkspace:
     # ------------------------------------------------------------------
     # metrics
     # ------------------------------------------------------------------
+
+    def gap_cache_stats(self) -> Tuple[int, int]:
+        """Aggregate (hits, misses) of every layer's free-gap cache."""
+        hits = sum(layer.gap_cache.hits for layer in self.layers)
+        misses = sum(layer.gap_cache.misses for layer in self.layers)
+        return hits, misses
 
     def used_cells(self) -> int:
         """Grid cells covered by segments over all layers."""

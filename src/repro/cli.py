@@ -87,6 +87,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
         print(f"trace: {sink.emitted} events -> {args.trace}")
     if config.audit:
         print("audit: all post-pass invariant checks passed")
+    if args.profile:
+        _print_profile(router.profile)
     with open(args.routes, "w") as f:
         save_routes(router.workspace, f)
     print(format_table([table1_row(board, connections, result)]))
@@ -98,6 +100,27 @@ def _cmd_route(args: argparse.Namespace) -> int:
         return 1
     print(f"wrote {args.routes}")
     return 0
+
+
+def _print_profile(profile) -> None:
+    """Print the per-phase timing table and the event counters."""
+    print("profile:")
+    for row in profile.rows():
+        print(
+            f"  {row['phase']:<12} {row['calls']:>8} calls "
+            f"{row['seconds']:>8.3f}s {row['pct']:>5.1f}%"
+        )
+    hits = profile.counters.get("gap_cache_hits", 0)
+    misses = profile.counters.get("gap_cache_misses", 0)
+    total = hits + misses
+    if total:
+        print(
+            f"  gap cache: {hits} hits / {misses} misses "
+            f"({100.0 * hits / total:.1f}% hit rate)"
+        )
+    for counter, amount in sorted(profile.counters.items()):
+        if counter not in ("gap_cache_hits", "gap_cache_misses"):
+            print(f"  {counter}: {amount}")
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -220,6 +243,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify workspace invariants after every pass/merge "
         "(also enabled by GRR_AUDIT=1)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase timings and event counters "
+        "(gap cache hits/misses, search cap hits)",
     )
     p.set_defaults(func=_cmd_route)
 

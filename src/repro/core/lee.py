@@ -21,10 +21,15 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.board.nets import Connection
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
 from repro.core.cost import CostFunction, distance_hops_cost
-from repro.core.single_layer import DEFAULT_MAX_GAPS, reachable_vias, trace
+from repro.core.single_layer import (
+    DEFAULT_MAX_GAPS,
+    SearchStats,
+    reachable_vias,
+    trace,
+)
 from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Orientation
-from repro.obs.events import LeeExhausted
+from repro.obs.events import LeeExhausted, SearchCapHit
 from repro.obs.sinks import NULL_SINK, EventSink
 
 #: Per-side wavefront mark: (hops from source, parent via, layer index used).
@@ -41,6 +46,13 @@ class LeeSearchResult:
     marked: int = 0
     blocked: bool = False
     reason: str = ""
+    #: Single-layer searches truncated at the ``max_gaps`` cap during this
+    #: route.  A blocked result with ``cap_hits > 0`` (reason suffixed
+    #: "(gap cap)") was truncated, not proven blocked — rip-up victim
+    #: selection should not treat it as a hard blockage.
+    cap_hits: int = 0
+    #: Gaps popped across all single-layer searches of this route.
+    gaps_examined: int = 0
     #: Least-cost point ever inserted into each wavefront (a-side, b-side);
     #: the rip-up strategy removes obstacles around these (Section 8.3).
     best_points: Tuple[Optional[ViaPoint], Optional[ViaPoint]] = (None, None)
@@ -59,6 +71,7 @@ def _neighbors(
     radius: int,
     passable: FrozenSet[int],
     max_gaps: int,
+    stats: Optional[SearchStats] = None,
 ) -> List[Tuple[ViaPoint, int]]:
     """All (neighbor via, layer index) pairs reachable in one hop.
 
@@ -72,7 +85,7 @@ def _neighbors(
             via, radius, _strip_axis(layer.orientation)
         )
         for n in reachable_vias(
-            layer, point, box, passable, workspace.via_map, max_gaps
+            layer, point, box, passable, workspace.via_map, max_gaps, stats
         ):
             result.append((n, layer_index))
     return result
@@ -114,6 +127,7 @@ def lee_route(
     """
     if passable is None:
         passable = frozenset((conn.conn_id,))
+    stats = SearchStats()
     a, b = conn.a, conn.b
     sources = (a, b)
     targets = (b, a)
@@ -149,7 +163,7 @@ def lee_route(
         hops_p = marks[side][p][0]
         found_meet = None
         for n, layer_index in _neighbors(
-            workspace, p, radius, passable, max_gaps
+            workspace, p, radius, passable, max_gaps, stats
         ):
             if n in marks[side]:
                 continue
@@ -167,6 +181,10 @@ def lee_route(
     best_points = (best[0][1], best[1][1])
     marked = len(marks[0]) + len(marks[1])
     if meet is None:
+        # A cap-truncated search may have hidden reachable neighbors: the
+        # exhaustion is then unproven, and the reason says so.
+        if reason == "wavefront exhausted" and stats.cap_hits > 0:
+            reason = "wavefront exhausted (gap cap)"
         if sink.enabled:
             sink.emit(
                 LeeExhausted(
@@ -178,18 +196,40 @@ def lee_route(
                     best_points[1],
                 )
             )
+            if stats.cap_hits > 0:
+                sink.emit(
+                    SearchCapHit(
+                        conn.conn_id,
+                        stats.cap_hits,
+                        stats.searches,
+                        max_gaps,
+                        False,
+                    )
+                )
         return LeeSearchResult(
             routed=False,
             expansions=expansions,
             marked=marked,
             blocked=True,
             reason=reason,
+            cap_hits=stats.cap_hits,
+            gaps_examined=stats.examined,
             best_points=best_points,
             exhausted_side=exhausted,
         )
     record = _retrace(
-        workspace, conn, meet, marks, radius, passable, max_gaps
+        workspace, conn, meet, marks, radius, passable, max_gaps, stats
     )
+    if sink.enabled and stats.cap_hits > 0:
+        sink.emit(
+            SearchCapHit(
+                conn.conn_id,
+                stats.cap_hits,
+                stats.searches,
+                max_gaps,
+                record is not None,
+            )
+        )
     if record is None:
         return LeeSearchResult(
             routed=False,
@@ -197,6 +237,8 @@ def lee_route(
             marked=marked,
             blocked=True,
             reason="retrace failed",
+            cap_hits=stats.cap_hits,
+            gaps_examined=stats.examined,
             best_points=best_points,
         )
     return LeeSearchResult(
@@ -204,6 +246,8 @@ def lee_route(
         record=record,
         expansions=expansions,
         marked=marked,
+        cap_hits=stats.cap_hits,
+        gaps_examined=stats.examined,
         best_points=best_points,
     )
 
@@ -216,6 +260,7 @@ def _retrace(
     radius: int,
     passable: FrozenSet[int],
     max_gaps: int,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[RouteRecord]:
     """Retrace from the meeting point to the two sources (Figure 15).
 
@@ -281,6 +326,7 @@ def _retrace(
                 box,
                 passable,
                 max_gaps,
+                stats,
             )
             if pieces is not None:
                 layer_index = try_layer

@@ -29,9 +29,12 @@ class PhaseTiming:
 
 @dataclass
 class RouterProfile:
-    """Per-phase timing of a routing run."""
+    """Per-phase timing and event counters of a routing run."""
 
     phases: Dict[str, PhaseTiming] = field(default_factory=dict)
+    #: Named event tallies (``gap_cache_hits``, ``gap_cache_misses``,
+    #: ``cap_hits``, ...) — merged across workers like the phases are.
+    counters: Dict[str, int] = field(default_factory=dict)
     #: Live nesting depth per phase; only the outermost ``measure`` of a
     #: phase accumulates wall time, so re-entrant calls don't double-count.
     _depth: Dict[str, int] = field(
@@ -59,8 +62,13 @@ class RouterProfile:
             if depth == 0:
                 timing.seconds += time.perf_counter() - started
 
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Add ``amount`` to one named counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
     def merge(self, other: "RouterProfile") -> "RouterProfile":
-        """Fold another profile's phases into this one (returns self).
+        """Fold another profile's phases and counters into this one
+        (returns self).
 
         Used by the parallel router to aggregate the per-worker profiles
         returned from routing waves into the master profile.
@@ -69,6 +77,8 @@ class RouterProfile:
             mine = self.phases.setdefault(phase, PhaseTiming())
             mine.calls += timing.calls
             mine.seconds += timing.seconds
+        for counter, amount in other.counters.items():
+            self.bump(counter, amount)
         return self
 
     @property

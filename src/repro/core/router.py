@@ -29,6 +29,7 @@ from repro.grid.coords import ViaPoint
 from repro.obs.audit import WorkspaceAuditor
 from repro.obs.events import (
     AuditRun,
+    CacheStats,
     ConnectionFailed,
     ConnectionRouted,
     PassEnd,
@@ -167,6 +168,7 @@ class GreedyRouter:
         previous = len(unrouted) + 1
         stalled = 0
         sink = self.sink
+        cache_before = self.workspace.gap_cache_stats()
         while unrouted and result.passes < cfg.max_passes:
             if len(unrouted) < previous:
                 stalled = 0
@@ -194,7 +196,27 @@ class GreedyRouter:
                 self._audit(f"pass {result.passes}")
         result.failed = [c.conn_id for c in unrouted]
         result.cpu_seconds = time.perf_counter() - started
+        self._note_cache_stats(cache_before, "route")
         return result
+
+    def _note_cache_stats(
+        self, before: Tuple[int, int], context: str
+    ) -> None:
+        """Fold this run's free-gap cache delta into profile counters
+        and emit one :class:`~repro.obs.events.CacheStats` event."""
+        hits_after, misses_after = self.workspace.gap_cache_stats()
+        hits = hits_after - before[0]
+        misses = misses_after - before[1]
+        if hits or misses:
+            self.profile.bump("gap_cache_hits", hits)
+            self.profile.bump("gap_cache_misses", misses)
+        if self.sink.enabled:
+            total = hits + misses
+            self.sink.emit(
+                CacheStats(
+                    context, hits, misses, hits / total if total else 0.0
+                )
+            )
 
     def _audit(self, context: str) -> None:
         """Verify workspace invariants, emit the event, raise on breakage."""
@@ -327,6 +349,8 @@ class GreedyRouter:
             )
             if search is not None:
                 result.lee_expansions += search.expansions
+                if search.cap_hits:
+                    self.profile.bump("cap_hits", search.cap_hits)
             if record is not None:
                 result.routed_by[conn.conn_id] = strategy
                 routed = True

@@ -18,6 +18,8 @@ the board as to the neighboring pin".
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.channels.layer_data import ChannelPiece, LayerData
@@ -29,16 +31,47 @@ from repro.grid.geometry import Box
 GapKey = Tuple[int, int]
 
 #: Default cap on gaps examined per search, a safety net against
-#: pathological congestion (failures count as "no path in box").
+#: pathological congestion.  A capped search is *truncated*, not proven
+#: blocked; callers that care pass a :class:`SearchStats` to tell the two
+#: apart (rip-up victim selection must not treat truncation as blockage).
 DEFAULT_MAX_GAPS = 20000
 
 
-class _FreeSpace:
-    """Cached free-gap view of one layer region for the duration of a search.
+@dataclass
+class SearchStats:
+    """Accumulated effort of free-space searches (an out-parameter).
 
-    The board does not change during a single search, so each channel's gap
-    list (clipped to the box, with passable owners treated as free) is
-    computed at most once.
+    All three Section 7 searches count the same unit — gaps popped off
+    the search stack — and call :meth:`note` exactly once on the way out,
+    so the ``max_gaps`` cap means one thing everywhere.
+    """
+
+    searches: int = 0
+    examined: int = 0
+    #: Searches that hit the ``max_gaps`` cap and were truncated.
+    cap_hits: int = 0
+
+    def note(self, examined: int, capped: bool) -> None:
+        """Record one finished (or truncated) search."""
+        self.searches += 1
+        self.examined += examined
+        if capped:
+            self.cap_hits += 1
+
+
+#: Sentinel larger than any gap hi-bound, so ``(coord, _COORD_INF)`` sorts
+#: after every gap starting at ``coord`` in ``gap_index_at``'s bisect.
+_COORD_INF = 1 << 62
+
+
+class _FreeSpace:
+    """Box-clipped free-gap view of one layer region for one search.
+
+    A thin view over the layer's :class:`~repro.channels.gap_cache.
+    GapCache`: the per-channel lists survive across searches there (the
+    board does not change between most searches), while this object only
+    holds the box clip and a per-search ``{channel: list}`` memo so the
+    hot ``gaps()`` call is a single int-keyed dict lookup.
     """
 
     def __init__(
@@ -51,6 +84,7 @@ class _FreeSpace:
         self.c_hi = min(c_hi, layer.n_channels - 1)
         self.lo = max(lo, 0)
         self.hi = min(hi, layer.channel_length - 1)
+        self._cache = layer.gap_cache
         self._gaps: Dict[int, List[Tuple[int, int]]] = {}
 
     @property
@@ -66,22 +100,35 @@ class _FreeSpace:
         )
 
     def gaps(self, channel_index: int) -> List[Tuple[int, int]]:
-        """Free gaps of one channel, clipped to the box (cached)."""
+        """Free gaps of one channel, clipped to the box (cached).
+
+        Repeat reads within this search count as cache hits: they are
+        requests the gap-serving subsystem answered without recomputing,
+        same as a shared-store hit, so the hit/miss counters describe
+        every ``gaps()`` request a search makes.
+        """
         cached = self._gaps.get(channel_index)
         if cached is None:
-            cached = self.layer.channel(channel_index).free_gaps(
-                self.lo, self.hi, self.passable
+            cached = self._cache.gaps(
+                channel_index, self.lo, self.hi, self.passable
             )
             self._gaps[channel_index] = cached
+        else:
+            self._cache.hits += 1
         return cached
 
     def gap_index_at(self, channel_index: int, coord: int) -> Optional[int]:
-        """Index of the gap containing ``coord``, or None if blocked."""
-        for i, (glo, ghi) in enumerate(self.gaps(channel_index)):
-            if glo <= coord <= ghi:
-                return i
-            if glo > coord:
-                return None
+        """Index of the gap containing ``coord``, or None if blocked.
+
+        The gap list is sorted and disjoint, so the candidate is the last
+        gap starting at or before ``coord`` — found by bisect, not by
+        scanning from index 0 (this runs at the start of every search and
+        on every Lee neighbor expansion).
+        """
+        gaps = self.gaps(channel_index)
+        i = bisect_right(gaps, (coord, _COORD_INF)) - 1
+        if i >= 0 and gaps[i][1] >= coord:
+            return i
         return None
 
 
@@ -116,12 +163,15 @@ def trace(
     box: Box,
     passable: FrozenSet[int] = frozenset(),
     max_gaps: int = DEFAULT_MAX_GAPS,
+    stats: Optional[SearchStats] = None,
 ) -> Optional[List[ChannelPiece]]:
     """Find a rectilinear path from ``a`` to ``b`` on one layer inside ``box``.
 
     Returns the path as channel pieces ``(channel_index, lo, hi)`` with the
     large gap overlaps already trimmed back to single junction points
-    (Figure 7), or None if no path exists within the box.
+    (Figure 7), or None if no path exists within the box.  A search that
+    pops more than ``max_gaps`` gaps gives up and also returns None, but
+    marks ``stats`` as capped — truncation, not a proven blockage.
     """
     ca, xa = layer.point_cc(a)
     cb, xb = layer.point_cc(b)
@@ -139,11 +189,13 @@ def trace(
         goal = start
     stack: List[GapKey] = [start]
     examined = 0
+    capped = False
     while stack and goal is None:
         key = stack.pop()
         examined += 1
         if examined > max_gaps:
-            return None
+            capped = True
+            break
         c, gi = key
         glo, ghi = fs.gaps(c)[gi]
         children: List[Tuple[int, GapKey]] = []
@@ -162,6 +214,8 @@ def trace(
             break
         children.sort(key=lambda item: -item[0])
         stack.extend(k for _, k in children)
+    if stats is not None:
+        stats.note(examined, capped)
     if goal is None:
         return None
     chain: List[GapKey] = []
@@ -208,22 +262,36 @@ def _trim_chain(
 
 
 def _explore_all(
-    fs: _FreeSpace, start: GapKey, max_gaps: int
+    fs: _FreeSpace,
+    start: GapKey,
+    max_gaps: int,
+    stats: Optional[SearchStats] = None,
 ) -> Iterator[GapKey]:
-    """Exhaustively enumerate all gaps reachable from ``start``."""
+    """Enumerate all gaps reachable from ``start``, up to ``max_gaps``.
+
+    Counts popped gaps — the same accounting as :func:`trace` — so one
+    ``max_gaps`` value caps both search shapes identically.  Hitting the
+    cap truncates the enumeration and marks ``stats`` as capped.
+    """
     seen: Set[GapKey] = {start}
     stack = [start]
+    examined = 0
+    capped = False
     while stack:
         key = stack.pop()
+        examined += 1
+        if examined > max_gaps:
+            capped = True
+            break
         yield key
-        if len(seen) > max_gaps:
-            return
         c, gi = key
         glo, ghi = fs.gaps(c)[gi]
         for nkey, _ in _adjacent_gaps(fs, c, glo, ghi):
             if nkey not in seen:
                 seen.add(nkey)
                 stack.append(nkey)
+    if stats is not None:
+        stats.note(examined, capped)
 
 
 def reachable_vias(
@@ -233,6 +301,7 @@ def reachable_vias(
     passable: FrozenSet[int],
     via_map: ViaMap,
     max_gaps: int = DEFAULT_MAX_GAPS,
+    stats: Optional[SearchStats] = None,
 ) -> List[ViaPoint]:
     """All free via sites reachable from ``a`` on one layer within ``box``.
 
@@ -251,7 +320,7 @@ def reachable_vias(
         layer.grid.grid_to_via(a) if layer.grid.is_via_site(a) else None
     )
     found: List[ViaPoint] = []
-    for c, gi in _explore_all(fs, (ca, start_index), max_gaps):
+    for c, gi in _explore_all(fs, (ca, start_index), max_gaps, stats):
         if not layer.is_via_channel(c):
             continue
         glo, ghi = fs.gaps(c)[gi]
@@ -267,6 +336,7 @@ def obstructions(
     box: Box,
     passable: FrozenSet[int] = frozenset(),
     max_gaps: int = DEFAULT_MAX_GAPS,
+    stats: Optional[SearchStats] = None,
 ) -> Set[int]:
     """Owners of the used segments immediately surrounding ``a`` (Section 7.3).
 
@@ -289,7 +359,7 @@ def obstructions(
         if blocker is not None and blocker not in passable:
             owners.add(blocker)
         return owners
-    for c, gi in _explore_all(fs, (ca, start_index), max_gaps):
+    for c, gi in _explore_all(fs, (ca, start_index), max_gaps, stats):
         channel = layer.channel(c)
         glo, ghi = fs.gaps(c)[gi]
         # Used segments bounding the gap along the channel.

@@ -26,6 +26,7 @@ from repro.obs.audit import (
 )
 from repro.obs.events import (
     AuditRun,
+    CacheStats,
     ConnectionFailed,
     ConnectionRouted,
     ImproveAttempt,
@@ -36,6 +37,7 @@ from repro.obs.events import (
     PutbackResult,
     RipUpVictims,
     RouteEvent,
+    SearchCapHit,
     StrategyAttempt,
     WaveEnd,
     WaveStart,
@@ -51,6 +53,7 @@ from repro.obs.sinks import (
 __all__ = [
     "AuditReport",
     "AuditRun",
+    "CacheStats",
     "ConnectionFailed",
     "ConnectionRouted",
     "EventSink",
@@ -67,6 +70,7 @@ __all__ = [
     "RingBufferSink",
     "RipUpVictims",
     "RouteEvent",
+    "SearchCapHit",
     "StrategyAttempt",
     "Violation",
     "WaveEnd",

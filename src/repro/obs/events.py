@@ -15,6 +15,7 @@ kind                emitted when
 ``pass_end``        a pass finishes (with before/after unrouted counts)
 ``strategy``        one strategy attempt on one connection resolves
 ``lee_exhausted``   a Lee wavefront dies, with the best points (§8.3)
+``cap_hit``         single-layer searches truncated at the max_gaps cap
 ``rip_up``          rip-up victims are selected around a point
 ``putback``         one ripped-up victim is restored (or fails to be)
 ``routed``          a connection's route is finally installed
@@ -24,6 +25,7 @@ kind                emitted when
 ``merge_demoted``   a wave record collides in the merge and is demoted
 ``improve``         the improvement pass re-routes one detour
 ``audit``           a workspace audit ran (violation count included)
+``cache_stats``     free-gap cache hit/miss totals for a routing phase
 ==================  ====================================================
 """
 
@@ -95,6 +97,20 @@ class LeeExhausted(RouteEvent):
     expansions: int
     best_a: Optional[Tuple[int, int]] = None
     best_b: Optional[Tuple[int, int]] = None
+
+
+@dataclass(frozen=True)
+class SearchCapHit(RouteEvent):
+    """One Lee route hit the ``max_gaps`` cap in ``cap_hits`` single-layer
+    searches: those searches were *truncated*, not proven blocked, so a
+    failure alongside this event must not be read as a hard blockage."""
+
+    kind: ClassVar[str] = "cap_hit"
+    conn_id: int
+    cap_hits: int
+    searches: int
+    max_gaps: int
+    routed: bool
 
 
 @dataclass(frozen=True)
@@ -188,3 +204,15 @@ class AuditRun(RouteEvent):
     kind: ClassVar[str] = "audit"
     context: str
     violations: int
+
+
+@dataclass(frozen=True)
+class CacheStats(RouteEvent):
+    """Free-gap cache totals for one routing phase (``repro.channels.
+    gap_cache``): requests served without vs. with a recompute."""
+
+    kind: ClassVar[str] = "cache_stats"
+    context: str
+    hits: int
+    misses: int
+    hit_rate: float

@@ -44,7 +44,7 @@ from repro.core.profiling import RouterProfile
 from repro.core.result import RoutingResult
 from repro.core.sorting import sort_connections
 from repro.obs.audit import WorkspaceAuditError, WorkspaceAuditor
-from repro.obs.events import AuditRun, WaveEnd, WaveStart
+from repro.obs.events import AuditRun, CacheStats, WaveEnd, WaveStart
 from repro.obs.sinks import NULL_SINK, EventSink
 
 from repro.parallel.merge import merge_wave
@@ -317,6 +317,20 @@ class ParallelRouter:
         if result.failed and cfg.parity_fallback:
             result = self._serial_fallback(connections, result)
 
+        if sink.enabled:
+            # Aggregate over wave workers (merged from their profiles)
+            # and the master-side serial phases.
+            hits = self.profile.counters.get("gap_cache_hits", 0)
+            misses = self.profile.counters.get("gap_cache_misses", 0)
+            total = hits + misses
+            sink.emit(
+                CacheStats(
+                    "parallel total",
+                    hits,
+                    misses,
+                    hits / total if total else 0.0,
+                )
+            )
         result.cpu_seconds = time.perf_counter() - started
         return result
 

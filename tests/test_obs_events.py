@@ -133,8 +133,13 @@ class TestRouterEmission:
         assert result.complete
         kinds = [e.kind for e in sink]
         assert kinds[0] == "pass_start"
-        assert kinds[-1] == "pass_end"
+        # The run closes with the free-gap cache summary, right after
+        # the final pass_end.
+        assert kinds[-1] == "cache_stats"
+        assert kinds[-2] == "pass_end"
         assert "strategy" in kinds
+        stats = sink.by_kind("cache_stats")[0]
+        assert stats.hits + stats.misses > 0
         routed = sink.by_kind("routed")
         assert len(routed) == 1
         assert routed[0].conn_id == conn.conn_id

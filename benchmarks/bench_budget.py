@@ -1,0 +1,253 @@
+"""B1 — Budget enforcement: zero-overhead checkpoints, graceful deadline.
+
+Three legs:
+
+* **parity** — a run with enormous (never-exhausted) wall-clock limits
+  must route exactly the same connection set as an unbudgeted run.  The
+  checkpoint branches are taken; the routing must not notice.  Always
+  asserted.
+* **overhead** — wall-clock cost of those checkpoint branches, measured
+  as (timed - untimed) / untimed over the same board.  Recorded in the
+  JSON; asserted only with ``--assert-overhead`` (target < 2%) because
+  single-run wall clocks are noisy on shared runners.
+* **deadline** — the hard board (kdj11_2l) under a deadline it cannot
+  meet.  The call must return (never raise) a partial result with
+  ``stopped_reason`` set, a clean :class:`WorkspaceAuditor` verdict, and
+  a ``budget_exhausted`` event in the sink.  Always asserted.
+
+Results land in ``BENCH_budget.json`` for the CI artifact trail.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_budget.py --smoke
+    PYTHONPATH=src python benchmarks/bench_budget.py --out BENCH_budget.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:
+    import repro  # noqa: F401 - probe whether src/ is importable
+except ImportError:  # direct script run without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.core.budget import RouteBudget
+from repro.core.router import GreedyRouter, RouterConfig
+from repro.obs import RingBufferSink, WorkspaceAuditor
+from repro.stringer import Stringer
+from repro.workloads import TITAN_CONFIGS, make_titan_board
+
+#: Scale of the parity/overhead suite (matches bench_table1.py).
+SUITE_SCALE = 0.30
+
+#: Never-exhausted limits: every checkpoint branch taken, none firing.
+HUGE = RouteBudget(deadline_seconds=1e9, per_connection_seconds=1e9)
+
+#: The deadline leg: the hard board, big enough that 2 s cannot finish.
+DEADLINE_BOARD = "kdj11_2l"
+DEADLINE_SCALE = 0.45
+DEADLINE_SECONDS = 2.0
+
+
+def _problem(name: str, scale: float) -> Tuple[Board, List[Connection]]:
+    board = make_titan_board(name, scale=scale, seed=1)
+    return board, Stringer(board).string_all()
+
+
+def _route(
+    name: str, scale: float, budget: Optional[RouteBudget]
+) -> Tuple[float, object]:
+    board, connections = _problem(name, scale)
+    config = RouterConfig() if budget is None else RouterConfig(budget=budget)
+    router = GreedyRouter(board, config)
+    started = time.perf_counter()
+    result = router.route(connections)
+    return time.perf_counter() - started, result
+
+
+def run_parity_and_overhead(boards: List[str], reps: int = 3) -> Dict:
+    """Unbudgeted vs huge-budget: identical routing, measured overhead.
+
+    Each variant is routed ``reps`` times and the *minimum* wall clock
+    kept — single runs are dominated by allocator warmup and scheduler
+    noise at these problem sizes.
+    """
+    rows = []
+    for name in boards:
+        # Interleave the variants so clock-frequency drift across the
+        # measurement window biases neither side.
+        plain_runs, timed_runs = [], []
+        for _ in range(reps):
+            plain_runs.append(_route(name, SUITE_SCALE, None))
+            timed_runs.append(_route(name, SUITE_SCALE, HUGE))
+        plain_seconds, plain = min(plain_runs, key=lambda pair: pair[0])
+        timed_seconds, timed = min(timed_runs, key=lambda pair: pair[0])
+        parity = (
+            plain.routed_by == timed.routed_by
+            and plain.failed == timed.failed
+        )
+        overhead = (
+            (timed_seconds - plain_seconds) / plain_seconds
+            if plain_seconds > 0
+            else 0.0
+        )
+        rows.append(
+            {
+                "board": name,
+                "connections": plain.total_count,
+                "routed": plain.routed_count,
+                "plain_seconds": round(plain_seconds, 3),
+                "timed_seconds": round(timed_seconds, 3),
+                "overhead_pct": round(100.0 * overhead, 2),
+                "parity": parity,
+            }
+        )
+        print(
+            f"{name:14s} plain={plain_seconds:.3f}s "
+            f"timed={timed_seconds:.3f}s "
+            f"overhead={100.0 * overhead:+.2f}% "
+            f"{'ok' if parity else 'PARITY-MISMATCH'}",
+            flush=True,
+        )
+    return {
+        "rows": rows,
+        "parity_all": all(r["parity"] for r in rows),
+        # Total-time ratio, not mean-of-ratios: small boards' noise would
+        # otherwise swamp the signal.
+        "overhead_pct": round(
+            100.0
+            * (
+                sum(r["timed_seconds"] for r in rows)
+                / max(sum(r["plain_seconds"] for r in rows), 1e-9)
+                - 1.0
+            ),
+            2,
+        ),
+    }
+
+
+def run_deadline(scale: float) -> Dict:
+    """The graceful-degradation contract under an impossible deadline."""
+    board, connections = _problem(DEADLINE_BOARD, scale)
+    sink = RingBufferSink()
+    router = GreedyRouter(
+        board,
+        RouterConfig(budget=RouteBudget(deadline_seconds=DEADLINE_SECONDS)),
+        sink=sink,
+    )
+    started = time.perf_counter()
+    result = router.route(connections)  # must not raise
+    seconds = time.perf_counter() - started
+    audit = WorkspaceAuditor(router.workspace).audit()
+    exhausted = sink.by_kind("budget_exhausted")
+    row = {
+        "board": DEADLINE_BOARD,
+        "scale": scale,
+        "deadline_seconds": DEADLINE_SECONDS,
+        "wall_seconds": round(seconds, 3),
+        "routed": result.routed_count,
+        "total": result.total_count,
+        "stopped_reason": result.stopped_reason,
+        "audit_ok": audit.ok,
+        "budget_exhausted_events": len(exhausted),
+        "failure_reasons": sorted(set(result.failure_reasons.values())),
+    }
+    row["ok"] = (
+        result.stopped_reason == "deadline"
+        and audit.ok
+        and len(exhausted) >= 1
+        and not result.complete
+        and result.routed_count > 0  # partial, not empty
+    )
+    print(
+        f"{DEADLINE_BOARD:14s} deadline={DEADLINE_SECONDS}s "
+        f"wall={seconds:.3f}s routed={result.routed_count}/"
+        f"{result.total_count} stopped={result.stopped_reason} "
+        f"audit={'ok' if audit.ok else 'FAIL'}",
+        flush=True,
+    )
+    return row
+
+
+def run_benchmark(smoke: bool = False) -> Dict:
+    boards = ["tna", "icache"] if smoke else list(TITAN_CONFIGS)
+    parity = run_parity_and_overhead(boards, reps=2 if smoke else 3)
+    deadline = run_deadline(DEADLINE_SCALE)
+    return {
+        "experiment": "budget_enforcement",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "suite_scale": SUITE_SCALE,
+        "parity": parity,
+        "deadline": deadline,
+        "summary": {
+            "parity_all": parity["parity_all"],
+            "overhead_pct": parity["overhead_pct"],
+            "deadline_graceful": deadline["ok"],
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="two boards only (the CI timeout-smoke configuration)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_budget.json",
+        help="artifact path (default: BENCH_budget.json)",
+    )
+    parser.add_argument(
+        "--assert-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if checkpoint overhead exceeds PCT percent "
+        "(opt-in: single-run wall clocks are noisy on shared runners)",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmark(smoke=args.smoke)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    summary = report["summary"]
+    print(
+        f"wrote {args.out}: parity_all={summary['parity_all']} "
+        f"overhead={summary['overhead_pct']:+.2f}% "
+        f"deadline_graceful={summary['deadline_graceful']}"
+    )
+    if not summary["parity_all"]:
+        print("FAIL: budgeted routing diverged from unbudgeted", file=sys.stderr)
+        return 1
+    if not summary["deadline_graceful"]:
+        print("FAIL: deadline degradation contract broken", file=sys.stderr)
+        return 1
+    if (
+        args.assert_overhead is not None
+        and summary["overhead_pct"] > args.assert_overhead
+    ):
+        print(
+            f"FAIL: checkpoint overhead {summary['overhead_pct']}% > "
+            f"{args.assert_overhead}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

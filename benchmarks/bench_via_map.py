@@ -18,6 +18,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_table
+from repro.core.budget import RouteBudget
 from repro.core.router import GreedyRouter, RouterConfig
 from repro.stringer import Stringer
 from repro.workloads import make_titan_board
@@ -32,7 +33,7 @@ def _run(mode):
     if mode == "lee_only":
         config = RouterConfig(
             enable_zero_via=False, enable_one_via=False,
-            max_lee_expansions=8000,
+            budget=RouteBudget(max_lee_expansions=8000),
         )
     else:
         config = RouterConfig()

@@ -2,17 +2,21 @@
 (Jeremy Dion, DAC 1987 / DEC WRL research report 88-1): the *grr* greedy
 printed-circuit-board router and every substrate it depends on.
 
-Quickstart::
+Quickstart (the stable ``repro.api`` facade — see ``docs/API.md``)::
 
-    from repro import Board, GreedyRouter, RouterConfig, string_board
+    from repro import RouteBudget, RouteRequest, route, string_board
 
-    board = Board.create(via_nx=40, via_ny=30, n_signal_layers=4)
-    ...  # place parts, add nets (see repro.workloads for generators)
-    connections = string_board(board)
-    result = GreedyRouter(board, RouterConfig(radius=1)).route(connections)
-    print(result.summary())
+    board = ...  # build or load a board (see repro.workloads)
+    request = RouteRequest(
+        board=board,
+        connections=string_board(board),
+        budget=RouteBudget(deadline_seconds=10.0),
+    )
+    response = route(request)
+    print(response.result.summary(), response.stopped_reason)
 """
 
+from repro.api import RouteRequest, RouteResponse, route
 from repro.board import (
     Board,
     Connection,
@@ -33,6 +37,7 @@ from repro.board import (
 from repro.channels import RoutingWorkspace
 from repro.core import (
     GreedyRouter,
+    RouteBudget,
     RouterConfig,
     RoutingResult,
     Strategy,
@@ -59,6 +64,9 @@ __all__ = [
     "Part",
     "Pin",
     "PinRole",
+    "RouteBudget",
+    "RouteRequest",
+    "RouteResponse",
     "RouterConfig",
     "RoutingGrid",
     "RoutingResult",
@@ -67,6 +75,7 @@ __all__ = [
     "TechRules",
     "ViaPoint",
     "dip_package",
+    "route",
     "sip_package",
     "sort_connections",
     "string_board",

@@ -1,0 +1,120 @@
+"""The stable service facade: one request in, one response out.
+
+This module is the documented front door to the router (see
+``docs/API.md``).  Everything else under :mod:`repro` — workspaces,
+strategy internals, the parallel fan-out — is implementation that may
+shift between releases; :class:`RouteRequest`, :class:`RouteResponse`
+and :func:`route` are the surface that stays put.
+
+::
+
+    from repro import RouteBudget, RouteRequest, route, string_board
+
+    request = RouteRequest(
+        board=board,
+        connections=string_board(board),
+        budget=RouteBudget(deadline_seconds=10.0),
+    )
+    response = route(request)
+    print(response.result.summary(), response.stopped_reason)
+
+``route()`` never raises on exhaustion: a request whose budget runs out
+returns a *partial* response — everything routed so far stays installed,
+``stopped_reason`` says why the run ended early, and
+``result.failure_reasons`` says per connection whether it was genuinely
+blocked or merely out of clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+from repro.core.budget import RouteBudget
+from repro.core.result import RoutingResult
+from repro.core.router import RouterConfig, make_router
+from repro.obs.sinks import EventSink
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """Everything one routing call needs, as a single immutable value."""
+
+    #: The board to route on (placed parts, nets, layer stack).
+    board: Board
+    #: Pin-to-pin connections to route (e.g. from ``string_board``).
+    connections: Tuple[Connection, ...]
+    #: Wall-clock and effort limits.  When set, overrides the budget
+    #: nested in ``config``; None defers to ``config.budget``.
+    budget: Optional[RouteBudget] = None
+    #: Full router tuning; None means ``RouterConfig()`` defaults.
+    config: Optional[RouterConfig] = None
+    #: Optional routing event stream (``repro.obs``).
+    sink: Optional[EventSink] = None
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of connections but store a tuple, keeping
+        # the request hashable-by-identity and safely re-usable.
+        if not isinstance(self.connections, tuple):
+            object.__setattr__(
+                self, "connections", tuple(self.connections)
+            )
+
+    @property
+    def resolved_config(self) -> RouterConfig:
+        """The effective config: ``config`` with ``budget`` folded in."""
+        config = self.config or RouterConfig()
+        if self.budget is not None:
+            config = replace(config, budget=self.budget)
+        return config
+
+
+@dataclass(frozen=True)
+class RouteResponse:
+    """The outcome of one :func:`route` call."""
+
+    #: The full routing result (workspace, per-connection strategies,
+    #: Table 1 statistics).  Partial when ``stopped_reason`` is set.
+    result: RoutingResult
+    #: None when every connection routed; otherwise why the run stopped
+    #: short (``"deadline"`` / ``"stalled"`` / ``"max_passes"``).
+    stopped_reason: Optional[str]
+    #: Wall-clock seconds per router phase (zero_via/one_via/lee/...).
+    timings: Dict[str, float] = field(default_factory=dict)
+    #: Profile counters: gap cache hits/misses, search cap hits, ...
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Total wall-clock seconds spent inside ``route()``.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested connection routed."""
+        return self.result.complete
+
+
+def route(request: RouteRequest) -> RouteResponse:
+    """Route one request; never raises on budget exhaustion.
+
+    Builds the router the config asks for (serial, or wave-parallel for
+    ``config.workers > 1``), routes, and packages the result with the
+    per-phase timings and counters from the router's profile.
+    """
+    router = make_router(
+        request.board,
+        request.resolved_config,
+        sink=request.sink,
+    )
+    result = router.route(list(request.connections))
+    profile = router.profile
+    timings = {
+        name: timing.seconds for name, timing in profile.phases.items()
+    }
+    return RouteResponse(
+        result=result,
+        stopped_reason=result.stopped_reason,
+        timings=timings,
+        counters=dict(profile.counters),
+        elapsed_seconds=result.cpu_seconds,
+    )

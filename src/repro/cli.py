@@ -64,9 +64,20 @@ def _cmd_route(args: argparse.Namespace) -> int:
         board = read_board(f)
     with open(args.connections) as f:
         connections = read_connections(f)
+    from repro.core.budget import STOP_DEADLINE, RouteBudget
+
     config = RouterConfig(
         radius=args.radius, cost=args.cost, workers=args.workers
     )
+    if args.timeout is not None or args.per_connection_timeout is not None:
+        config = dataclasses.replace(
+            config,
+            budget=dataclasses.replace(
+                config.budget,
+                deadline_seconds=args.timeout,
+                per_connection_seconds=args.per_connection_timeout,
+            ),
+        )
     if args.audit:
         # --audit forces it on; otherwise the GRR_AUDIT env default holds.
         config = dataclasses.replace(config, audit=True)
@@ -89,14 +100,29 @@ def _cmd_route(args: argparse.Namespace) -> int:
         print("audit: all post-pass invariant checks passed")
     if args.profile:
         _print_profile(router.profile)
+        if result.stopped_reason is not None:
+            print(f"  stopped reason: {result.stopped_reason}")
     with open(args.routes, "w") as f:
         save_routes(router.workspace, f)
     print(format_table([table1_row(board, connections, result)]))
     if not result.complete:
+        reason = (
+            f" ({result.stopped_reason})" if result.stopped_reason else ""
+        )
         print(
-            f"FAILED: {len(result.failed)} connections unrouted",
+            f"FAILED: {len(result.failed)} connections unrouted{reason}",
             file=sys.stderr,
         )
+        # A deadline-limited partial is a *successful degradation*, not
+        # a routing failure; give it its own exit code so callers can
+        # tell "board too hard" (1) from "clock ran out" (3).
+        if result.stopped_reason == STOP_DEADLINE:
+            print(
+                f"partial result kept: {result.routed_count}/"
+                f"{result.total_count} connections routed",
+                file=sys.stderr,
+            )
+            return 3
         return 1
     print(f"wrote {args.routes}")
     return 0
@@ -231,6 +257,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for parallel wave routing (1 = serial)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECS",
+        default=None,
+        help="total wall-clock deadline; on exhaustion keep the partial "
+        "result and exit 3 instead of routing to completion",
+    )
+    p.add_argument(
+        "--per-connection-timeout",
+        type=float,
+        metavar="SECS",
+        default=None,
+        help="wall-clock limit per connection (strategies + rip-up)",
     )
     p.add_argument(
         "--trace",

@@ -9,6 +9,7 @@ Strategy stack, in order of increasing desperation per connection:
 4. rip-up of obstructing connections and putback.
 """
 
+from repro.core.budget import BudgetTracker, RouteBudget
 from repro.core.cost import (
     COST_FUNCTIONS,
     distance_cost,
@@ -23,9 +24,11 @@ from repro.core.single_layer import obstructions, reachable_vias, trace
 from repro.core.sorting import minimal_path_count, sort_connections
 
 __all__ = [
+    "BudgetTracker",
     "COST_FUNCTIONS",
     "GreedyRouter",
     "LeeSearchResult",
+    "RouteBudget",
     "RouterConfig",
     "RoutingResult",
     "Strategy",

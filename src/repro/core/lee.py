@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.board.nets import Connection
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.budget import SEARCH_CHECK_MASK, BudgetTracker
 from repro.core.cost import CostFunction, distance_hops_cost
 from repro.core.single_layer import (
     DEFAULT_MAX_GAPS,
@@ -72,6 +73,7 @@ def _neighbors(
     passable: FrozenSet[int],
     max_gaps: int,
     stats: Optional[SearchStats] = None,
+    budget: Optional[BudgetTracker] = None,
 ) -> List[Tuple[ViaPoint, int]]:
     """All (neighbor via, layer index) pairs reachable in one hop.
 
@@ -85,7 +87,14 @@ def _neighbors(
             via, radius, _strip_axis(layer.orientation)
         )
         for n in reachable_vias(
-            layer, point, box, passable, workspace.via_map, max_gaps, stats
+            layer,
+            point,
+            box,
+            passable,
+            workspace.via_map,
+            max_gaps,
+            stats,
+            budget,
         ):
             result.append((n, layer_index))
     return result
@@ -115,6 +124,7 @@ def lee_route(
     max_gaps: int = DEFAULT_MAX_GAPS,
     single_front: bool = False,
     sink: EventSink = NULL_SINK,
+    budget: Optional[BudgetTracker] = None,
 ) -> LeeSearchResult:
     """Route one connection with the generalized bidirectional Lee search.
 
@@ -123,7 +133,10 @@ def lee_route(
     ``benchmarks/bench_bidirectional.py``); the search still terminates
     when a neighbor of the frontier is the target pin.  ``sink`` receives
     a :class:`repro.obs.events.LeeExhausted` event when the search dies,
-    carrying the best points rip-up will center on.
+    carrying the best points rip-up will center on.  A timed ``budget``
+    is consulted every few dozen expansions; exhaustion ends the search
+    with reason ``"budget exhausted"`` — a truncation like the expansion
+    limit, never an exception.
     """
     if passable is None:
         passable = frozenset((conn.conn_id,))
@@ -154,6 +167,13 @@ def lee_route(
         if expansions >= max_expansions:
             reason = "expansion limit"
             break
+        if (
+            budget is not None
+            and (expansions & SEARCH_CHECK_MASK) == 0
+            and budget.search_exceeded()
+        ):
+            reason = "budget exhausted"
+            break
         if single_front:
             side = 0
         else:
@@ -163,7 +183,7 @@ def lee_route(
         hops_p = marks[side][p][0]
         found_meet = None
         for n, layer_index in _neighbors(
-            workspace, p, radius, passable, max_gaps, stats
+            workspace, p, radius, passable, max_gaps, stats, budget
         ):
             if n in marks[side]:
                 continue
@@ -218,7 +238,8 @@ def lee_route(
             exhausted_side=exhausted,
         )
     record = _retrace(
-        workspace, conn, meet, marks, radius, passable, max_gaps, stats
+        workspace, conn, meet, marks, radius, passable, max_gaps, stats,
+        budget,
     )
     if sink.enabled and stats.cap_hits > 0:
         sink.emit(
@@ -261,6 +282,7 @@ def _retrace(
     passable: FrozenSet[int],
     max_gaps: int,
     stats: Optional[SearchStats] = None,
+    budget: Optional[BudgetTracker] = None,
 ) -> Optional[RouteRecord]:
     """Retrace from the meeting point to the two sources (Figure 15).
 
@@ -327,6 +349,7 @@ def _retrace(
                 passable,
                 max_gaps,
                 stats,
+                budget,
             )
             if pieces is not None:
                 layer_index = try_layer

@@ -25,6 +25,7 @@ from typing import FrozenSet, List, Optional, Tuple
 from repro.board.nets import Connection
 from repro.channels.layer_data import ChannelPiece
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.budget import BudgetTracker
 from repro.core.single_layer import DEFAULT_MAX_GAPS, trace
 from repro.grid.coords import GridPoint, ViaPoint
 from repro.grid.geometry import Box, Orientation
@@ -78,6 +79,7 @@ def find_zero_via(
     radius: int,
     passable: FrozenSet[int],
     max_gaps: int = DEFAULT_MAX_GAPS,
+    budget: Optional[BudgetTracker] = None,
 ) -> Optional[Tuple[int, List[ChannelPiece]]]:
     """Search (without installing) a direct trace between two via points.
 
@@ -89,7 +91,7 @@ def find_zero_via(
     for index in direct_layers(workspace, a, b, radius):
         layer = workspace.layers[index]
         box = direct_box(workspace, a_g, b_g, layer.orientation, radius)
-        pieces = trace(layer, a_g, b_g, box, passable, max_gaps)
+        pieces = trace(layer, a_g, b_g, box, passable, max_gaps, budget=budget)
         if pieces is not None:
             return index, pieces
     return None
@@ -101,9 +103,12 @@ def try_zero_via(
     radius: int,
     passable: FrozenSet[int],
     max_gaps: int = DEFAULT_MAX_GAPS,
+    budget: Optional[BudgetTracker] = None,
 ) -> Optional[RouteRecord]:
     """Route a connection as a single trace on one layer, if possible."""
-    found = find_zero_via(workspace, conn.a, conn.b, radius, passable, max_gaps)
+    found = find_zero_via(
+        workspace, conn.a, conn.b, radius, passable, max_gaps, budget
+    )
     if found is None:
         return None
     layer_index, pieces = found
@@ -159,20 +164,27 @@ def try_one_via(
     radius: int,
     passable: FrozenSet[int],
     max_gaps: int = DEFAULT_MAX_GAPS,
+    budget: Optional[BudgetTracker] = None,
 ) -> Optional[RouteRecord]:
     """Route a connection as two traces joined by one via (Figure 10)."""
     via_map = workspace.via_map
     grid = workspace.grid
     for v in one_via_candidates(workspace, conn.a, conn.b, radius):
+        if budget is not None and budget.search_exceeded():
+            return None
         drilled = via_map.drilled_owner(v)
         if drilled is not None and drilled != conn.conn_id:
             continue
         if not via_map.is_available(v, passable):
             continue
-        leg1 = find_zero_via(workspace, conn.a, v, radius, passable, max_gaps)
+        leg1 = find_zero_via(
+            workspace, conn.a, v, radius, passable, max_gaps, budget
+        )
         if leg1 is None:
             continue
-        leg2 = find_zero_via(workspace, v, conn.b, radius, passable, max_gaps)
+        leg2 = find_zero_via(
+            workspace, v, conn.b, radius, passable, max_gaps, budget
+        )
         if leg2 is None:
             continue
         builder = workspace.route_builder(conn.conn_id, passable)
@@ -243,6 +255,7 @@ def try_two_via(
     passable: FrozenSet[int],
     max_gaps: int = DEFAULT_MAX_GAPS,
     stats: Optional[TwoViaStats] = None,
+    budget: Optional[BudgetTracker] = None,
 ) -> Optional[RouteRecord]:
     """The two-via divide-and-conquer strategy grr tried and rejected.
 
@@ -255,6 +268,8 @@ def try_two_via(
     via_map = workspace.via_map
     grid = workspace.grid
     for v in two_via_candidates(workspace, conn.a, conn.b, radius):
+        if budget is not None and budget.search_exceeded():
+            return None
         stats.candidates += 1
         drilled = via_map.drilled_owner(v)
         if drilled is not None and drilled != conn.conn_id:

@@ -49,6 +49,20 @@ class RoutingResult:
     #: True when the parallel pipeline came up short and the whole board
     #: was re-routed serially from scratch (parity fallback).
     fallback_serial: bool = False
+    #: Why routing stopped short of completing every connection: one of
+    #: ``"deadline"`` (wall-clock budget ran out), ``"stalled"`` (the
+    #: §8.4 progress guard fired) or ``"max_passes"``.  None exactly when
+    #: the run is complete.
+    stopped_reason: Optional[str] = None
+    #: Per-connection failure reasons for :attr:`failed` entries:
+    #: ``"blocked"`` (every strategy exhausted), ``"deadline"`` (the call
+    #: ran out of wall clock first) or ``"connection_timeout"``.
+    failure_reasons: Dict[int, str] = field(default_factory=dict)
+    #: Wave workers relaunched after a crash / error / group deadline.
+    worker_retries: int = 0
+    #: Wave groups that exhausted their retry budget and were reassigned
+    #: to the serial residue pass.
+    degraded_groups: int = 0
 
     @property
     def routed_count(self) -> int:
@@ -132,4 +146,7 @@ class RoutingResult:
             "waves": self.waves,
             "demoted": self.demoted,
             "fallback_serial": self.fallback_serial,
+            "stopped_reason": self.stopped_reason,
+            "worker_retries": self.worker_retries,
+            "degraded_groups": self.degraded_groups,
         }

@@ -12,12 +12,21 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import InitVar, dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.core.budget import (
+    FAIL_BLOCKED,
+    STOP_DEADLINE,
+    STOP_MAX_PASSES,
+    STOP_STALLED,
+    BudgetTracker,
+    RouteBudget,
+)
 from repro.core.cost import COST_FUNCTIONS, CostFunction
 from repro.core.lee import LeeSearchResult, lee_route
 from repro.core.optimal import try_one_via, try_two_via, try_zero_via
@@ -52,6 +61,13 @@ class RouterConfig:
     ``radius`` (Section 8.1) bounds orthogonal movement per layer — typical
     values are 1 or 2, and "large values of radius are counterproductive".
     The ``enable_*`` switches exist for the ablation benchmarks.
+
+    All effort and wall-clock limits live in the nested :attr:`budget`
+    (:class:`repro.core.budget.RouteBudget`).  The pre-budget flat knobs
+    (``max_lee_expansions`` / ``max_gaps`` / ``max_ripup_rounds``) are
+    still accepted as constructor keywords and readable as attributes, but
+    both directions emit :class:`DeprecationWarning` — use
+    ``budget=RouteBudget(...)`` instead.
     """
 
     radius: int = 1
@@ -64,9 +80,8 @@ class RouterConfig:
     enable_two_via: bool = False
     enable_lee: bool = True
     enable_ripup: bool = True
-    max_lee_expansions: int = 4000
-    max_gaps: int = 20000
-    max_ripup_rounds: int = 10
+    #: Every effort cap and wall-clock limit for one ``route()`` call.
+    budget: RouteBudget = field(default_factory=RouteBudget)
     rip_radius: int = 2
     max_passes: int = 24
     #: Extra passes tolerated without reducing the unrouted count.  The
@@ -84,16 +99,53 @@ class RouterConfig:
     #: result is always exactly the serial result (pure-accelerator
     #: guarantee).  Disable for ablation of the fallback cost.
     parity_fallback: bool = True
+    #: Relaunch attempts for a wave worker that crashes, errors, or blows
+    #: its group deadline before its group is degraded to the serial
+    #: residue pass.
+    worker_retries: int = 2
+    #: Base backoff before a worker relaunch; doubles per attempt.
+    worker_backoff_seconds: float = 0.05
     #: Run the :class:`repro.obs.WorkspaceAuditor` after every pass
     #: (and after every parallel merge), raising on any violation.
     #: Defaults on when the ``GRR_AUDIT`` environment variable is set.
     audit: bool = field(default_factory=_audit_default)
+    #: Deprecated flat spellings of the :attr:`budget` effort caps; kept
+    #: as constructor keywords for back compatibility.
+    max_lee_expansions: InitVar[Optional[int]] = None
+    max_gaps: InitVar[Optional[int]] = None
+    max_ripup_rounds: InitVar[Optional[int]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(
+        self,
+        max_lee_expansions: Optional[int],
+        max_gaps: Optional[int],
+        max_ripup_rounds: Optional[int],
+    ) -> None:
+        overrides = {
+            name: value
+            for name, value in (
+                ("max_lee_expansions", max_lee_expansions),
+                ("max_gaps", max_gaps),
+                ("max_ripup_rounds", max_ripup_rounds),
+            )
+            if value is not None
+        }
+        if overrides:
+            warnings.warn(
+                f"RouterConfig({', '.join(sorted(overrides))}) is "
+                "deprecated; pass budget=RouteBudget(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.budget = replace(self.budget, **overrides)
         if self.radius < 0:
             raise ValueError("radius must be non-negative")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.worker_retries < 0:
+            raise ValueError("worker_retries must be non-negative")
+        if self.worker_backoff_seconds < 0:
+            raise ValueError("worker_backoff_seconds must be non-negative")
         if self.cost not in COST_FUNCTIONS:
             raise ValueError(
                 f"unknown cost function {self.cost!r}; "
@@ -104,6 +156,36 @@ class RouterConfig:
     def cost_fn(self) -> CostFunction:
         """The resolved wavefront cost function."""
         return COST_FUNCTIONS[self.cost]
+
+
+def _deprecated_budget_alias(name: str) -> property:
+    """Read-only ``cfg.<name>`` alias for ``cfg.budget.<name>`` (warns)."""
+
+    def getter(self: RouterConfig) -> int:
+        warnings.warn(
+            f"RouterConfig.{name} is deprecated; "
+            f"read RouterConfig.budget.{name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self.budget, name)
+
+    getter.__name__ = name
+    return property(getter)
+
+
+# The InitVar keywords above never become instance attributes, so these
+# class-level properties serve attribute *reads* of the old flat knobs.
+# The InitVar entries are then dropped from ``__dataclass_fields__``:
+# ``dataclasses.replace`` re-passes defaulted InitVars via ``getattr``,
+# which would route every replace() through the deprecated properties and
+# re-trigger the keyword deprecation path.  ``fields()``/``asdict`` never
+# report InitVars, so the only observable change is that replace() leaves
+# them alone — exactly the behaviour we want.
+for _alias in ("max_lee_expansions", "max_gaps", "max_ripup_rounds"):
+    setattr(RouterConfig, _alias, _deprecated_budget_alias(_alias))
+    del RouterConfig.__dataclass_fields__[_alias]
+del _alias
 
 
 def make_router(
@@ -138,6 +220,7 @@ class GreedyRouter:
         config: Optional[RouterConfig] = None,
         workspace: Optional[RoutingWorkspace] = None,
         sink: Optional[EventSink] = None,
+        budget_tracker: Optional[BudgetTracker] = None,
     ) -> None:
         self.board = board
         self.config = config or RouterConfig()
@@ -146,16 +229,31 @@ class GreedyRouter:
         self.sink = sink if sink is not None else NULL_SINK
         #: Per-phase CPU profile (Section 12), refreshed by each route().
         self.profile = RouterProfile()
+        #: Shared deadline clock: the parallel router passes its own
+        #: tracker so residue/fallback phases honor the *call's* deadline
+        #: rather than starting a fresh one.  None = per-route() tracker.
+        self.budget_tracker = budget_tracker
 
     # ------------------------------------------------------------------
     # the outer pass loop (Section 8.4)
     # ------------------------------------------------------------------
 
     def route(self, connections: Sequence[Connection]) -> RoutingResult:
-        """Route a connection list; returns the result with statistics."""
+        """Route a connection list; returns the result with statistics.
+
+        Never raises on exhaustion: when the configured
+        :class:`~repro.core.budget.RouteBudget` deadline runs out the
+        pass loop unwinds between connections, everything already
+        installed stays installed, and the partial result reports
+        ``stopped_reason`` plus per-connection ``failure_reasons``.
+        """
         started = time.perf_counter()
         self.profile = RouterProfile()
         cfg = self.config
+        tracker = self.budget_tracker or BudgetTracker(
+            cfg.budget, self.sink
+        )
+        timed = tracker.timed
         ordered = (
             sort_connections(connections) if cfg.sort else list(connections)
         )
@@ -175,15 +273,27 @@ class GreedyRouter:
             else:
                 stalled += 1
                 if stalled > cfg.max_stalled_passes:
-                    break  # no progress: the problem is too hard (§8.4)
+                    # No progress: the problem is too hard (§8.4).
+                    result.stopped_reason = STOP_STALLED
+                    break
             previous = len(unrouted)
+            if timed:
+                if tracker.deadline_exceeded(f"pass {result.passes + 1}"):
+                    result.stopped_reason = STOP_DEADLINE
+                    break
+                tracker.checkpoint(f"pass {result.passes + 1}")
             result.passes += 1
             if sink.enabled:
                 sink.emit(PassStart(result.passes, len(unrouted)))
             for conn in unrouted:
                 if self.workspace.is_routed(conn.conn_id):
                     continue  # restored during an earlier putback
-                self._route_connection(conn, result)
+                if timed and tracker.deadline_exceeded(
+                    f"pass {result.passes}"
+                ):
+                    result.stopped_reason = STOP_DEADLINE
+                    break
+                self._route_connection(conn, result, tracker)
             pending_before = len(unrouted)
             unrouted = [
                 c for c in ordered if not self.workspace.is_routed(c.conn_id)
@@ -194,7 +304,20 @@ class GreedyRouter:
                 )
             if cfg.audit:
                 self._audit(f"pass {result.passes}")
+            if result.stopped_reason is not None:
+                break
         result.failed = [c.conn_id for c in unrouted]
+        if result.failed and result.stopped_reason is None:
+            result.stopped_reason = STOP_MAX_PASSES
+        default_reason = (
+            STOP_DEADLINE
+            if result.stopped_reason == STOP_DEADLINE
+            else FAIL_BLOCKED
+        )
+        result.failure_reasons = {
+            cid: result.failure_reasons.get(cid, default_reason)
+            for cid in result.failed
+        }
         result.cpu_seconds = time.perf_counter() - started
         self._note_cache_stats(cache_before, "route")
         return result
@@ -239,10 +362,20 @@ class GreedyRouter:
         )
 
     def _try_strategies(
-        self, conn: Connection, passable: FrozenSet[int], attempt: int = 0
+        self,
+        conn: Connection,
+        passable: FrozenSet[int],
+        attempt: int = 0,
+        budget: Optional[BudgetTracker] = None,
     ) -> Tuple[Optional[RouteRecord], Optional[Strategy], Optional[LeeSearchResult]]:
-        """One attempt through zero-via, one-via and Lee."""
+        """One attempt through zero-via, one-via and Lee.
+
+        A timed ``budget`` is consulted between strategies and threaded
+        into every search; exhaustion truncates the attempt (returns the
+        all-None triple) and the caller unwinds.
+        """
         cfg = self.config
+        caps = cfg.budget
         ws = self.workspace
         sink = self.sink
         if conn.a == conn.b:
@@ -253,7 +386,7 @@ class GreedyRouter:
         if cfg.enable_zero_via:
             with self.profile.measure("zero_via"):
                 record = try_zero_via(
-                    ws, conn, cfg.radius, passable, cfg.max_gaps
+                    ws, conn, cfg.radius, passable, caps.max_gaps, budget
                 )
             if sink.enabled:
                 sink.emit(
@@ -263,10 +396,12 @@ class GreedyRouter:
                 )
             if record is not None:
                 return record, Strategy.ZERO_VIA, None
+            if budget is not None and budget.search_exceeded():
+                return None, None, None
         if cfg.enable_one_via:
             with self.profile.measure("one_via"):
                 record = try_one_via(
-                    ws, conn, cfg.radius, passable, cfg.max_gaps
+                    ws, conn, cfg.radius, passable, caps.max_gaps, budget
                 )
             if sink.enabled:
                 sink.emit(
@@ -276,10 +411,17 @@ class GreedyRouter:
                 )
             if record is not None:
                 return record, Strategy.ONE_VIA, None
+            if budget is not None and budget.search_exceeded():
+                return None, None, None
         if cfg.enable_two_via:
             with self.profile.measure("two_via"):
                 record = try_two_via(
-                    ws, conn, cfg.radius, passable, cfg.max_gaps
+                    ws,
+                    conn,
+                    cfg.radius,
+                    passable,
+                    caps.max_gaps,
+                    budget=budget,
                 )
             if sink.enabled:
                 sink.emit(
@@ -289,6 +431,8 @@ class GreedyRouter:
                 )
             if record is not None:
                 return record, Strategy.TWO_VIA, None
+            if budget is not None and budget.search_exceeded():
+                return None, None, None
         if cfg.enable_lee:
             with self.profile.measure("lee"):
                 search = lee_route(
@@ -297,9 +441,10 @@ class GreedyRouter:
                     radius=cfg.radius,
                     passable=passable,
                     cost_fn=cfg.cost_fn,
-                    max_expansions=cfg.max_lee_expansions,
-                    max_gaps=cfg.max_gaps,
+                    max_expansions=caps.max_lee_expansions,
+                    max_gaps=caps.max_gaps,
                     sink=sink,
+                    budget=budget,
                 )
             if sink.enabled:
                 sink.emit(
@@ -333,7 +478,10 @@ class GreedyRouter:
         return [p for p in points if p is not None]
 
     def _route_connection(
-        self, conn: Connection, result: RoutingResult
+        self,
+        conn: Connection,
+        result: RoutingResult,
+        tracker: Optional[BudgetTracker] = None,
     ) -> bool:
         """Route one connection, ripping up obstacles if necessary."""
         cfg = self.config
@@ -343,9 +491,16 @@ class GreedyRouter:
         ripped: Dict[int, Tuple[RouteRecord, Optional[Strategy]]] = {}
         routed = False
         attempt = 0
-        for attempt in range(cfg.max_ripup_rounds + 1):
+        budget = tracker.hot() if tracker is not None else None
+        if budget is not None:
+            budget.start_connection(conn.conn_id)
+        for attempt in range(cfg.budget.max_ripup_rounds + 1):
+            if budget is not None and budget.exceeded_scope(
+                f"connection {conn.conn_id}"
+            ):
+                break
             record, strategy, search = self._try_strategies(
-                conn, passable, attempt
+                conn, passable, attempt, budget
             )
             if search is not None:
                 result.lee_expansions += search.expansions
@@ -365,8 +520,10 @@ class GreedyRouter:
                         )
                     )
                 break
-            if not cfg.enable_ripup or attempt == cfg.max_ripup_rounds:
+            if not cfg.enable_ripup or attempt == cfg.budget.max_ripup_rounds:
                 break
+            if budget is not None and budget.search_exceeded():
+                break  # no clock left to spend on rip-up rounds
             victims: set = set()
             with self.profile.measure("ripup"):
                 # Widen the rip neighborhood as attempts fail: "this
@@ -391,8 +548,17 @@ class GreedyRouter:
             for conn_id, route_record in removed.items():
                 previous = result.routed_by.pop(conn_id, None)
                 ripped[conn_id] = (route_record, previous)
-        if not routed and sink.enabled:
-            sink.emit(ConnectionFailed(conn.conn_id, attempt + 1))
+        if routed:
+            result.failure_reasons.pop(conn.conn_id, None)
+        else:
+            scope = (
+                budget.exceeded_scope(f"connection {conn.conn_id}")
+                if budget is not None
+                else None
+            )
+            result.failure_reasons[conn.conn_id] = scope or FAIL_BLOCKED
+            if sink.enabled:
+                sink.emit(ConnectionFailed(conn.conn_id, attempt + 1))
         # Putback (Section 8.3): most ripped-up connections fit back
         # unchanged; the rest stay unrouted and a later pass re-routes
         # them.  Only victims that do NOT go back unchanged count as

@@ -20,9 +20,22 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.channels.layer_data import ChannelPiece, LayerData
+from repro.core.budget import SEARCH_CHECK_MASK
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.budget import BudgetTracker
 from repro.channels.via_map import ViaMap
 from repro.grid.coords import GridPoint, ViaPoint
 from repro.grid.geometry import Box
@@ -164,6 +177,7 @@ def trace(
     passable: FrozenSet[int] = frozenset(),
     max_gaps: int = DEFAULT_MAX_GAPS,
     stats: Optional[SearchStats] = None,
+    budget: Optional["BudgetTracker"] = None,
 ) -> Optional[List[ChannelPiece]]:
     """Find a rectilinear path from ``a`` to ``b`` on one layer inside ``box``.
 
@@ -171,7 +185,9 @@ def trace(
     large gap overlaps already trimmed back to single junction points
     (Figure 7), or None if no path exists within the box.  A search that
     pops more than ``max_gaps`` gaps gives up and also returns None, but
-    marks ``stats`` as capped — truncation, not a proven blockage.
+    marks ``stats`` as capped — truncation, not a proven blockage.  A
+    timed ``budget`` (see :mod:`repro.core.budget`) is consulted every few
+    dozen pops; exhaustion truncates the search exactly like the cap.
     """
     ca, xa = layer.point_cc(a)
     cb, xb = layer.point_cc(b)
@@ -194,6 +210,13 @@ def trace(
         key = stack.pop()
         examined += 1
         if examined > max_gaps:
+            capped = True
+            break
+        if (
+            budget is not None
+            and (examined & SEARCH_CHECK_MASK) == 0
+            and budget.search_exceeded()
+        ):
             capped = True
             break
         c, gi = key
@@ -266,12 +289,14 @@ def _explore_all(
     start: GapKey,
     max_gaps: int,
     stats: Optional[SearchStats] = None,
+    budget: Optional["BudgetTracker"] = None,
 ) -> Iterator[GapKey]:
     """Enumerate all gaps reachable from ``start``, up to ``max_gaps``.
 
     Counts popped gaps — the same accounting as :func:`trace` — so one
     ``max_gaps`` value caps both search shapes identically.  Hitting the
-    cap truncates the enumeration and marks ``stats`` as capped.
+    cap (or an exhausted ``budget``) truncates the enumeration and marks
+    ``stats`` as capped.
     """
     seen: Set[GapKey] = {start}
     stack = [start]
@@ -281,6 +306,13 @@ def _explore_all(
         key = stack.pop()
         examined += 1
         if examined > max_gaps:
+            capped = True
+            break
+        if (
+            budget is not None
+            and (examined & SEARCH_CHECK_MASK) == 0
+            and budget.search_exceeded()
+        ):
             capped = True
             break
         yield key
@@ -302,6 +334,7 @@ def reachable_vias(
     via_map: ViaMap,
     max_gaps: int = DEFAULT_MAX_GAPS,
     stats: Optional[SearchStats] = None,
+    budget: Optional["BudgetTracker"] = None,
 ) -> List[ViaPoint]:
     """All free via sites reachable from ``a`` on one layer within ``box``.
 
@@ -320,7 +353,7 @@ def reachable_vias(
         layer.grid.grid_to_via(a) if layer.grid.is_via_site(a) else None
     )
     found: List[ViaPoint] = []
-    for c, gi in _explore_all(fs, (ca, start_index), max_gaps, stats):
+    for c, gi in _explore_all(fs, (ca, start_index), max_gaps, stats, budget):
         if not layer.is_via_channel(c):
             continue
         glo, ghi = fs.gaps(c)[gi]

@@ -26,9 +26,12 @@ from repro.obs.audit import (
 )
 from repro.obs.events import (
     AuditRun,
+    BudgetCheckpoint,
+    BudgetExhausted,
     CacheStats,
     ConnectionFailed,
     ConnectionRouted,
+    DegradedMode,
     ImproveAttempt,
     LeeExhausted,
     MergeDemoted,
@@ -41,6 +44,7 @@ from repro.obs.events import (
     StrategyAttempt,
     WaveEnd,
     WaveStart,
+    WorkerRetry,
 )
 from repro.obs.sinks import (
     NULL_SINK,
@@ -53,9 +57,12 @@ from repro.obs.sinks import (
 __all__ = [
     "AuditReport",
     "AuditRun",
+    "BudgetCheckpoint",
+    "BudgetExhausted",
     "CacheStats",
     "ConnectionFailed",
     "ConnectionRouted",
+    "DegradedMode",
     "EventSink",
     "ImproveAttempt",
     "JsonlSink",
@@ -75,6 +82,7 @@ __all__ = [
     "Violation",
     "WaveEnd",
     "WaveStart",
+    "WorkerRetry",
     "WorkspaceAuditError",
     "WorkspaceAuditor",
 ]

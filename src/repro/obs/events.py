@@ -26,6 +26,10 @@ kind                emitted when
 ``improve``         the improvement pass re-routes one detour
 ``audit``           a workspace audit ran (violation count included)
 ``cache_stats``     free-gap cache hit/miss totals for a routing phase
+``budget_checkpoint``  a timed routing run passed a coarse checkpoint
+``budget_exhausted``   a wall-clock budget scope ran out (once per scope)
+``worker_retry``    a failed wave worker is being retried with backoff
+``degraded``        a degradation path engaged (group -> residue, ...)
 ==================  ====================================================
 """
 
@@ -204,6 +208,59 @@ class AuditRun(RouteEvent):
     kind: ClassVar[str] = "audit"
     context: str
     violations: int
+
+
+@dataclass(frozen=True)
+class BudgetCheckpoint(RouteEvent):
+    """A timed run passed a coarse budget checkpoint (pass/wave start).
+
+    Only emitted when a wall-clock limit is configured; ``remaining`` is
+    None when no *total* deadline is set (per-connection limits only)."""
+
+    kind: ClassVar[str] = "budget_checkpoint"
+    context: str
+    elapsed: float
+    remaining: Optional[float]
+
+
+@dataclass(frozen=True)
+class BudgetExhausted(RouteEvent):
+    """A budget scope ran out: ``scope`` is ``"deadline"`` (the whole
+    call) or ``"connection_timeout"`` (one connection's allowance).
+    Emitted once per exhaustion — the router then degrades gracefully
+    instead of raising."""
+
+    kind: ClassVar[str] = "budget_exhausted"
+    scope: str
+    context: str
+    elapsed: float
+    limit: float
+
+
+@dataclass(frozen=True)
+class WorkerRetry(RouteEvent):
+    """A wave worker failed (``reason``: ``crash`` / ``error`` /
+    ``deadline``) and its group is being relaunched after ``backoff``
+    seconds (attempt numbers are zero-based)."""
+
+    kind: ClassVar[str] = "worker_retry"
+    strip_index: int
+    attempt: int
+    reason: str
+    backoff: float
+
+
+@dataclass(frozen=True)
+class DegradedMode(RouteEvent):
+    """A degradation path engaged: a wave group exhausted its retry
+    budget and was reassigned to the serial residue pass, or the parity
+    fallback was skipped to preserve a deadline-limited partial result.
+    ``connections`` counts the connections affected."""
+
+    kind: ClassVar[str] = "degraded"
+    context: str
+    reason: str
+    connections: int
 
 
 @dataclass(frozen=True)

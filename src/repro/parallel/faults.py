@@ -1,0 +1,119 @@
+"""Fault injection for the parallel fan-out (``GRR_FAULT``).
+
+The retry/degrade machinery in :class:`repro.parallel.ParallelRouter`
+exists for failures that are, by design, nearly impossible to produce on
+demand: a wave child segfaulting, raising, or blowing its group
+deadline.  ``GRR_FAULT`` makes those failures reproducible so tests and
+CI can drive the recovery paths deliberately:
+
+``GRR_FAULT=<mode>[:<count>|:all]``
+
+===============  =====================================================
+mode             what the wave child does
+===============  =====================================================
+``worker_crash``  dies via ``os._exit(13)`` without reporting back
+                  (the parent sees EOF on the result pipe)
+``worker_error``  raises :class:`InjectedFault` (reported back as a
+                  normal worker error)
+``worker_hang``   sleeps ``HANG_SECONDS`` before routing, so a parent
+                  with a group deadline terminates it
+===============  =====================================================
+
+``count`` is how many *leading attempts per group* are sabotaged
+(default 1: the first launch fails, the first retry succeeds).  ``all``
+sabotages every attempt, which exhausts the retry budget and forces the
+group onto the serial-residue degradation path.
+
+The in-process fallback (no subprocesses available) cannot crash or hang
+the parent, so :func:`inject_inline` maps every mode to a raised
+:class:`InjectedFault` instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+MODE_CRASH = "worker_crash"
+MODE_ERROR = "worker_error"
+MODE_HANG = "worker_hang"
+MODES = (MODE_CRASH, MODE_ERROR, MODE_HANG)
+
+#: How long ``worker_hang`` stalls before proceeding normally.  Long
+#: enough that any realistic group deadline fires first; short enough
+#: that a hang injected into an *undeadlined* run eventually unsticks.
+HANG_SECONDS = 30.0
+
+#: Exit status of a ``worker_crash`` child (distinguishable from the
+#: interpreter's own failure codes in the parent's logs).
+CRASH_EXIT_CODE = 13
+
+
+class InjectedFault(RuntimeError):
+    """Raised (or reported) by a deliberately sabotaged wave worker."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Parsed ``GRR_FAULT`` value."""
+
+    mode: str
+    #: Attempts ``0..count-1`` of every group are sabotaged; None = all.
+    count: Optional[int] = 1
+
+    def applies(self, attempt: int) -> bool:
+        """Should this zero-based launch attempt be sabotaged?"""
+        return self.count is None or attempt < self.count
+
+
+def fault_spec(raw: Optional[str] = None) -> Optional[FaultSpec]:
+    """Parse ``raw`` (default: the ``GRR_FAULT`` env var) into a spec.
+
+    Unknown or malformed values raise ``ValueError`` — a typoed fault
+    injection that silently injects nothing would make a recovery test
+    pass vacuously.
+    """
+    if raw is None:
+        raw = os.environ.get("GRR_FAULT", "")
+    raw = raw.strip()
+    if not raw:
+        return None
+    mode, _, count_part = raw.partition(":")
+    if mode not in MODES:
+        raise ValueError(
+            f"unknown GRR_FAULT mode {mode!r}; choose from {MODES}"
+        )
+    if not count_part:
+        return FaultSpec(mode)
+    if count_part == "all":
+        return FaultSpec(mode, None)
+    count = int(count_part)
+    if count < 0:
+        raise ValueError("GRR_FAULT count must be non-negative")
+    return FaultSpec(mode, count)
+
+
+def inject_in_child(attempt: int) -> None:
+    """Run in a wave child before routing: act out the configured fault."""
+    spec = fault_spec()
+    if spec is None or not spec.applies(attempt):
+        return
+    if spec.mode == MODE_CRASH:
+        os._exit(CRASH_EXIT_CODE)
+    if spec.mode == MODE_HANG:
+        time.sleep(HANG_SECONDS)
+        return
+    raise InjectedFault(
+        f"injected {spec.mode} (attempt {attempt}, GRR_FAULT)"
+    )
+
+
+def inject_inline(spec: Optional[FaultSpec], attempt: int) -> None:
+    """In-process-fallback flavor: every mode becomes a raised fault."""
+    if spec is None or not spec.applies(attempt):
+        return
+    raise InjectedFault(
+        f"injected {spec.mode} (attempt {attempt}, GRR_FAULT, inline)"
+    )

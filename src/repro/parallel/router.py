@@ -34,19 +34,31 @@ depends only on the configuration, not on scheduling.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import time
-from typing import List, Optional, Sequence
+from collections import deque
+from dataclasses import replace
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.channels.workspace import RoutingWorkspace
+from repro.core.budget import STOP_DEADLINE, BudgetTracker
 from repro.core.profiling import RouterProfile
 from repro.core.result import RoutingResult
 from repro.core.sorting import sort_connections
 from repro.obs.audit import WorkspaceAuditError, WorkspaceAuditor
-from repro.obs.events import AuditRun, CacheStats, WaveEnd, WaveStart
+from repro.obs.events import (
+    AuditRun,
+    CacheStats,
+    DegradedMode,
+    WaveEnd,
+    WaveStart,
+    WorkerRetry,
+)
 from repro.obs.sinks import NULL_SINK, EventSink
 
+from repro.parallel.faults import InjectedFault, fault_spec, inject_inline
 from repro.parallel.merge import merge_wave
 from repro.parallel.partition import (
     WAVE_SPECS,
@@ -66,6 +78,10 @@ from repro.parallel.worker import (
     worker_config,
 )
 
+#: Slack added to a wave group's parent-side deadline so a child that
+#: finishes right at the budget line still gets to report its result.
+GROUP_GRACE_SECONDS = 0.25
+
 
 class ParallelRouter:
     """Wave-parallel PCB router with a serial repair phase."""
@@ -76,6 +92,7 @@ class ParallelRouter:
         config=None,
         workspace: Optional[RoutingWorkspace] = None,
         sink: Optional[EventSink] = None,
+        budget_tracker: Optional[BudgetTracker] = None,
     ) -> None:
         from repro.core.router import RouterConfig
 
@@ -87,6 +104,9 @@ class ParallelRouter:
         #: surface here as merge/demotion events.
         self.sink = sink if sink is not None else NULL_SINK
         self.profile = RouterProfile()
+        #: Optional externally-owned deadline clock (mirrors the serial
+        #: router); normally None and created per route() call.
+        self.budget_tracker = budget_tracker
 
     # ------------------------------------------------------------------
     # wave execution
@@ -100,7 +120,11 @@ class ParallelRouter:
         return multiprocessing.get_context("spawn"), False
 
     def _run_wave(
-        self, groups: List[WaveGroup], wave_cfg
+        self,
+        groups: List[WaveGroup],
+        wave_cfg,
+        result: RoutingResult,
+        tracker: BudgetTracker,
     ) -> List[GroupResult]:
         """Route one wave's groups, one short-lived process per group.
 
@@ -109,63 +133,243 @@ class ParallelRouter:
         pickled payload under spawn), so the outcome is independent of
         scheduling order and worker count.  See the worker module for why
         ``multiprocessing.Pool`` is not used here.
+
+        A child that crashes, errors, or blows its group deadline is
+        relaunched with exponential backoff up to
+        ``config.worker_retries`` times, then its group is *degraded*:
+        dropped from the wave so the serial residue phase routes those
+        connections instead.  A wave failure therefore never fails the
+        routing call.
         """
         workers = min(max(1, self.config.workers), len(groups))
         try:
-            return self._fan_out(groups, wave_cfg, workers)
+            return self._fan_out(groups, wave_cfg, workers, result, tracker)
         except (OSError, PermissionError):
             # No subprocesses available (restricted environments): route
             # each group in-process against a private snapshot, which is
             # behaviorally identical, just not concurrent.
-            return [
-                route_group_in(self.workspace.snapshot(), wave_cfg, group)
-                for group in groups
-            ]
+            return self._run_inline(groups, wave_cfg, result, tracker)
+
+    def _degrade_group(
+        self, group: WaveGroup, reason: str, result: RoutingResult
+    ) -> None:
+        """Drop a group from its wave; the serial residue picks it up."""
+        result.degraded_groups += 1
+        if self.sink.enabled:
+            self.sink.emit(
+                DegradedMode(
+                    f"group {group.strip_index}",
+                    reason,
+                    len(group.connections),
+                )
+            )
+
+    def _run_inline(
+        self,
+        groups: List[WaveGroup],
+        wave_cfg,
+        result: RoutingResult,
+        tracker: BudgetTracker,
+    ) -> List[GroupResult]:
+        """In-process fan-out fallback (same retry/degrade contract)."""
+        cfg = self.config
+        sink = self.sink
+        spec = fault_spec()
+        out: List[GroupResult] = []
+        for group in groups:
+            if tracker.deadline_exceeded(f"group {group.strip_index}"):
+                self._degrade_group(group, "deadline", result)
+                continue
+            for attempt in range(cfg.worker_retries + 1):
+                try:
+                    inject_inline(spec, attempt)
+                    out.append(
+                        route_group_in(
+                            self.workspace.snapshot(), wave_cfg, group
+                        )
+                    )
+                    break
+                except InjectedFault:
+                    if attempt < cfg.worker_retries:
+                        result.worker_retries += 1
+                        if sink.enabled:
+                            sink.emit(
+                                WorkerRetry(
+                                    group.strip_index, attempt, "error", 0.0
+                                )
+                            )
+                    else:
+                        self._degrade_group(group, "error", result)
+        return out
+
+    def _group_deadline(
+        self, group: WaveGroup, tracker: BudgetTracker
+    ) -> Optional[float]:
+        """Absolute parent-side give-up time for one wave child."""
+        limits = []
+        per_conn = self.config.budget.per_connection_seconds
+        if per_conn is not None:
+            limits.append(
+                per_conn * max(1, len(group.connections))
+                + GROUP_GRACE_SECONDS
+            )
+        remaining = tracker.remaining()
+        if remaining is not None:
+            limits.append(remaining + GROUP_GRACE_SECONDS)
+        if not limits:
+            return None
+        return time.perf_counter() + min(limits)
 
     def _fan_out(
-        self, groups: List[WaveGroup], wave_cfg, workers: int
+        self,
+        groups: List[WaveGroup],
+        wave_cfg,
+        workers: int,
+        result: RoutingResult,
+        tracker: BudgetTracker,
     ) -> List[GroupResult]:
-        """Launch/reap wave children with a bounded process slot count."""
+        """Launch/reap wave children with a bounded process slot count.
+
+        Each child reports over its own one-way pipe: a child that dies
+        without reporting is an EOF (``reason="crash"``), a child that
+        reports an exception is an ``"error"``, and a child still running
+        at its group deadline is terminated (``"deadline"``).  All three
+        go through the same bounded retry-then-degrade policy.
+        """
         ctx, forked = self._pool_context()
-        queue = ctx.SimpleQueue()
         payload = None
         if forked:
             set_parent_state(self.workspace, wave_cfg)
         else:
             payload = spawn_payload(self.workspace.snapshot(), wave_cfg)
+        cfg = self.config
+        sink = self.sink
+        clock = time.perf_counter
         results: List[Optional[GroupResult]] = [None] * len(groups)
-        active = {}
-        next_index = 0
-        failure = None
+        #: Groups awaiting a process slot, as (group index, attempt).
+        launchable: Deque[Tuple[int, int]] = deque(
+            (i, 0) for i in range(len(groups))
+        )
+        #: Failed groups backing off, as (ready time, index, attempt).
+        retries: List[Tuple[float, int, int]] = []
+        #: recv pipe -> (index, attempt, process, group deadline).
+        active: Dict[object, Tuple[int, int, object, Optional[float]]] = {}
+
+        def handle_failure(index: int, attempt: int, reason: str) -> None:
+            if attempt < cfg.worker_retries and not tracker.deadline_hit:
+                backoff = cfg.worker_backoff_seconds * (2**attempt)
+                result.worker_retries += 1
+                if sink.enabled:
+                    sink.emit(
+                        WorkerRetry(
+                            groups[index].strip_index,
+                            attempt,
+                            reason,
+                            backoff,
+                        )
+                    )
+                retries.append((clock() + backoff, index, attempt + 1))
+            else:
+                self._degrade_group(groups[index], reason, result)
+
+        def reap(conn, proc) -> None:
+            proc.join()
+            conn.close()
+
         try:
-            while next_index < len(groups) or active:
-                while (
-                    failure is None
-                    and next_index < len(groups)
-                    and len(active) < workers
-                ):
+            while launchable or retries or active:
+                now = clock()
+                due = [r for r in retries if r[0] <= now]
+                if due:
+                    retries[:] = [r for r in retries if r[0] > now]
+                    launchable.extend((i, a) for _, i, a in due)
+                if tracker.deadline_exceeded("fan-out"):
+                    # The call's clock ran out mid-wave: stop launching,
+                    # terminate what is running, degrade the remainder.
+                    for index, _ in launchable:
+                        self._degrade_group(
+                            groups[index], "deadline", result
+                        )
+                    launchable.clear()
+                    for _, index, _ in retries:
+                        self._degrade_group(
+                            groups[index], "deadline", result
+                        )
+                    retries.clear()
+                    for conn, (index, _, proc, _) in active.items():
+                        proc.terminate()
+                        reap(conn, proc)
+                        self._degrade_group(
+                            groups[index], "deadline", result
+                        )
+                    active.clear()
+                    break
+                while launchable and len(active) < workers:
+                    index, attempt = launchable.popleft()
+                    recv, send = ctx.Pipe(duplex=False)
                     proc = ctx.Process(
                         target=child_main,
-                        args=(queue, next_index, groups[next_index], payload),
+                        args=(send, index, groups[index], attempt, payload),
                     )
                     proc.start()
-                    active[next_index] = proc
-                    next_index += 1
+                    # The child holds its own copy of the write end; ours
+                    # must close so a dead child reads as EOF.
+                    send.close()
+                    active[recv] = (
+                        index,
+                        attempt,
+                        proc,
+                        self._group_deadline(groups[index], tracker),
+                    )
                 if not active:
-                    break
-                index, result, error = queue.get()
-                active.pop(index).join()
-                if error is not None and failure is None:
-                    failure = error
-                results[index] = result
+                    if retries:
+                        pause = min(r[0] for r in retries) - clock()
+                        time.sleep(min(max(pause, 0.0), 0.1))
+                    continue
+                now = clock()
+                waits = [
+                    max(0.0, d - now)
+                    for (_, _, _, d) in active.values()
+                    if d is not None
+                ]
+                waits += [max(0.0, r[0] - now) for r in retries]
+                remaining = tracker.remaining()
+                if remaining is not None:
+                    waits.append(remaining)
+                timeout = min(waits) + 0.01 if waits else None
+                ready = multiprocessing.connection.wait(
+                    list(active), timeout
+                )
+                for conn in ready:
+                    index, attempt, proc, _ = active.pop(conn)
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        reap(conn, proc)
+                        handle_failure(index, attempt, "crash")
+                        continue
+                    reap(conn, proc)
+                    _, group_result, error = message
+                    if error is not None:
+                        handle_failure(index, attempt, "error")
+                    else:
+                        results[index] = group_result
+                now = clock()
+                for conn in [
+                    conn
+                    for conn, (_, _, _, d) in active.items()
+                    if d is not None and now >= d
+                ]:
+                    index, attempt, proc, _ = active.pop(conn)
+                    proc.terminate()
+                    reap(conn, proc)
+                    handle_failure(index, attempt, "deadline")
         finally:
             if forked:
                 clear_parent_state()
-            for proc in active.values():
+            for conn, (_, _, proc, _) in active.items():
                 proc.terminate()
-                proc.join()
-        if failure is not None:
-            raise RuntimeError(f"wave worker failed: {failure}")
+                reap(conn, proc)
         return [r for r in results if r is not None]
 
     # ------------------------------------------------------------------
@@ -179,6 +383,10 @@ class ParallelRouter:
         started = time.perf_counter()
         self.profile = RouterProfile()
         cfg = self.config
+        tracker = self.budget_tracker or BudgetTracker(
+            cfg.budget, self.sink
+        )
+        timed = tracker.timed
         ordered = (
             sort_connections(connections) if cfg.sort else list(connections)
         )
@@ -195,6 +403,12 @@ class ParallelRouter:
             for axis, offset in WAVE_SPECS:
                 if not pending:
                     break
+                if timed:
+                    if tracker.deadline_exceeded(
+                        f"wave {result.waves + 1}"
+                    ):
+                        break
+                    tracker.checkpoint(f"wave {result.waves + 1}")
                 with self.profile.measure("partition"):
                     spec = strip_spec(
                         axis,
@@ -218,7 +432,12 @@ class ParallelRouter:
                         )
                     )
                 with self.profile.measure("wave"):
-                    group_results = self._run_wave(groups, wave_cfg)
+                    group_results = self._run_wave(
+                        groups,
+                        self._wave_config(wave_cfg, tracker),
+                        result,
+                        tracker,
+                    )
                 for group_result in group_results:
                     self.profile.merge(group_result.profile)
                 with self.profile.measure("merge"):
@@ -254,7 +473,13 @@ class ParallelRouter:
         # order, so contested space goes to the connection the serial
         # router would have preferred, and the losers are demoted to the
         # serial residue below.
-        if cfg.workers > 1 and len(pending) > cfg.workers:
+        if (
+            cfg.workers > 1
+            and len(pending) > cfg.workers
+            and not (timed and tracker.deadline_exceeded("speculative wave"))
+        ):
+            if timed:
+                tracker.checkpoint("speculative wave")
             with self.profile.measure("partition"):
                 groups = shard_round_robin(pending, cfg.workers)
             if len(groups) >= 2:
@@ -265,7 +490,12 @@ class ParallelRouter:
                         )
                     )
                 with self.profile.measure("wave"):
-                    group_results = self._run_wave(groups, wave_cfg)
+                    group_results = self._run_wave(
+                        groups,
+                        self._wave_config(wave_cfg, tracker),
+                        result,
+                        tracker,
+                    )
                 for group_result in group_results:
                     self.profile.merge(group_result.profile)
                 with self.profile.measure("merge"):
@@ -292,9 +522,14 @@ class ParallelRouter:
 
         # Serial residue: the unchanged strategy stack (rip-up included)
         # over everything still unrouted, exactly as if those connections
-        # had reached the hard tail of a serial run.
+        # had reached the hard tail of a serial run.  It shares this
+        # call's budget tracker, so one deadline spans waves + residue.
         serial = GreedyRouter(
-            self.board, self._serial_config(), workspace=ws, sink=sink
+            self.board,
+            self._serial_config(),
+            workspace=ws,
+            sink=sink,
+            budget_tracker=tracker,
         )
         serial_result = serial.route(ordered)
         self.profile.merge(serial.profile)
@@ -313,9 +548,26 @@ class ParallelRouter:
         result.failed = [
             c.conn_id for c in ordered if not ws.is_routed(c.conn_id)
         ]
+        result.stopped_reason = serial_result.stopped_reason
+        result.failure_reasons = dict(serial_result.failure_reasons)
 
         if result.failed and cfg.parity_fallback:
-            result = self._serial_fallback(connections, result)
+            if tracker.deadline_hit:
+                # Re-routing from scratch would destroy the deadline-
+                # limited partial result with no clock left to rebuild
+                # it; keep what we have.
+                if sink.enabled:
+                    sink.emit(
+                        DegradedMode(
+                            "parity_fallback",
+                            "deadline",
+                            len(result.failed),
+                        )
+                    )
+            else:
+                result = self._serial_fallback(
+                    connections, result, tracker
+                )
 
         if sink.enabled:
             # Aggregate over wave workers (merged from their profiles)
@@ -344,29 +596,70 @@ class ParallelRouter:
 
     def _serial_config(self):
         """The config for serial phases (single worker, same knobs)."""
-        from dataclasses import replace
-
         return replace(self.config, workers=1)
 
+    def _wave_config(self, wave_cfg, tracker: BudgetTracker):
+        """The config wave children route with right now.
+
+        A child's own budget clock starts when the child does, so its
+        deadline must be this call's *remaining* time, not the original
+        ``deadline_seconds``.  Untimed runs return ``wave_cfg`` unchanged
+        (bit-identical configs, zero overhead).
+        """
+        remaining = tracker.remaining()
+        if remaining is None:
+            return wave_cfg
+        return replace(
+            wave_cfg,
+            budget=replace(
+                wave_cfg.budget, deadline_seconds=max(0.0, remaining)
+            ),
+        )
+
     def _serial_fallback(
-        self, connections: Sequence[Connection], attempt: RoutingResult
+        self,
+        connections: Sequence[Connection],
+        attempt: RoutingResult,
+        tracker: BudgetTracker,
     ) -> RoutingResult:
         """Discard the parallel attempt and re-route serially from scratch.
 
         Reached only on boards the wave pipeline could not complete —
         typically boards the serial router cannot complete either, where
         reproducing the serial result exactly matters more than speed.
+        Shares the call's budget tracker; if the clock runs out mid-way
+        and the from-scratch partial is *worse* than the parallel
+        attempt, the attempt is kept instead.
         """
         from repro.core.router import GreedyRouter
 
         fresh = RoutingWorkspace(self.board)
         serial = GreedyRouter(
-            self.board, self._serial_config(), fresh, sink=self.sink
+            self.board,
+            self._serial_config(),
+            fresh,
+            sink=self.sink,
+            budget_tracker=tracker,
         )
         result = serial.route(connections)
-        self.workspace = fresh
         self.profile.merge(serial.profile)
+        if (
+            result.stopped_reason == STOP_DEADLINE
+            and result.routed_count < attempt.routed_count
+        ):
+            if self.sink.enabled:
+                self.sink.emit(
+                    DegradedMode(
+                        "parity_fallback",
+                        "deadline",
+                        len(attempt.failed),
+                    )
+                )
+            return attempt
+        self.workspace = fresh
         result.waves = attempt.waves
         result.demoted = attempt.demoted
+        result.worker_retries = attempt.worker_retries
+        result.degraded_groups = attempt.degraded_groups
         result.fallback_serial = True
         return result

@@ -6,7 +6,9 @@ The fan-out protocol (one short-lived process per group, run by
 * **fork** (Linux, the fast path) — the parent stages the master
   workspace and config in module globals and forks one child per group;
   each child inherits a pristine copy-on-write snapshot for free, routes
-  its group, and sends the :class:`GroupResult` back over a queue.
+  its group, and sends the :class:`GroupResult` back over its own pipe
+  (one per child, so a crashed child is visible as an EOF rather than a
+  queue that never delivers).
   Because every group gets its own fresh fork, results are independent
   of scheduling and of the worker count.
 * **spawn** (everywhere else) — each child receives the pickled
@@ -79,15 +81,26 @@ def clear_parent_state() -> None:
 
 
 def child_main(
-    queue, index: int, group: WaveGroup, payload: Optional[bytes] = None
+    conn,
+    index: int,
+    group: WaveGroup,
+    attempt: int = 0,
+    payload: Optional[bytes] = None,
 ) -> None:
     """Entry point of one wave child process.
 
     Fork children find the snapshot in the inherited module globals;
     spawn children get it as ``payload``.  The result (or the formatted
-    error) travels back over ``queue`` tagged with the group's index.
+    error) travels back over the pipe connection ``conn`` tagged with the
+    group's index; a child that dies without sending leaves the parent an
+    EOF instead of a message, which is how crashes are detected.
+    ``attempt`` is the zero-based launch attempt, consulted by the
+    ``GRR_FAULT`` fault-injection hook (:mod:`repro.parallel.faults`).
     """
+    from repro.parallel.faults import inject_in_child
+
     try:
+        inject_in_child(attempt)
         if payload is not None:
             workspace, config = pickle.loads(payload)
         else:
@@ -95,11 +108,16 @@ def child_main(
                 raise RuntimeError("worker state not initialised")
             workspace, config = _WORKSPACE, _CONFIG
         result = route_group_in(workspace, config, group)
-        queue.put((index, result, None))
+        conn.send((index, result, None))
     except BaseException as exc:  # noqa: BLE001 - must reach the parent
         import traceback
 
-        queue.put((index, None, f"{exc}\n{traceback.format_exc()}"))
+        try:
+            conn.send((index, None, f"{exc}\n{traceback.format_exc()}"))
+        except (BrokenPipeError, OSError):
+            pass  # parent already gone or gave up on us
+    finally:
+        conn.close()
 
 
 def route_group_in(

@@ -145,6 +145,36 @@ class TestTraceAndAudit:
         assert "audit: all post-pass invariant checks passed" in out
 
 
+class TestBudgetOptions:
+    def test_timeout_partial_exits_3(self, files, capsys):
+        main(["generate", files["board"], "--config", "tna",
+              "--scale", "0.25", "--seed", "2"])
+        main(["string", files["board"], files["conns"]])
+        code = main(
+            [
+                "route", files["board"], files["conns"], files["routes"],
+                "--timeout", "0.0", "--profile",
+            ]
+        )
+        # Deadline exhausted -> degraded-partial exit code, and the
+        # profile names the stop reason.
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "stopped reason: deadline" in captured.out
+        assert "partial result kept" in captured.err
+
+    def test_generous_timeouts_still_succeed(self, files):
+        main(["generate", files["board"], "--config", "tna",
+              "--scale", "0.25", "--seed", "2"])
+        main(["string", files["board"], files["conns"]])
+        assert main(
+            [
+                "route", files["board"], files["conns"], files["routes"],
+                "--timeout", "600", "--per-connection-timeout", "60",
+            ]
+        ) == 0
+
+
 class TestFailurePath:
     @pytest.mark.slow
     def test_route_failure_exit_code(self, files):

@@ -1,0 +1,124 @@
+"""Fault injection (``GRR_FAULT``): worker crash recovery paths.
+
+A wave child that dies, raises, or hangs must never fail the routing
+call: the parent retries it with backoff and, once the retry budget is
+spent, degrades the group to the serial residue pass.  These tests drive
+all of that deliberately through :mod:`repro.parallel.faults`.
+"""
+
+import pytest
+
+from repro.core.router import RouterConfig, make_router
+from repro.obs import RingBufferSink, WorkspaceAuditor
+from repro.parallel.faults import (
+    FaultSpec,
+    InjectedFault,
+    fault_spec,
+    inject_inline,
+)
+from repro.stringer import Stringer
+from repro.workloads import make_titan_board
+
+from tests.helpers import assert_result_valid
+
+
+class TestFaultSpec:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("GRR_FAULT", raising=False)
+        assert fault_spec() is None
+        assert fault_spec("") is None
+
+    def test_default_count_is_one(self):
+        spec = fault_spec("worker_crash")
+        assert spec == FaultSpec("worker_crash", 1)
+        assert spec.applies(0)
+        assert not spec.applies(1)
+
+    def test_explicit_count_and_all(self):
+        assert fault_spec("worker_error:3") == FaultSpec("worker_error", 3)
+        spec = fault_spec("worker_hang:all")
+        assert spec.count is None
+        assert spec.applies(0) and spec.applies(99)
+
+    @pytest.mark.parametrize(
+        "raw", ["worker_typo", "worker_crash:-1", "worker_crash:x"]
+    )
+    def test_malformed_specs_raise(self, raw):
+        with pytest.raises(ValueError):
+            fault_spec(raw)
+
+    def test_inline_injection_raises_when_applicable(self):
+        spec = FaultSpec("worker_crash", 1)
+        with pytest.raises(InjectedFault):
+            inject_inline(spec, 0)
+        inject_inline(spec, 1)  # retry attempt proceeds
+        inject_inline(None, 0)  # no spec, no fault
+
+
+def _titan_problem():
+    board = make_titan_board("tna", scale=0.4, seed=2)
+    return board, Stringer(board).string_all()
+
+
+@pytest.mark.slow
+class TestWorkerRecovery:
+    def _route(self, monkeypatch, fault, workers=2):
+        monkeypatch.setenv("GRR_FAULT", fault)
+        board, connections = _titan_problem()
+        sink = RingBufferSink()
+        router = make_router(
+            board, RouterConfig(workers=workers), sink=sink
+        )
+        result = router.route(connections)
+        return board, connections, router, result, sink
+
+    def test_crashed_worker_is_retried_and_wave_completes(
+        self, monkeypatch
+    ):
+        board, connections, router, result, sink = self._route(
+            monkeypatch, "worker_crash"
+        )
+        assert result.complete
+        assert result.worker_retries > 0
+        assert result.degraded_groups == 0
+        retries = sink.by_kind("worker_retry")
+        assert retries and all(e.reason == "crash" for e in retries)
+        assert WorkspaceAuditor(router.workspace).audit().ok
+        assert_result_valid(board, connections, result)
+
+    def test_always_crashing_group_degrades_to_residue(self, monkeypatch):
+        # Every attempt dies -> retry budget exhausts -> the groups are
+        # degraded and the serial residue still routes every connection.
+        board, connections, router, result, sink = self._route(
+            monkeypatch, "worker_crash:all"
+        )
+        assert result.complete
+        assert result.degraded_groups > 0
+        degraded = sink.by_kind("degraded")
+        assert degraded and any(
+            e.context.startswith("group ") for e in degraded
+        )
+        assert_result_valid(board, connections, result)
+
+    def test_worker_error_reported_not_raised(self, monkeypatch):
+        board, connections, router, result, sink = self._route(
+            monkeypatch, "worker_error"
+        )
+        assert result.complete
+        assert result.worker_retries > 0
+        retries = sink.by_kind("worker_retry")
+        assert retries and all(e.reason == "error" for e in retries)
+
+    def test_killed_worker_matches_unfaulted_routing(self, monkeypatch):
+        # Recovery is invisible in the routed outcome: same connections
+        # complete with and without the injected crash.
+        board, connections, router, result, _ = self._route(
+            monkeypatch, "worker_crash"
+        )
+        monkeypatch.delenv("GRR_FAULT")
+        board2, connections2 = _titan_problem()
+        clean = make_router(board2, RouterConfig(workers=2)).route(
+            connections2
+        )
+        assert set(result.routed_by) == set(clean.routed_by)
+        assert result.failed == clean.failed

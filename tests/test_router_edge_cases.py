@@ -3,6 +3,7 @@
 
 from repro.board.board import Board
 from repro.channels.workspace import RoutingWorkspace
+from repro.core.budget import RouteBudget
 from repro.core.result import Strategy
 from repro.core.router import GreedyRouter, RouterConfig
 from repro.grid.coords import ViaPoint
@@ -67,7 +68,7 @@ class TestPutbackRequeue:
         # fill everything except a tight corridor.
         router = GreedyRouter(
             board,
-            RouterConfig(max_ripup_rounds=4, rip_radius=2),
+            RouterConfig(budget=RouteBudget(max_ripup_rounds=4), rip_radius=2),
             workspace=ws,
         )
         result = router.route([blocker, crosser])

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.board.parts import PinRole, sip_package
+from repro.core.budget import RouteBudget
 from repro.core.router import GreedyRouter, RouterConfig
 from repro.grid.coords import ViaPoint
 
@@ -97,14 +98,45 @@ def test_empty_board_problems_route_completely(problem):
 
 
 @given(routing_problem())
+@settings(max_examples=30, deadline=None)
+def test_unlimited_budget_never_changes_routing(problem):
+    # The budget machinery's zero-overhead contract: a run with huge
+    # (never-exhausted) wall-clock limits takes every checkpoint branch
+    # yet must produce bit-identical routes to a plain untimed run.
+    positions, layers, radius, cost = problem
+    board_a, conns_a = build(positions, layers)
+    board_b, conns_b = build(positions, layers)
+    plain = GreedyRouter(
+        board_a, RouterConfig(radius=radius, cost=cost)
+    ).route(conns_a)
+    timed = GreedyRouter(
+        board_b,
+        RouterConfig(
+            radius=radius,
+            cost=cost,
+            budget=RouteBudget(
+                deadline_seconds=1e9, per_connection_seconds=1e9
+            ),
+        ),
+    ).route(conns_b)
+    assert plain.routed_by == timed.routed_by
+    assert plain.failed == timed.failed
+    assert plain.stopped_reason == timed.stopped_reason
+    for conn_id, record in plain.workspace.records.items():
+        other = timed.workspace.records[conn_id]
+        assert record.vias == other.vias
+        assert record.segments == other.segments
+
+
+@given(routing_problem())
 @settings(max_examples=20, deadline=None)
 def test_rip_up_preserves_validity(problem):
     positions, layers, radius, cost = problem
     board, connections = build(positions, layers)
     # Aggressive settings to exercise rip-up paths more often.
     config = RouterConfig(
-        radius=radius, max_ripup_rounds=3, rip_radius=1,
-        enable_one_via=False,
+        radius=radius, budget=RouteBudget(max_ripup_rounds=3),
+        rip_radius=1, enable_one_via=False,
     )
     result = GreedyRouter(board, config).route(connections)
     assert_result_valid(board, connections, result)

@@ -13,9 +13,12 @@ proving the cache never serves a stale gap list in either execution
 mode — the auditor re-derives the channel state the cache claims.
 
 Results land in ``BENCH_cache.json``.  The hit-rate assertion
-(``--assert-hit-rate``) is CI's gate; the wall-clock assertion
-(``--assert-improvement``) is opt-in because shared runners make
-timings noisy.
+(``--assert-hit-rate``) is CI's gate; the wall-clock assertions are
+opt-in because shared runners make timings noisy:
+``--assert-improvement`` floors the suite-total win, and
+``--assert-board-floor`` caps the *regression* any single board may
+show (the small-channel bypass exists precisely so tiny boards never
+pay for the memo machinery they cannot use).
 
 Usage::
 
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import gc
 import json
 import os
 import platform
@@ -52,9 +56,21 @@ SUITE_SCALE = 0.30
 #: Worker count of the parallel audit leg.
 AUDIT_WORKERS = 4
 
-#: Timing legs take the best of this many runs (full mode; smoke runs
-#: once) — routing is deterministic, only runner noise varies.
-TIMING_REPEATS = 3
+#: Timing legs take the best of this many interleaved off/on rounds —
+#: routing is deterministic, only runner noise varies.  Shared runners
+#: drift by tens of percent over a process lifetime, so rounds alternate
+#: which configuration goes first (ABBA) and the per-config minimum
+#: needs several rounds to converge.
+TIMING_REPEATS = 5
+
+#: Absolute allowance for --assert-board-floor.  Calibrated against a
+#: null experiment (two *identical* cache-off configurations compared
+#: with interleaved best-of-8 rounds, GC excluded) which still reported
+#: spurious differences up to ±15% on the ~0.13s boards — shared-runner
+#: frequency jitter swamps percentages at that runtime.  The floor
+#: therefore stays a strict 2% where 2% is measurable (the >1s boards)
+#: and degrades to this absolute allowance where it is not.
+FLOOR_GRACE_SECONDS = 0.02
 
 
 def _problem(name: str, scale: float):
@@ -74,7 +90,10 @@ def _route_once(
 
     Routing is deterministic per configuration, so the counters and the
     completed set are identical across repeats — only the wall time
-    varies with runner noise, hence best-of-N.
+    varies with runner noise, hence best-of-N.  The timing comparison in
+    :func:`run_benchmark` calls this with ``repeats=1`` and interleaves
+    the off/on legs itself, so both configurations sample the same
+    noise windows instead of one config eating a whole busy period.
     """
     seconds = None
     for _ in range(repeats):
@@ -84,9 +103,15 @@ def _route_once(
             config = dataclasses.replace(config, audit=True)
         workspace = RoutingWorkspace(board, gap_cache=gap_cache)
         router = make_router(board, config, workspace=workspace)
+        # Cyclic-GC pauses land on whichever leg happens to cross an
+        # allocation threshold and scale with whole-process heap, not
+        # with the leg's own work — exclude them from the comparison.
+        gc.collect()
+        gc.disable()
         started = time.perf_counter()
         result = router.route(connections)
         elapsed = time.perf_counter() - started
+        gc.enable()
         seconds = elapsed if seconds is None else min(seconds, elapsed)
     counters = router.profile.counters
     hits = counters.get("gap_cache_hits", 0)
@@ -100,6 +125,10 @@ def _route_once(
             "complete": result.complete,
             "hits": hits,
             "misses": misses,
+            # Small-channel requests that skipped memoization entirely;
+            # excluded from the hit rate, which describes only the
+            # traffic the memo accepts.
+            "bypassed": counters.get("gap_cache_bypassed", 0),
             "hit_rate": round(hits / total, 4) if total else None,
         },
         set(result.routed_by),
@@ -113,15 +142,25 @@ def run_benchmark(
     pre_pr_ref: Optional[str] = None,
 ) -> Dict:
     """The whole benchmark; returns the JSON-ready report dict."""
-    repeats = 1 if smoke else TIMING_REPEATS
+    repeats = TIMING_REPEATS
     rows: List[Dict] = []
     for name in TITAN_CONFIGS:
-        off, off_completed = _route_once(
-            name, SUITE_SCALE, gap_cache=False, repeats=repeats
-        )
-        on, on_completed = _route_once(
-            name, SUITE_SCALE, gap_cache=True, repeats=repeats
-        )
+        off = on = off_completed = on_completed = None
+        for round_index in range(repeats):
+            # ABBA: alternate which configuration runs first so neither
+            # leg systematically lands in the slower half of a drifting
+            # process (CPU-frequency and allocator warm-up both skew
+            # later legs on shared runners).
+            legs = (False, True) if round_index % 2 == 0 else (True, False)
+            for gap_cache in legs:
+                r, r_completed = _route_once(
+                    name, SUITE_SCALE, gap_cache=gap_cache
+                )
+                if gap_cache:
+                    if on is None or r["seconds"] < on["seconds"]:
+                        on, on_completed = r, r_completed
+                elif off is None or r["seconds"] < off["seconds"]:
+                    off, off_completed = r, r_completed
         row: Dict = {
             "board": name,
             "connections": on["connections"],
@@ -192,12 +231,21 @@ def run_benchmark(
             else None,
             "hits": hits,
             "misses": misses,
+            "bypassed": sum(r["cache_on"]["bypassed"] for r in rows),
             "hit_rate": round(hits / (hits + misses), 4)
             if hits + misses
             else None,
             "min_board_hit_rate": round(min(per_board_rates), 4)
             if per_board_rates
             else None,
+            "min_board_improvement_pct": min(
+                (
+                    r["improvement_pct"]
+                    for r in rows
+                    if r["improvement_pct"] is not None
+                ),
+                default=None,
+            ),
         },
     }
     if pre_pr_seconds is not None:
@@ -245,6 +293,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail unless total wall time improves >= PCT%% over the "
         "reference (the --pre-pr-seconds anchor when given, else the "
         "cache-off baseline; noisy on shared runners, so opt-in)",
+    )
+    parser.add_argument(
+        "--assert-board-floor",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail if any single board routes more than PCT%% slower "
+        "with the cache on than off (an absolute "
+        f"{FLOOR_GRACE_SECONDS}s grace covers sub-50ms boards, whose "
+        "percentages are pure runner noise)",
     )
     parser.add_argument(
         "--pre-pr-seconds",
@@ -297,6 +355,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 1
+    if args.assert_board_floor is not None:
+        for row in report["boards"]:
+            off_s = row["cache_off"]["seconds"]
+            on_s = row["cache_on"]["seconds"]
+            allowance = max(
+                args.assert_board_floor / 100.0 * off_s,
+                FLOOR_GRACE_SECONDS,
+            )
+            if on_s - off_s > allowance:
+                print(
+                    f"FAIL: {row['board']} regresses with cache on: "
+                    f"{off_s}s -> {on_s}s "
+                    f"(floor {args.assert_board_floor}%)",
+                    file=sys.stderr,
+                )
+                return 1
     if args.assert_improvement is not None:
         measured = summary.get(
             "improvement_vs_pre_pr_pct", summary["improvement_pct"]

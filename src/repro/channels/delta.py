@@ -1,0 +1,98 @@
+"""Compact workspace deltas for incremental pool synchronization.
+
+The persistent worker pool (:mod:`repro.parallel.worker`) ships each
+worker one full workspace snapshot at startup; after that, waves only
+need to communicate *what changed* — the routes the merge step installed
+(and, later, anything the serial residue ripped up).  A
+:class:`WorkspaceDelta` is exactly that: the ordered list of route-level
+operations applied to the master workspace between two synchronization
+points.
+
+Deltas are recorded at route granularity, not segment granularity: the
+two route-level mutators (:meth:`RoutingWorkspace.commit_record` and
+:meth:`RoutingWorkspace.remove_connection`) are the only ways routed
+wiring appears or disappears, and a :class:`~repro.channels.workspace.
+RouteRecord` already carries every segment and via of its route.  Pins
+and tesselation fill are installed before the pool starts and never
+change mid-call, so they ride in the startup snapshot.
+
+Applying a delta replays the operations in recorded order through the
+same ``add``/``remove`` primitives routing itself uses, so channel
+generations bump exactly as they did on the master — which is what lets
+a worker's warm :class:`~repro.channels.gap_cache.GapCache` entries
+survive the sync: only the channels the delta touches are invalidated.
+
+The folding property (verified by a hypothesis suite)::
+
+    snapshot(t0) + fold(deltas t0..tN) == canonical_state(tN)
+
+holds for *any* interleaving of route / rip-up / putback on the master,
+because the delta log records the operations in application order.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.channels.workspace import RouteRecord
+
+#: Operation tags (slot 0 of every op tuple).
+OP_ADD = "add"
+OP_REMOVE = "remove"
+
+#: One recorded operation: ``("add", RouteRecord)`` installs a route,
+#: ``("remove", conn_id)`` rips one up.
+DeltaOp = Union[Tuple[str, RouteRecord], Tuple[str, int]]
+
+
+class DeltaConflictError(RuntimeError):
+    """A delta operation could not be replayed on the target workspace.
+
+    Raised when an ``add`` finds its claimed space occupied or a
+    ``remove`` names an unrouted connection — either means the target
+    was not at the sync state the delta was recorded against, which is a
+    protocol bug, never a recoverable routing condition.
+    """
+
+
+@dataclass
+class WorkspaceDelta:
+    """The ordered route-level changes between two sync points."""
+
+    #: Operations in the order they were applied to the source.
+    ops: List[DeltaOp] = field(default_factory=list)
+
+    def record_add(self, record: RouteRecord) -> None:
+        """Log the installation of one route."""
+        self.ops.append((OP_ADD, record))
+
+    def record_remove(self, conn_id: int) -> None:
+        """Log the rip-up of one route."""
+        self.ops.append((OP_REMOVE, conn_id))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
+
+    @property
+    def added(self) -> int:
+        """Routes installed by this delta."""
+        return sum(1 for op in self.ops if op[0] == OP_ADD)
+
+    @property
+    def removed(self) -> int:
+        """Routes ripped up by this delta."""
+        return sum(1 for op in self.ops if op[0] == OP_REMOVE)
+
+    def to_payload(self) -> bytes:
+        """Pickle once for broadcast to every pool worker."""
+        return pickle.dumps(self.ops, pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "WorkspaceDelta":
+        """Rebuild a delta from a broadcast payload."""
+        return cls(ops=pickle.loads(payload))

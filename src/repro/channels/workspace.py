@@ -94,6 +94,9 @@ class RoutingWorkspace:
             board.grid.via_nx, board.grid.via_ny, len(self.layers)
         )
         self.records: Dict[int, RouteRecord] = {}
+        #: Active delta recorder (see :meth:`begin_delta`); None when the
+        #: route-level mutators are not being logged.
+        self._delta_log = None
         if install_pins:
             self.install_pins()
 
@@ -208,6 +211,8 @@ class RoutingWorkspace:
         if record.conn_id in self.records:
             raise ValueError(f"connection {record.conn_id} already routed")
         self.records[record.conn_id] = record
+        if self._delta_log is not None:
+            self._delta_log.record_add(record)
 
     def is_routed(self, conn_id: int) -> bool:
         """True if the connection currently has an installed route."""
@@ -221,6 +226,8 @@ class RoutingWorkspace:
         for via in record.vias:
             if self.via_map.drilled_owner(via) == conn_id:
                 self.via_map.undrill(via, conn_id)
+        if self._delta_log is not None:
+            self._delta_log.record_remove(conn_id)
         return record
 
     def restore_record(self, record: RouteRecord) -> bool:
@@ -265,6 +272,75 @@ class RoutingWorkspace:
         mutations bump its own generations independently of the master's.
         """
         return pickle.loads(pickle.dumps(self, pickle.HIGHEST_PROTOCOL))
+
+    # ------------------------------------------------------------------
+    # incremental deltas (persistent pool synchronization)
+    # ------------------------------------------------------------------
+
+    def begin_delta(self) -> None:
+        """Start logging route-level mutations into a fresh delta.
+
+        Every :meth:`commit_record` and :meth:`remove_connection` until
+        the matching :meth:`end_delta` is appended, in order, to the
+        delta — the wave merge and the serial residue both mutate routes
+        exclusively through those two methods, so the log is exact.
+        Recording is not reentrant; a second ``begin_delta`` while one is
+        open is a protocol bug and raises.
+        """
+        from repro.channels.delta import WorkspaceDelta
+
+        if self._delta_log is not None:
+            raise RuntimeError("delta recording already active")
+        self._delta_log = WorkspaceDelta()
+
+    def end_delta(self):
+        """Stop logging and return the recorded :class:`WorkspaceDelta`."""
+        if self._delta_log is None:
+            raise RuntimeError("no delta recording active")
+        delta, self._delta_log = self._delta_log, None
+        return delta
+
+    def apply_delta(self, delta) -> None:
+        """Replay a delta recorded on another workspace copy.
+
+        The ops replay in recorded order through the same primitives
+        routing uses, so generations bump exactly as on the source and
+        warm :class:`~repro.channels.gap_cache.GapCache` entries of
+        untouched channels stay valid.  The target must be at the sync
+        state the delta was recorded against; any op that does not apply
+        cleanly raises :class:`~repro.channels.delta.DeltaConflictError`
+        (state divergence is a protocol bug, not a routing condition).
+        """
+        from repro.channels.delta import OP_ADD, DeltaConflictError
+
+        for op, payload in delta.ops:
+            if op == OP_ADD:
+                if payload.conn_id in self.records:
+                    raise DeltaConflictError(
+                        f"delta add of already-routed connection "
+                        f"{payload.conn_id}"
+                    )
+                if not self.restore_record(payload):
+                    raise DeltaConflictError(
+                        f"delta add of connection {payload.conn_id} "
+                        "collides with existing state"
+                    )
+            else:
+                if payload not in self.records:
+                    raise DeltaConflictError(
+                        f"delta remove of unrouted connection {payload}"
+                    )
+                self.remove_connection(payload)
+
+    def __getstate__(self):
+        """Pickle everything except an active delta log.
+
+        Snapshots and spawn payloads must never carry a half-recorded
+        delta: the copy starts its own synchronization epoch.
+        """
+        state = self.__dict__.copy()
+        state["_delta_log"] = None
+        return state
 
     def apply_record(self, record: RouteRecord) -> bool:
         """Merge a route produced against a snapshot into this workspace.
@@ -358,11 +434,12 @@ class RoutingWorkspace:
     # metrics
     # ------------------------------------------------------------------
 
-    def gap_cache_stats(self) -> Tuple[int, int]:
-        """Aggregate (hits, misses) of every layer's free-gap cache."""
+    def gap_cache_stats(self) -> Tuple[int, int, int]:
+        """Aggregate (hits, misses, bypassed) over every layer's cache."""
         hits = sum(layer.gap_cache.hits for layer in self.layers)
         misses = sum(layer.gap_cache.misses for layer in self.layers)
-        return hits, misses
+        bypassed = sum(layer.gap_cache.bypassed for layer in self.layers)
+        return hits, misses, bypassed
 
     def used_cells(self) -> int:
         """Grid cells covered by segments over all layers."""

@@ -89,11 +89,17 @@ def _cmd_route(args: argparse.Namespace) -> int:
         if sink is not None:
             sink.close()
     if args.workers > 1:
-        print(
-            f"parallel: {args.workers} workers, {result.waves} waves, "
-            f"{result.demoted} demoted"
-            + (", serial fallback" if result.fallback_serial else "")
-        )
+        if result.auto_serial:
+            print(
+                "parallel: auto-serial (board below the pool's size "
+                "threshold; routed by the serial strategy stack)"
+            )
+        else:
+            print(
+                f"parallel: {args.workers} workers, {result.waves} waves, "
+                f"{result.demoted} demoted"
+                + (", serial fallback" if result.fallback_serial else "")
+            )
     if sink is not None:
         print(f"trace: {sink.emitted} events -> {args.trace}")
     if config.audit:
@@ -138,14 +144,18 @@ def _print_profile(profile) -> None:
         )
     hits = profile.counters.get("gap_cache_hits", 0)
     misses = profile.counters.get("gap_cache_misses", 0)
+    bypassed = profile.counters.get("gap_cache_bypassed", 0)
     total = hits + misses
-    if total:
+    if total or bypassed:
+        rate = f"{100.0 * hits / total:.1f}% hit rate" if total else "no memoized traffic"
         print(
-            f"  gap cache: {hits} hits / {misses} misses "
-            f"({100.0 * hits / total:.1f}% hit rate)"
+            f"  gap cache: {hits} hits / {misses} misses / "
+            f"{bypassed} bypassed ({rate})"
         )
     for counter, amount in sorted(profile.counters.items()):
-        if counter not in ("gap_cache_hits", "gap_cache_misses"):
+        if counter not in (
+            "gap_cache_hits", "gap_cache_misses", "gap_cache_bypassed"
+        ):
             print(f"  {counter}: {amount}")
 
 

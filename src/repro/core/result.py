@@ -49,6 +49,10 @@ class RoutingResult:
     #: True when the parallel pipeline came up short and the whole board
     #: was re-routed serially from scratch (parity fallback).
     fallback_serial: bool = False
+    #: True when the parallel router's size heuristic routed the whole
+    #: board serially without starting the worker pool (small or
+    #: congested boards, where waves cannot pay for themselves).
+    auto_serial: bool = False
     #: Why routing stopped short of completing every connection: one of
     #: ``"deadline"`` (wall-clock budget ran out), ``"stalled"`` (the
     #: §8.4 progress guard fired) or ``"max_passes"``.  None exactly when
@@ -146,6 +150,7 @@ class RoutingResult:
             "waves": self.waves,
             "demoted": self.demoted,
             "fallback_serial": self.fallback_serial,
+            "auto_serial": self.auto_serial,
             "stopped_reason": self.stopped_reason,
             "worker_retries": self.worker_retries,
             "degraded_groups": self.degraded_groups,

@@ -105,6 +105,18 @@ class RouterConfig:
     worker_retries: int = 2
     #: Base backoff before a worker relaunch; doubles per attempt.
     worker_backoff_seconds: float = 0.05
+    #: Let the parallel router skip the worker pool and route serially
+    #: when the board is too small or too congested for waves to pay
+    #: (see :func:`repro.parallel.partition.pool_decision`).  Off forces
+    #: the pool regardless of board size (tests, ablation).
+    pool_auto_serial: bool = True
+    #: Minimum estimated routing demand (grid units of wire, summed over
+    #: connections) before the pool is worth its startup cost.
+    pool_min_demand: int = 50_000
+    #: Maximum demand/supply utilization for wave routing: above this
+    #: the board is congested enough that wave-routed groups poison the
+    #: serial residue, so the whole call routes serially instead.
+    pool_max_utilization: float = 0.20
     #: Run the :class:`repro.obs.WorkspaceAuditor` after every pass
     #: (and after every parallel merge), raising on any violation.
     #: Defaults on when the ``GRR_AUDIT`` environment variable is set.
@@ -146,6 +158,10 @@ class RouterConfig:
             raise ValueError("worker_retries must be non-negative")
         if self.worker_backoff_seconds < 0:
             raise ValueError("worker_backoff_seconds must be non-negative")
+        if self.pool_min_demand < 0:
+            raise ValueError("pool_min_demand must be non-negative")
+        if self.pool_max_utilization < 0:
+            raise ValueError("pool_max_utilization must be non-negative")
         if self.cost not in COST_FUNCTIONS:
             raise ValueError(
                 f"unknown cost function {self.cost!r}; "
@@ -323,21 +339,30 @@ class GreedyRouter:
         return result
 
     def _note_cache_stats(
-        self, before: Tuple[int, int], context: str
+        self, before: Tuple[int, int, int], context: str
     ) -> None:
         """Fold this run's free-gap cache delta into profile counters
         and emit one :class:`~repro.obs.events.CacheStats` event."""
-        hits_after, misses_after = self.workspace.gap_cache_stats()
+        hits_after, misses_after, bypassed_after = (
+            self.workspace.gap_cache_stats()
+        )
         hits = hits_after - before[0]
         misses = misses_after - before[1]
+        bypassed = bypassed_after - before[2]
         if hits or misses:
             self.profile.bump("gap_cache_hits", hits)
             self.profile.bump("gap_cache_misses", misses)
+        if bypassed:
+            self.profile.bump("gap_cache_bypassed", bypassed)
         if self.sink.enabled:
             total = hits + misses
             self.sink.emit(
                 CacheStats(
-                    context, hits, misses, hits / total if total else 0.0
+                    context,
+                    hits,
+                    misses,
+                    hits / total if total else 0.0,
+                    bypassed,
                 )
             )
 

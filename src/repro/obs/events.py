@@ -30,6 +30,10 @@ kind                emitted when
 ``budget_exhausted``   a wall-clock budget scope ran out (once per scope)
 ``worker_retry``    a failed wave worker is being retried with backoff
 ``degraded``        a degradation path engaged (group -> residue, ...)
+``pool_start``      the persistent worker pool spawned its workers
+``delta_sync``      a workspace delta was broadcast to the pool
+``worker_steal``    an idle pool worker took a group from the deque
+``auto_serial``     the size heuristic routed the board serially
 ==================  ====================================================
 """
 
@@ -264,12 +268,75 @@ class DegradedMode(RouteEvent):
 
 
 @dataclass(frozen=True)
+class PoolStart(RouteEvent):
+    """The persistent worker pool came up: ``workers`` processes via
+    ``start_method`` (``"fork"`` inherits the master copy-on-write and
+    ships zero bytes; ``"spawn"`` ships one pickled snapshot of
+    ``snapshot_bytes`` to every worker).  Emitted once per routing call
+    that engages the pool, after all workers are running."""
+
+    kind: ClassVar[str] = "pool_start"
+    workers: int
+    start_method: str
+    snapshot_bytes: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class DeltaSync(RouteEvent):
+    """One workspace delta was broadcast to every live pool worker:
+    ``ops`` route-level operations (``added`` installs, ``removed``
+    rip-ups) in ``payload_bytes`` on the wire.  ``epoch`` is the
+    master's synchronization counter after applying this delta."""
+
+    kind: ClassVar[str] = "delta_sync"
+    epoch: int
+    ops: int
+    added: int
+    removed: int
+    payload_bytes: int
+
+
+@dataclass(frozen=True)
+class WorkerSteal(RouteEvent):
+    """An idle pool worker took group ``strip_index`` from wave
+    ``wave``'s shared deque, leaving ``queued`` groups waiting.  The
+    deal order never changes results (every worker routes against the
+    same sync epoch), only which process does the work."""
+
+    kind: ClassVar[str] = "worker_steal"
+    worker: int
+    wave: int
+    strip_index: int
+    queued: int
+
+
+@dataclass(frozen=True)
+class AutoSerial(RouteEvent):
+    """The board-size heuristic routed this call serially without
+    touching the pool: ``reason`` is ``"below_min_demand"`` (too little
+    routing work to amortize pool startup) or ``"congested"``
+    (demand/supply utilization so high that waves would poison the
+    residue and trigger the parity fallback's double routing)."""
+
+    kind: ClassVar[str] = "auto_serial"
+    reason: str
+    demand: int
+    supply: int
+    utilization: float
+    connections: int
+
+
+@dataclass(frozen=True)
 class CacheStats(RouteEvent):
     """Free-gap cache totals for one routing phase (``repro.channels.
-    gap_cache``): requests served without vs. with a recompute."""
+    gap_cache``): requests served without vs. with a recompute, plus the
+    small-channel requests that bypassed memoization entirely (neither
+    hits nor misses; excluded from ``hit_rate``)."""
 
     kind: ClassVar[str] = "cache_stats"
     context: str
     hits: int
     misses: int
     hit_rate: float
+    bypassed: int = 0

@@ -1,21 +1,26 @@
-"""Parallel wave routing: partition, fan out, merge, repair serially.
+"""Parallel wave routing: partition, pool fan-out, merge, repair serially.
 
 See :mod:`repro.parallel.router` for the pipeline and its determinism
-guarantees, and ``docs/ALGORITHMS.md`` ("Parallel wave routing") for the
-design rationale.
+guarantees, :mod:`repro.parallel.pool` for the persistent worker pool
+and its delta synchronization, and ``docs/ALGORITHMS.md`` ("Parallel
+wave routing") for the design rationale.
 """
 
 from repro.parallel.merge import MergeOutcome, merge_wave
 from repro.parallel.partition import (
     WAVE_SPECS,
+    PoolDecision,
     StripSpec,
     WaveGroup,
     assign_strips,
     connection_span,
+    estimate_demand,
+    pool_decision,
     routing_margin,
     shard_round_robin,
     strip_spec,
 )
+from repro.parallel.pool import WorkerPool
 from repro.parallel.router import ParallelRouter
 from repro.parallel.worker import GroupResult, route_group_in, worker_config
 
@@ -23,13 +28,17 @@ __all__ = [
     "MergeOutcome",
     "merge_wave",
     "WAVE_SPECS",
+    "PoolDecision",
     "StripSpec",
     "WaveGroup",
     "assign_strips",
     "connection_span",
+    "estimate_demand",
+    "pool_decision",
     "routing_margin",
     "shard_round_robin",
     "strip_spec",
+    "WorkerPool",
     "ParallelRouter",
     "GroupResult",
     "route_group_in",

@@ -2,17 +2,17 @@
 
 The retry/degrade machinery in :class:`repro.parallel.ParallelRouter`
 exists for failures that are, by design, nearly impossible to produce on
-demand: a wave child segfaulting, raising, or blowing its group
+demand: a pool worker segfaulting, raising, or blowing its group
 deadline.  ``GRR_FAULT`` makes those failures reproducible so tests and
 CI can drive the recovery paths deliberately:
 
 ``GRR_FAULT=<mode>[:<count>|:all]``
 
 ===============  =====================================================
-mode             what the wave child does
+mode             what the pool worker does when dealt a group
 ===============  =====================================================
 ``worker_crash``  dies via ``os._exit(13)`` without reporting back
-                  (the parent sees EOF on the result pipe)
+                  (the parent sees EOF on the worker's pipe)
 ``worker_error``  raises :class:`InjectedFault` (reported back as a
                   normal worker error)
 ``worker_hang``   sleeps ``HANG_SECONDS`` before routing, so a parent
@@ -20,9 +20,12 @@ mode             what the wave child does
 ===============  =====================================================
 
 ``count`` is how many *leading attempts per group* are sabotaged
-(default 1: the first launch fails, the first retry succeeds).  ``all``
+(default 1: the first deal fails, the first retry succeeds).  ``all``
 sabotages every attempt, which exhausts the retry budget and forces the
-group onto the serial-residue degradation path.
+group onto the serial-residue degradation path.  Every sabotaged worker
+is torn down and respawned by the pool from the master snapshot plus the
+replayed delta log (:mod:`repro.parallel.pool`), so injected faults also
+exercise worker recovery, not just group retry.
 
 The in-process fallback (no subprocesses available) cannot crash or hang
 the parent, so :func:`inject_inline` maps every mode to a raised

@@ -128,6 +128,82 @@ def shard_round_robin(
     return [g for g in groups if g.connections]
 
 
+@dataclass(frozen=True)
+class PoolDecision:
+    """Whether a routing call should engage the persistent worker pool."""
+
+    use_pool: bool
+    #: ``"pool"`` when the pool engages, else why it did not:
+    #: ``"single_core"``, ``"below_min_demand"`` or ``"congested"``.
+    reason: str
+    demand: int  #: Estimated routing demand in grid units of wire.
+    supply: int  #: Total routable channel space in grid cells.
+    utilization: float  #: demand / supply (0 when supply is unknown).
+
+
+def estimate_demand(connections: Sequence[Connection], grid_per_via: int) -> int:
+    """Estimated wire demand: Manhattan via distance in grid units.
+
+    A lower bound on installed trace length — every route must cover at
+    least its pins' Manhattan separation — that needs no routing to
+    compute, which is the point: the pool decision must cost microseconds
+    on a call that might take milliseconds.
+    """
+    return sum(
+        (abs(c.a.vx - c.b.vx) + abs(c.a.vy - c.b.vy)) * grid_per_via
+        for c in connections
+    )
+
+
+def pool_decision(
+    connections: Sequence[Connection],
+    supply: int,
+    grid_per_via: int,
+    min_demand: int,
+    max_utilization: float,
+    available_cpus: int = 2,
+) -> PoolDecision:
+    """Decide whether the worker pool can pay for itself on this board.
+
+    Three ways it cannot:
+
+    * **One core** (``available_cpus < 2``) — wave workers would
+      timeslice a single CPU, so the pool's bookkeeping (delta replays
+      in every worker, route-then-undo, merge verification) is pure
+      overhead with no concurrency to buy it back.
+    * **Too small** (``demand < min_demand``) — pool startup, delta
+      broadcasts and merge bookkeeping are a fixed cost; on boards that
+      route in tens of milliseconds the serial router wins outright.
+    * **Too congested** (``demand / supply > max_utilization``) — on
+      dense boards, wave workers grab the easy space first and the
+      leftovers poison the serial residue: the board ends *less*
+      complete than a pure serial run, the parity fallback re-routes
+      everything from scratch, and the call pays for the board twice.
+      Utilization is a cheap, route-free congestion proxy that cleanly
+      separates the boards where this happens.
+
+    The demand/utilization thresholds come from
+    :class:`~repro.core.router.RouterConfig` (``pool_min_demand`` /
+    ``pool_max_utilization``).  The *routed result* never depends on the
+    decision — auto-serial is bit-identical to serial routing — so the
+    machine-dependent CPU count only ever changes scheduling, never
+    wiring.
+    """
+    demand = estimate_demand(connections, grid_per_via)
+    utilization = demand / supply if supply else 0.0
+    if available_cpus < 2:
+        return PoolDecision(
+            False, "single_core", demand, supply, utilization
+        )
+    if demand < min_demand:
+        return PoolDecision(
+            False, "below_min_demand", demand, supply, utilization
+        )
+    if utilization > max_utilization:
+        return PoolDecision(False, "congested", demand, supply, utilization)
+    return PoolDecision(True, "pool", demand, supply, utilization)
+
+
 def routing_margin(radius: int, grid_per_via: int) -> int:
     """Via-cell margin covering the optimal strategies' deviation.
 

@@ -1,0 +1,437 @@
+"""The persistent worker pool: spawn once, synchronize with deltas.
+
+Before this pool, every wave group got its own short-lived process: a
+fork (or a full pickled snapshot under spawn) per group, per wave.  The
+pool inverts that cost model:
+
+* **Spawn once** — ``workers`` processes come up at the first wave of a
+  routing call and live until the residue phase.  Fork children inherit
+  the master workspace copy-on-write; spawn children receive one pickled
+  snapshot at startup, and never again.
+* **Delta synchronization** — after each wave's merge, the master
+  broadcasts the :class:`~repro.channels.delta.WorkspaceDelta` its merge
+  recorded (see :meth:`RoutingWorkspace.begin_delta`).  Workers replay
+  it through the same route-level primitives, so their copies track the
+  master at a cost proportional to *what changed*, not board size — and
+  their warm gap-cache entries on untouched channels survive.
+* **Dynamic scheduling (work stealing)** — a wave's groups sit in one
+  shared deque; every idle worker takes the head.  A worker that
+  finishes a cheap strip immediately steals the next group instead of
+  idling behind a static assignment.
+
+Determinism: all of a wave's workers are at the same sync epoch (the
+wave-base state), each group is routed by the deterministic serial
+router against that state, and the merge installs results in strip
+order.  A group's result therefore does not depend on *which* worker
+routed it or in what order groups were dealt — stealing changes
+scheduling, never results — so bit-parity with serial routing holds at
+any worker count.
+
+Fault tolerance keeps the per-group contract of the old fan-out: a
+worker that crashes, errors, or blows its group deadline costs one
+retry (with exponential backoff) until the retry budget degrades the
+group to the serial residue.  The dead worker itself is respawned from
+the master state (fork) or from the startup snapshot plus the replayed
+delta log (spawn), so one crash never poisons later waves.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.budget import BudgetTracker
+from repro.core.result import RoutingResult
+from repro.obs.events import DeltaSync, PoolStart, WorkerRetry, WorkerSteal
+from repro.obs.sinks import NULL_SINK, EventSink
+
+from repro.parallel.partition import WaveGroup
+from repro.parallel.worker import (
+    MSG_GROUP,
+    MSG_STOP,
+    MSG_SYNC,
+    GroupResult,
+    clear_parent_state,
+    pool_child_main,
+    pool_payload,
+    set_parent_state,
+)
+
+#: Slack added to a wave group's parent-side deadline so a worker that
+#: finishes right at the budget line still gets to report its result.
+GROUP_GRACE_SECONDS = 0.25
+
+
+class PoolWorker:
+    """Parent-side handle for one pool worker process."""
+
+    __slots__ = ("worker_id", "proc", "conn", "busy", "dead")
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.proc = None
+        self.conn = None
+        #: In-flight work as ``(task, group index, attempt, deadline)``;
+        #: None when idle.  At most one task is outstanding per worker.
+        self.busy: Optional[Tuple[int, int, int, Optional[float]]] = None
+        self.dead = True
+
+
+class WorkerPool:
+    """Persistent pool of routing workers synchronized by deltas."""
+
+    def __init__(
+        self,
+        workspace,
+        config,
+        workers: int,
+        sink: Optional[EventSink] = None,
+    ) -> None:
+        self.workspace = workspace
+        self.config = config
+        self.n_workers = max(1, workers)
+        self.sink = sink if sink is not None else NULL_SINK
+        methods = multiprocessing.get_all_start_methods()
+        self._forked = "fork" in methods
+        self._ctx = multiprocessing.get_context(
+            "fork" if self._forked else "spawn"
+        )
+        self._workers: List[PoolWorker] = []
+        self._task_seq = 0
+        #: Master synchronization epoch: bumped by every broadcast delta.
+        self._epoch = 0
+        #: Spawn-only: the startup snapshot and every broadcast since,
+        #: replayed to catch a respawned worker up to the current epoch.
+        self._payload: Optional[bytes] = None
+        self._sync_log: List[Tuple[int, bytes, Optional[str]]] = []
+        # Attribution counters, folded into the router profile.
+        self.spawn_seconds = 0.0
+        self.snapshot_bytes = 0
+        self.delta_bytes = 0
+        self.delta_ops = 0
+        self.steals = 0
+        self.respawns = 0
+
+    @property
+    def start_method(self) -> str:
+        """``"fork"`` or ``"spawn"``."""
+        return "fork" if self._forked else "spawn"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker (the one full-snapshot moment of a call)."""
+        started = time.perf_counter()
+        if not self._forked:
+            self._payload = pool_payload(self.workspace)
+            self.snapshot_bytes = len(self._payload)
+        self._workers = [PoolWorker(i) for i in range(self.n_workers)]
+        for worker in self._workers:
+            self._start_worker(worker)
+        self.spawn_seconds = time.perf_counter() - started
+        if self.sink.enabled:
+            self.sink.emit(
+                PoolStart(
+                    self.n_workers,
+                    self.start_method,
+                    self.snapshot_bytes,
+                    self.spawn_seconds,
+                )
+            )
+
+    def _start_worker(self, worker: PoolWorker) -> None:
+        """(Re)start one worker at the master's current sync state."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        if self._forked:
+            # The fork inherits the master exactly as it is *now*, which
+            # is always a sync state: waves leave the master untouched
+            # until their merge, and merges complete before sync().
+            set_parent_state(self.workspace)
+            try:
+                proc = self._ctx.Process(
+                    target=pool_child_main,
+                    args=(child_conn, worker.worker_id, None, self._epoch),
+                )
+                proc.start()
+            finally:
+                clear_parent_state()
+        else:
+            proc = self._ctx.Process(
+                target=pool_child_main,
+                args=(child_conn, worker.worker_id, self._payload, 0),
+            )
+            proc.start()
+        child_conn.close()
+        worker.proc = proc
+        worker.conn = parent_conn
+        worker.busy = None
+        worker.dead = False
+        if not self._forked:
+            for epoch, payload, digest in self._sync_log:
+                parent_conn.send((MSG_SYNC, epoch, payload, digest))
+
+    def _revive(self, worker: PoolWorker) -> None:
+        """Respawn a dead worker in place (counted as a respawn)."""
+        self._start_worker(worker)
+        self.respawns += 1
+
+    def _retire(self, worker: PoolWorker) -> None:
+        """Tear one worker down; a later :meth:`_revive` replaces it."""
+        worker.busy = None
+        if worker.proc is not None:
+            worker.proc.terminate()
+            worker.proc.join()
+            worker.proc = None
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.conn = None
+        worker.dead = True
+
+    def close(self) -> None:
+        """Stop every worker; called before the serial residue phase."""
+        for worker in self._workers:
+            if worker.dead:
+                continue
+            try:
+                worker.conn.send((MSG_STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            if worker.dead:
+                continue
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join()
+            worker.proc = None
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.conn = None
+            worker.dead = True
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+
+    def sync(self, delta, digest: Optional[str] = None) -> None:
+        """Broadcast one merge's workspace delta to every live worker.
+
+        ``digest`` (the master's post-merge state digest, supplied under
+        ``audit``) lets each worker verify it still mirrors the master.
+        Dead workers are skipped — a revival always starts from the
+        current master state.  Empty deltas are not broadcast.
+        """
+        if not delta:
+            return
+        self._epoch += 1
+        payload = delta.to_payload()
+        self.delta_bytes += len(payload)
+        self.delta_ops += len(delta)
+        if not self._forked:
+            self._sync_log.append((self._epoch, payload, digest))
+        for worker in self._workers:
+            if worker.dead:
+                continue
+            try:
+                worker.conn.send((MSG_SYNC, self._epoch, payload, digest))
+            except (BrokenPipeError, OSError):
+                self._retire(worker)
+        if self.sink.enabled:
+            self.sink.emit(
+                DeltaSync(
+                    self._epoch,
+                    len(delta),
+                    delta.added,
+                    delta.removed,
+                    len(payload),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # wave execution
+    # ------------------------------------------------------------------
+
+    def _group_deadline(
+        self, group: WaveGroup, tracker: BudgetTracker
+    ) -> Optional[float]:
+        """Absolute parent-side give-up time for one wave group."""
+        limits = []
+        per_conn = self.config.budget.per_connection_seconds
+        if per_conn is not None:
+            limits.append(
+                per_conn * max(1, len(group.connections))
+                + GROUP_GRACE_SECONDS
+            )
+        remaining = tracker.remaining()
+        if remaining is not None:
+            limits.append(remaining + GROUP_GRACE_SECONDS)
+        if not limits:
+            return None
+        return time.perf_counter() + min(limits)
+
+    def _busy_workers(self) -> List[PoolWorker]:
+        return [w for w in self._workers if w.busy is not None]
+
+    def run_wave(
+        self,
+        groups: List[WaveGroup],
+        wave_cfg,
+        wave: int,
+        tracker: BudgetTracker,
+        result: RoutingResult,
+        degrade,
+    ) -> List[GroupResult]:
+        """Route one wave's groups across the pool with work stealing.
+
+        Groups wait in a shared deque; every idle worker takes the head
+        (emitting a ``worker_steal`` event).  A worker that crashes,
+        errors, or blows its group deadline is respawned and its group
+        retried with exponential backoff, up to ``config.worker_retries``
+        times; after that ``degrade(group, reason)`` hands the group to
+        the serial residue.  A wave failure never fails the routing call.
+        """
+        cfg = self.config
+        sink = self.sink
+        clock = time.perf_counter
+        results: List[Optional[GroupResult]] = [None] * len(groups)
+        #: Groups awaiting a worker, as (group index, attempt).
+        queue: Deque[Tuple[int, int]] = deque(
+            (i, 0) for i in range(len(groups))
+        )
+        #: Failed groups backing off, as (ready time, index, attempt).
+        retries: List[Tuple[float, int, int]] = []
+
+        def handle_failure(index: int, attempt: int, reason: str) -> None:
+            if attempt < cfg.worker_retries and not tracker.deadline_hit:
+                backoff = cfg.worker_backoff_seconds * (2**attempt)
+                result.worker_retries += 1
+                if sink.enabled:
+                    sink.emit(
+                        WorkerRetry(
+                            groups[index].strip_index,
+                            attempt,
+                            reason,
+                            backoff,
+                        )
+                    )
+                retries.append((clock() + backoff, index, attempt + 1))
+            else:
+                degrade(groups[index], reason)
+
+        while queue or retries or self._busy_workers():
+            now = clock()
+            due = [r for r in retries if r[0] <= now]
+            if due:
+                retries[:] = [r for r in retries if r[0] > now]
+                queue.extend((i, a) for _, i, a in due)
+            if tracker.deadline_exceeded(f"wave {wave}"):
+                # The call's clock ran out mid-wave: stop dealing,
+                # retire what is running, degrade the remainder.
+                for index, _ in queue:
+                    degrade(groups[index], "deadline")
+                queue.clear()
+                for _, index, _ in retries:
+                    degrade(groups[index], "deadline")
+                retries.clear()
+                for worker in self._busy_workers():
+                    index = worker.busy[1]
+                    self._retire(worker)
+                    degrade(groups[index], "deadline")
+                break
+            # Deal: the first idle worker steals the head of the deque.
+            for worker in self._workers:
+                if not queue:
+                    break
+                if worker.busy is not None:
+                    continue
+                if worker.dead:
+                    self._revive(worker)
+                index, attempt = queue[0]
+                task = self._task_seq
+                deadline = self._group_deadline(groups[index], tracker)
+                try:
+                    worker.conn.send(
+                        (
+                            MSG_GROUP,
+                            task,
+                            self._epoch,
+                            groups[index],
+                            attempt,
+                            wave_cfg,
+                        )
+                    )
+                except (BrokenPipeError, OSError):
+                    self._retire(worker)
+                    continue
+                queue.popleft()
+                self._task_seq += 1
+                self.steals += 1
+                worker.busy = (task, index, attempt, deadline)
+                if sink.enabled:
+                    sink.emit(
+                        WorkerSteal(
+                            worker.worker_id,
+                            wave,
+                            groups[index].strip_index,
+                            len(queue),
+                        )
+                    )
+            busy = self._busy_workers()
+            if not busy:
+                if retries:
+                    pause = min(r[0] for r in retries) - clock()
+                    time.sleep(min(max(pause, 0.0), 0.1))
+                continue
+            now = clock()
+            waits = [
+                max(0.0, w.busy[3] - now)
+                for w in busy
+                if w.busy[3] is not None
+            ]
+            waits += [max(0.0, r[0] - now) for r in retries]
+            remaining = tracker.remaining()
+            if remaining is not None:
+                waits.append(remaining)
+            timeout = min(waits) + 0.01 if waits else None
+            by_conn = {w.conn: w for w in busy}
+            ready = multiprocessing.connection.wait(
+                list(by_conn), timeout
+            )
+            for conn in ready:
+                worker = by_conn[conn]
+                task, index, attempt, _ = worker.busy
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Died without reporting: a crash (including the
+                    # GRR_FAULT-injected kind).
+                    self._retire(worker)
+                    handle_failure(index, attempt, "crash")
+                    continue
+                _, msg_task, group_result, error = message
+                worker.busy = None
+                if error is not None or msg_task != task:
+                    # The worker exits after reporting an error (its
+                    # local state is suspect); make the teardown
+                    # explicit so the next deal revives a clean one.
+                    self._retire(worker)
+                    handle_failure(index, attempt, "error")
+                else:
+                    results[index] = group_result
+            now = clock()
+            for worker in self._busy_workers():
+                task, index, attempt, deadline = worker.busy
+                if deadline is not None and now >= deadline:
+                    self._retire(worker)
+                    handle_failure(index, attempt, "deadline")
+        return [r for r in results if r is not None]

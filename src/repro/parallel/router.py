@@ -1,4 +1,4 @@
-"""The parallel wave router: fan out, merge, repair serially.
+"""The parallel wave router: fan out to a persistent pool, merge, repair.
 
 ``ParallelRouter`` keeps the serial router's contract (``route()`` over a
 connection list, same :class:`RoutingResult`) but routes the bulk of the
@@ -6,14 +6,23 @@ list in parallel waves (Ahrens et al., arXiv:2111.06169: bulk-route
 spatially disjoint nets concurrently, then serially repair the
 remainder):
 
+0. **Auto-serial heuristic** — boards too small to amortize the pool, or
+   congested enough that waves would poison the serial residue, are
+   routed by the unchanged serial router without touching the pool
+   (:func:`repro.parallel.partition.pool_decision`); the result is
+   bit-identical to serial routing and flagged ``auto_serial``.
 1. **Partition** — slice the board into disjoint strips and group the
    still-unrouted connections whose margin-expanded bounding boxes fit a
    strip (:mod:`repro.parallel.partition`).
-2. **Fan out** — route every group concurrently against a read-only
-   snapshot of the master workspace (:mod:`repro.parallel.worker`).
-3. **Merge** — install the returned records in deterministic strip order;
-   collisions are demoted to the next wave
-   (:mod:`repro.parallel.merge`).
+2. **Fan out** — deal the groups to a persistent worker pool spawned
+   once per routing call (:mod:`repro.parallel.pool`): idle workers
+   steal groups from a shared deque, and between waves the master ships
+   only compact workspace deltas, never fresh snapshots.
+3. **Merge** — install the returned records in deterministic strip
+   order; collisions are demoted to the next wave
+   (:mod:`repro.parallel.merge`).  The merge is recorded as a
+   :class:`~repro.channels.delta.WorkspaceDelta` and broadcast to the
+   pool so every worker tracks the master state.
 4. **Residue** — whatever never fit a strip, failed in a worker (rip-up
    is disabled there) or kept colliding is routed by the unchanged serial
    strategy stack, rip-up included, so completion can never regress.
@@ -24,21 +33,18 @@ remainder):
    parallelism a pure accelerator rather than a quality change.
 
 Determinism: the partition is a pure function of board extent, worker
-count and connection geometry; workers are deterministic; each group
-routes against the wave-start snapshot in a fresh child
-(``maxtasksperchild=1``), so results do not depend on which worker a
-group lands on; and the merge order is fixed.  Hence the completed set
-depends only on the configuration, not on scheduling.
+count and connection geometry; workers are deterministic and all sit at
+the same sync epoch when a wave is dealt, so results do not depend on
+which worker a group lands on; and the merge order is fixed.  Hence the
+completed set depends only on the configuration, not on scheduling.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.connection
+import os
 import time
-from collections import deque
 from dataclasses import replace
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.board.board import Board
 from repro.board.nets import Connection
@@ -50,6 +56,7 @@ from repro.core.sorting import sort_connections
 from repro.obs.audit import WorkspaceAuditError, WorkspaceAuditor
 from repro.obs.events import (
     AuditRun,
+    AutoSerial,
     CacheStats,
     DegradedMode,
     WaveEnd,
@@ -64,23 +71,20 @@ from repro.parallel.partition import (
     WAVE_SPECS,
     WaveGroup,
     assign_strips,
+    pool_decision,
     routing_margin,
     shard_round_robin,
     strip_spec,
 )
-from repro.parallel.worker import (
-    GroupResult,
-    child_main,
-    clear_parent_state,
-    route_group_in,
-    set_parent_state,
-    spawn_payload,
-    worker_config,
-)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.worker import GroupResult, route_group_in, worker_config
 
-#: Slack added to a wave group's parent-side deadline so a child that
-#: finishes right at the budget line still gets to report its result.
-GROUP_GRACE_SECONDS = 0.25
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 class ParallelRouter:
@@ -99,7 +103,7 @@ class ParallelRouter:
         self.board = board
         self.config = config or RouterConfig(workers=2)
         self.workspace = workspace or RoutingWorkspace(board)
-        #: Master-side routing event stream (repro.obs).  Wave children
+        #: Master-side routing event stream (repro.obs).  Pool workers
         #: route in other processes and are not traced; their outcomes
         #: surface here as merge/demotion events.
         self.sink = sink if sink is not None else NULL_SINK
@@ -111,44 +115,6 @@ class ParallelRouter:
     # ------------------------------------------------------------------
     # wave execution
     # ------------------------------------------------------------------
-
-    def _pool_context(self):
-        """Prefer fork (free copy-on-write snapshots) where available."""
-        methods = multiprocessing.get_all_start_methods()
-        if "fork" in methods:
-            return multiprocessing.get_context("fork"), True
-        return multiprocessing.get_context("spawn"), False
-
-    def _run_wave(
-        self,
-        groups: List[WaveGroup],
-        wave_cfg,
-        result: RoutingResult,
-        tracker: BudgetTracker,
-    ) -> List[GroupResult]:
-        """Route one wave's groups, one short-lived process per group.
-
-        At most ``workers`` children run at once; each routes exactly one
-        group against a pristine snapshot (fork copy-on-write, or the
-        pickled payload under spawn), so the outcome is independent of
-        scheduling order and worker count.  See the worker module for why
-        ``multiprocessing.Pool`` is not used here.
-
-        A child that crashes, errors, or blows its group deadline is
-        relaunched with exponential backoff up to
-        ``config.worker_retries`` times, then its group is *degraded*:
-        dropped from the wave so the serial residue phase routes those
-        connections instead.  A wave failure therefore never fails the
-        routing call.
-        """
-        workers = min(max(1, self.config.workers), len(groups))
-        try:
-            return self._fan_out(groups, wave_cfg, workers, result, tracker)
-        except (OSError, PermissionError):
-            # No subprocesses available (restricted environments): route
-            # each group in-process against a private snapshot, which is
-            # behaviorally identical, just not concurrent.
-            return self._run_inline(groups, wave_cfg, result, tracker)
 
     def _degrade_group(
         self, group: WaveGroup, reason: str, result: RoutingResult
@@ -171,7 +137,12 @@ class ParallelRouter:
         result: RoutingResult,
         tracker: BudgetTracker,
     ) -> List[GroupResult]:
-        """In-process fan-out fallback (same retry/degrade contract)."""
+        """In-process fan-out fallback (same retry/degrade contract).
+
+        Used when no worker pool can be created (restricted
+        environments): each group routes against a private snapshot,
+        which is behaviorally identical, just not concurrent.
+        """
         cfg = self.config
         sink = self.sink
         spec = fault_spec()
@@ -202,175 +173,42 @@ class ParallelRouter:
                         self._degrade_group(group, "error", result)
         return out
 
-    def _group_deadline(
-        self, group: WaveGroup, tracker: BudgetTracker
-    ) -> Optional[float]:
-        """Absolute parent-side give-up time for one wave child."""
-        limits = []
-        per_conn = self.config.budget.per_connection_seconds
-        if per_conn is not None:
-            limits.append(
-                per_conn * max(1, len(group.connections))
-                + GROUP_GRACE_SECONDS
-            )
-        remaining = tracker.remaining()
-        if remaining is not None:
-            limits.append(remaining + GROUP_GRACE_SECONDS)
-        if not limits:
-            return None
-        return time.perf_counter() + min(limits)
-
-    def _fan_out(
+    def _auto_serial(
         self,
-        groups: List[WaveGroup],
-        wave_cfg,
-        workers: int,
-        result: RoutingResult,
+        connections: Sequence[Connection],
+        decision,
         tracker: BudgetTracker,
-    ) -> List[GroupResult]:
-        """Launch/reap wave children with a bounded process slot count.
+        started: float,
+    ) -> RoutingResult:
+        """Route the whole call serially, bypassing the pool entirely.
 
-        Each child reports over its own one-way pipe: a child that dies
-        without reporting is an EOF (``reason="crash"``), a child that
-        reports an exception is an ``"error"``, and a child still running
-        at its group deadline is terminated (``"deadline"``).  All three
-        go through the same bounded retry-then-degrade policy.
+        The result is bit-identical to ``workers=1`` routing: same
+        config (minus the worker count), same workspace, same tracker.
         """
-        ctx, forked = self._pool_context()
-        payload = None
-        if forked:
-            set_parent_state(self.workspace, wave_cfg)
-        else:
-            payload = spawn_payload(self.workspace.snapshot(), wave_cfg)
-        cfg = self.config
-        sink = self.sink
-        clock = time.perf_counter
-        results: List[Optional[GroupResult]] = [None] * len(groups)
-        #: Groups awaiting a process slot, as (group index, attempt).
-        launchable: Deque[Tuple[int, int]] = deque(
-            (i, 0) for i in range(len(groups))
-        )
-        #: Failed groups backing off, as (ready time, index, attempt).
-        retries: List[Tuple[float, int, int]] = []
-        #: recv pipe -> (index, attempt, process, group deadline).
-        active: Dict[object, Tuple[int, int, object, Optional[float]]] = {}
+        from repro.core.router import GreedyRouter
 
-        def handle_failure(index: int, attempt: int, reason: str) -> None:
-            if attempt < cfg.worker_retries and not tracker.deadline_hit:
-                backoff = cfg.worker_backoff_seconds * (2**attempt)
-                result.worker_retries += 1
-                if sink.enabled:
-                    sink.emit(
-                        WorkerRetry(
-                            groups[index].strip_index,
-                            attempt,
-                            reason,
-                            backoff,
-                        )
-                    )
-                retries.append((clock() + backoff, index, attempt + 1))
-            else:
-                self._degrade_group(groups[index], reason, result)
-
-        def reap(conn, proc) -> None:
-            proc.join()
-            conn.close()
-
-        try:
-            while launchable or retries or active:
-                now = clock()
-                due = [r for r in retries if r[0] <= now]
-                if due:
-                    retries[:] = [r for r in retries if r[0] > now]
-                    launchable.extend((i, a) for _, i, a in due)
-                if tracker.deadline_exceeded("fan-out"):
-                    # The call's clock ran out mid-wave: stop launching,
-                    # terminate what is running, degrade the remainder.
-                    for index, _ in launchable:
-                        self._degrade_group(
-                            groups[index], "deadline", result
-                        )
-                    launchable.clear()
-                    for _, index, _ in retries:
-                        self._degrade_group(
-                            groups[index], "deadline", result
-                        )
-                    retries.clear()
-                    for conn, (index, _, proc, _) in active.items():
-                        proc.terminate()
-                        reap(conn, proc)
-                        self._degrade_group(
-                            groups[index], "deadline", result
-                        )
-                    active.clear()
-                    break
-                while launchable and len(active) < workers:
-                    index, attempt = launchable.popleft()
-                    recv, send = ctx.Pipe(duplex=False)
-                    proc = ctx.Process(
-                        target=child_main,
-                        args=(send, index, groups[index], attempt, payload),
-                    )
-                    proc.start()
-                    # The child holds its own copy of the write end; ours
-                    # must close so a dead child reads as EOF.
-                    send.close()
-                    active[recv] = (
-                        index,
-                        attempt,
-                        proc,
-                        self._group_deadline(groups[index], tracker),
-                    )
-                if not active:
-                    if retries:
-                        pause = min(r[0] for r in retries) - clock()
-                        time.sleep(min(max(pause, 0.0), 0.1))
-                    continue
-                now = clock()
-                waits = [
-                    max(0.0, d - now)
-                    for (_, _, _, d) in active.values()
-                    if d is not None
-                ]
-                waits += [max(0.0, r[0] - now) for r in retries]
-                remaining = tracker.remaining()
-                if remaining is not None:
-                    waits.append(remaining)
-                timeout = min(waits) + 0.01 if waits else None
-                ready = multiprocessing.connection.wait(
-                    list(active), timeout
+        if self.sink.enabled:
+            self.sink.emit(
+                AutoSerial(
+                    decision.reason,
+                    decision.demand,
+                    decision.supply,
+                    decision.utilization,
+                    len(connections),
                 )
-                for conn in ready:
-                    index, attempt, proc, _ = active.pop(conn)
-                    try:
-                        message = conn.recv()
-                    except (EOFError, OSError):
-                        reap(conn, proc)
-                        handle_failure(index, attempt, "crash")
-                        continue
-                    reap(conn, proc)
-                    _, group_result, error = message
-                    if error is not None:
-                        handle_failure(index, attempt, "error")
-                    else:
-                        results[index] = group_result
-                now = clock()
-                for conn in [
-                    conn
-                    for conn, (_, _, _, d) in active.items()
-                    if d is not None and now >= d
-                ]:
-                    index, attempt, proc, _ = active.pop(conn)
-                    proc.terminate()
-                    reap(conn, proc)
-                    handle_failure(index, attempt, "deadline")
-        finally:
-            if forked:
-                clear_parent_state()
-            for conn, (_, _, proc, _) in active.items():
-                proc.terminate()
-                reap(conn, proc)
-        return [r for r in results if r is not None]
+            )
+        serial = GreedyRouter(
+            self.board,
+            self._serial_config(),
+            workspace=self.workspace,
+            sink=self.sink,
+            budget_tracker=tracker,
+        )
+        result = serial.route(connections)
+        self.profile = serial.profile
+        result.auto_serial = True
+        result.cpu_seconds = time.perf_counter() - started
+        return result
 
     # ------------------------------------------------------------------
     # the route entry point
@@ -387,19 +225,91 @@ class ParallelRouter:
             cfg.budget, self.sink
         )
         timed = tracker.timed
+        sink = self.sink
+        ws = self.workspace
+
+        if cfg.workers > 1 and cfg.pool_auto_serial:
+            decision = pool_decision(
+                connections,
+                ws.channel_supply(),
+                self.board.grid.grid_per_via,
+                cfg.pool_min_demand,
+                cfg.pool_max_utilization,
+                available_cpus=_available_cpus(),
+            )
+            if not decision.use_pool:
+                return self._auto_serial(
+                    connections, decision, tracker, started
+                )
+
         ordered = (
             sort_connections(connections) if cfg.sort else list(connections)
         )
         result = RoutingResult(
-            workspace=self.workspace, connections=list(connections)
+            workspace=ws, connections=list(connections)
         )
-        ws = self.workspace
         margin = routing_margin(cfg.radius, self.board.grid.grid_per_via)
         wave_cfg = worker_config(cfg)
         pending = [c for c in ordered if not ws.is_routed(c.conn_id)]
 
-        sink = self.sink
-        if cfg.workers > 1:
+        #: The pool comes up lazily at the first wave that actually has
+        #: groups to deal, and only once per route() call.
+        pool: Optional[WorkerPool] = None
+        inline = False
+
+        def run_wave(groups: List[WaveGroup]) -> List[GroupResult]:
+            nonlocal pool, inline
+            if pool is None and not inline:
+                try:
+                    with self.profile.measure("pool_spawn"):
+                        candidate = WorkerPool(
+                            ws, cfg, cfg.workers, sink=sink
+                        )
+                        candidate.start()
+                    pool = candidate
+                except (OSError, PermissionError):
+                    # No subprocesses available (restricted
+                    # environments): route in-process instead.
+                    inline = True
+            wcfg = self._wave_config(wave_cfg, tracker)
+            if inline:
+                return self._run_inline(groups, wcfg, result, tracker)
+            return pool.run_wave(
+                groups,
+                wcfg,
+                result.waves + 1,
+                tracker,
+                result,
+                lambda group, reason: self._degrade_group(
+                    group, reason, result
+                ),
+            )
+
+        def merge_and_sync(group_results, rank=None, last=False):
+            """Merge one wave, then ship the delta to the pool.
+
+            The delta is recorded around the merge (the only master
+            mutations between waves), so the broadcast carries exactly
+            what this wave changed.  The last wave never syncs: the
+            pool is about to be closed.
+            """
+            recording = pool is not None and not last
+            if recording:
+                ws.begin_delta()
+            try:
+                with self.profile.measure("merge"):
+                    outcome = merge_wave(
+                        ws, group_results, result, rank, sink=sink
+                    )
+            finally:
+                delta = ws.end_delta() if recording else None
+            if delta:
+                digest = ws.state_digest() if cfg.audit else None
+                with self.profile.measure("delta_sync"):
+                    pool.sync(delta, digest)
+            return outcome
+
+        try:
             for axis, offset in WAVE_SPECS:
                 if not pending:
                     break
@@ -432,18 +342,10 @@ class ParallelRouter:
                         )
                     )
                 with self.profile.measure("wave"):
-                    group_results = self._run_wave(
-                        groups,
-                        self._wave_config(wave_cfg, tracker),
-                        result,
-                        tracker,
-                    )
+                    group_results = run_wave(groups)
                 for group_result in group_results:
                     self.profile.merge(group_result.profile)
-                with self.profile.measure("merge"):
-                    outcome = merge_wave(
-                        ws, group_results, result, sink=sink
-                    )
+                outcome = merge_and_sync(group_results)
                 result.waves += 1
                 result.demoted += len(outcome.demoted)
                 if sink.enabled:
@@ -465,60 +367,64 @@ class ParallelRouter:
                     if c.conn_id in carry and not ws.is_routed(c.conn_id)
                 ]
 
-        # Speculative wave: the strip residue is dominated by long
-        # connections whose bounding boxes never fit a strip — exactly
-        # the Lee-heavy tail worth parallelising.  Shard them round-robin
-        # with no disjointness guarantee and let the merge's conflict
-        # detection arbitrate: records merge in the master's sorted
-        # order, so contested space goes to the connection the serial
-        # router would have preferred, and the losers are demoted to the
-        # serial residue below.
-        if (
-            cfg.workers > 1
-            and len(pending) > cfg.workers
-            and not (timed and tracker.deadline_exceeded("speculative wave"))
-        ):
-            if timed:
-                tracker.checkpoint("speculative wave")
-            with self.profile.measure("partition"):
-                groups = shard_round_robin(pending, cfg.workers)
-            if len(groups) >= 2:
-                if sink.enabled:
-                    sink.emit(
-                        WaveStart(
-                            result.waves + 1, len(groups), len(pending)
+            # Speculative wave: the strip residue is dominated by long
+            # connections whose bounding boxes never fit a strip —
+            # exactly the Lee-heavy tail worth parallelising.  Shard
+            # them round-robin with no disjointness guarantee and let
+            # the merge's conflict detection arbitrate: records merge in
+            # the master's sorted order, so contested space goes to the
+            # connection the serial router would have preferred, and the
+            # losers are demoted to the serial residue below.
+            if (
+                len(pending) > cfg.workers
+                and not (
+                    timed and tracker.deadline_exceeded("speculative wave")
+                )
+            ):
+                if timed:
+                    tracker.checkpoint("speculative wave")
+                with self.profile.measure("partition"):
+                    groups = shard_round_robin(pending, cfg.workers)
+                if len(groups) >= 2:
+                    if sink.enabled:
+                        sink.emit(
+                            WaveStart(
+                                result.waves + 1, len(groups), len(pending)
+                            )
                         )
-                    )
-                with self.profile.measure("wave"):
-                    group_results = self._run_wave(
-                        groups,
-                        self._wave_config(wave_cfg, tracker),
-                        result,
-                        tracker,
-                    )
-                for group_result in group_results:
-                    self.profile.merge(group_result.profile)
-                with self.profile.measure("merge"):
+                    with self.profile.measure("wave"):
+                        group_results = run_wave(groups)
+                    for group_result in group_results:
+                        self.profile.merge(group_result.profile)
                     rank = {c.conn_id: i for i, c in enumerate(pending)}
-                    outcome = merge_wave(
-                        ws, group_results, result, rank, sink=sink
+                    outcome = merge_and_sync(
+                        group_results, rank, last=True
                     )
-                result.waves += 1
-                result.demoted += len(outcome.demoted)
-                if sink.enabled:
-                    sink.emit(
-                        WaveEnd(
-                            result.waves,
-                            outcome.merged,
-                            len(outcome.demoted),
-                            len(outcome.failed),
+                    result.waves += 1
+                    result.demoted += len(outcome.demoted)
+                    if sink.enabled:
+                        sink.emit(
+                            WaveEnd(
+                                result.waves,
+                                outcome.merged,
+                                len(outcome.demoted),
+                                len(outcome.failed),
+                            )
                         )
-                    )
-                if cfg.audit:
-                    self._audit(f"wave {result.waves} merge")
-                pending = [
-                    c for c in pending if not ws.is_routed(c.conn_id)
-                ]
+                    if cfg.audit:
+                        self._audit(f"wave {result.waves} merge")
+        finally:
+            if pool is not None:
+                pool.close()
+                for counter, amount in (
+                    ("snapshot_bytes", pool.snapshot_bytes),
+                    ("delta_bytes", pool.delta_bytes),
+                    ("delta_ops", pool.delta_ops),
+                    ("worker_steals", pool.steals),
+                    ("worker_respawns", pool.respawns),
+                ):
+                    if amount:
+                        self.profile.bump(counter, amount)
 
         # Serial residue: the unchanged strategy stack (rip-up included)
         # over everything still unrouted, exactly as if those connections
@@ -531,7 +437,8 @@ class ParallelRouter:
             sink=sink,
             budget_tracker=tracker,
         )
-        serial_result = serial.route(ordered)
+        with self.profile.measure("residue"):
+            serial_result = serial.route(ordered)
         self.profile.merge(serial.profile)
         result.passes += serial_result.passes
         result.rip_up_count += serial_result.rip_up_count
@@ -581,6 +488,7 @@ class ParallelRouter:
                     hits,
                     misses,
                     hits / total if total else 0.0,
+                    self.profile.counters.get("gap_cache_bypassed", 0),
                 )
             )
         result.cpu_seconds = time.perf_counter() - started
@@ -599,9 +507,9 @@ class ParallelRouter:
         return replace(self.config, workers=1)
 
     def _wave_config(self, wave_cfg, tracker: BudgetTracker):
-        """The config wave children route with right now.
+        """The config wave workers route with right now.
 
-        A child's own budget clock starts when the child does, so its
+        A worker's own budget clock starts when its group does, so its
         deadline must be this call's *remaining* time, not the original
         ``deadline_seconds``.  Untimed runs return ``wave_cfg`` unchanged
         (bit-identical configs, zero overhead).

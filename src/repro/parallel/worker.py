@@ -1,27 +1,42 @@
-"""Worker-side routing of one wave group against a workspace snapshot.
+"""Worker-side of the persistent pool: route groups, stay synchronized.
 
-The fan-out protocol (one short-lived process per group, run by
-:meth:`repro.parallel.router.ParallelRouter._run_wave`):
+Each pool worker is one long-lived process (spawned once per routing
+call by :class:`repro.parallel.pool.WorkerPool`) holding a private copy
+of the master workspace:
 
 * **fork** (Linux, the fast path) — the parent stages the master
-  workspace and config in module globals and forks one child per group;
-  each child inherits a pristine copy-on-write snapshot for free, routes
-  its group, and sends the :class:`GroupResult` back over its own pipe
-  (one per child, so a crashed child is visible as an EOF rather than a
-  queue that never delivers).
-  Because every group gets its own fresh fork, results are independent
-  of scheduling and of the worker count.
-* **spawn** (everywhere else) — each child receives the pickled
-  ``(workspace, config)`` snapshot as an argument instead.
+  workspace in a module global and forks; the child inherits a pristine
+  copy-on-write snapshot for free.
+* **spawn** (everywhere else) — the child receives one pickled workspace
+  payload at startup and unpickles it; after that, startup cost is paid.
 
-A ``multiprocessing.Pool`` is deliberately not used: with
-``maxtasksperchild=1`` (needed for the pristine-snapshot guarantee) its
-worker-management thread polls on a ~0.1 s tick, which dwarfs the
-10–100 ms a typical wave group takes to route.
+From then on the worker runs a small message loop over its duplex pipe:
+
+``("sync", epoch, payload, digest)``
+    Apply a :class:`~repro.channels.delta.WorkspaceDelta` broadcast by
+    the master after a wave merge (and optionally check the resulting
+    state digest).  Replaying the delta through the same route-level
+    primitives the master used bumps channel generations identically, so
+    the worker's warm :class:`~repro.channels.gap_cache.GapCache`
+    entries on untouched channels survive the sync.
+``("group", task, epoch, group, attempt, config)``
+    Route one wave group against the current sync state, send the
+    :class:`GroupResult` back, then *undo* the group's own routes so the
+    local workspace returns to the sync state — the master's merge
+    decides what actually lands, and the next delta carries it back.
+``("stop",)``
+    Exit cleanly.
+
+A worker that hits an unexpected exception mid-group reports it and then
+exits: its local workspace can no longer be trusted to match the sync
+epoch, and the parent respawns a fresh worker from the master state
+(fork) or from the startup payload plus the replayed delta log (spawn).
+A worker that dies without reporting reads as EOF on the parent side,
+which is how crashes (including ``GRR_FAULT`` injected ones) surface.
 
 Workers route with the optimal strategy stack plus Lee but with rip-up
 disabled: ripping up another group's (or an earlier wave's) routes inside
-a private snapshot could not be merged back coherently.  Connections that
+a private copy could not be merged back coherently.  Connections that
 need rip-up fail fast here and fall through to the serial residue phase,
 exactly the paper's hard ~10%.
 """
@@ -37,9 +52,15 @@ from repro.core.profiling import RouterProfile
 from repro.core.result import Strategy
 from repro.parallel.partition import WaveGroup
 
-#: Parent-set state inherited by fork children (see module docstring).
+#: Parent-staged master workspace inherited by fork children.
 _WORKSPACE: Optional[RoutingWorkspace] = None
-_CONFIG = None
+
+#: Message tags of the pool protocol (parent -> worker).
+MSG_SYNC = "sync"
+MSG_GROUP = "group"
+MSG_STOP = "stop"
+#: Worker -> parent: ``(MSG_RESULT, task, GroupResult | None, error | None)``.
+MSG_RESULT = "result"
 
 
 @dataclass
@@ -66,56 +87,104 @@ def worker_config(config):
     )
 
 
-def set_parent_state(workspace: RoutingWorkspace, config) -> None:
-    """Stage state in module globals for fork children to inherit."""
-    global _WORKSPACE, _CONFIG
+def set_parent_state(workspace: RoutingWorkspace) -> None:
+    """Stage the master workspace for fork children to inherit."""
+    global _WORKSPACE
     _WORKSPACE = workspace
-    _CONFIG = config
 
 
 def clear_parent_state() -> None:
-    """Drop the staged globals once the wave's pool has been forked."""
-    global _WORKSPACE, _CONFIG
+    """Drop the staged global once the fork has happened."""
+    global _WORKSPACE
     _WORKSPACE = None
-    _CONFIG = None
 
 
-def child_main(
-    conn,
-    index: int,
-    group: WaveGroup,
-    attempt: int = 0,
-    payload: Optional[bytes] = None,
+def pool_payload(workspace: RoutingWorkspace) -> bytes:
+    """Serialize the startup snapshot for spawn-based pool workers."""
+    return pickle.dumps(workspace, pickle.HIGHEST_PROTOCOL)
+
+
+def pool_child_main(
+    conn, worker_id: int, payload: Optional[bytes] = None, epoch: int = 0
 ) -> None:
-    """Entry point of one wave child process.
+    """Entry point of one persistent pool worker process.
 
-    Fork children find the snapshot in the inherited module globals;
-    spawn children get it as ``payload``.  The result (or the formatted
-    error) travels back over the pipe connection ``conn`` tagged with the
-    group's index; a child that dies without sending leaves the parent an
-    EOF instead of a message, which is how crashes are detected.
-    ``attempt`` is the zero-based launch attempt, consulted by the
-    ``GRR_FAULT`` fault-injection hook (:mod:`repro.parallel.faults`).
+    Fork children find the workspace in the inherited module global
+    (already at ``epoch``); spawn children unpickle ``payload`` (epoch 0)
+    and are caught up by replayed sync messages.  See the module
+    docstring for the message protocol.
     """
+    from repro.channels.delta import WorkspaceDelta
     from repro.parallel.faults import inject_in_child
 
     try:
-        inject_in_child(attempt)
         if payload is not None:
-            workspace, config = pickle.loads(payload)
+            workspace = pickle.loads(payload)
         else:
-            if _WORKSPACE is None:
-                raise RuntimeError("worker state not initialised")
-            workspace, config = _WORKSPACE, _CONFIG
-        result = route_group_in(workspace, config, group)
-        conn.send((index, result, None))
-    except BaseException as exc:  # noqa: BLE001 - must reach the parent
-        import traceback
+            workspace = _WORKSPACE
+            if workspace is None:
+                raise RuntimeError("pool worker state not initialised")
+        local_epoch = epoch
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break  # parent gone; nothing left to do
+            tag = message[0]
+            if tag == MSG_STOP:
+                break
+            if tag == MSG_SYNC:
+                _, sync_epoch, delta_payload, digest = message
+                workspace.apply_delta(
+                    WorkspaceDelta.from_payload(delta_payload)
+                )
+                local_epoch = sync_epoch
+                if digest is not None and workspace.state_digest() != digest:
+                    raise RuntimeError(
+                        f"pool worker {worker_id} diverged from master "
+                        f"at epoch {sync_epoch}"
+                    )
+                continue
+            # tag == MSG_GROUP
+            _, task, task_epoch, group, attempt, config = message
+            try:
+                # Faults fire before routing so an injected error leaves
+                # the local workspace clean (the parent still respawns).
+                inject_in_child(attempt)
+                if task_epoch != local_epoch:
+                    raise RuntimeError(
+                        f"pool worker {worker_id} at epoch {local_epoch} "
+                        f"received a group for epoch {task_epoch}"
+                    )
+                result = route_group_in(workspace, config, group)
+                # Roll the local copy back to the sync state: the merge
+                # on the master arbitrates what lands, and the next
+                # delta_sync carries the surviving routes back here.
+                for record in result.records:
+                    workspace.remove_connection(record.conn_id)
+                conn.send((MSG_RESULT, task, result, None))
+            except BaseException as exc:  # noqa: BLE001 - must reach parent
+                import traceback
 
-        try:
-            conn.send((index, None, f"{exc}\n{traceback.format_exc()}"))
-        except (BrokenPipeError, OSError):
-            pass  # parent already gone or gave up on us
+                try:
+                    conn.send(
+                        (
+                            MSG_RESULT,
+                            task,
+                            None,
+                            f"{exc}\n{traceback.format_exc()}",
+                        )
+                    )
+                except (BrokenPipeError, OSError):
+                    pass
+                # The local workspace may hold a partial route; it can no
+                # longer be trusted to match the sync epoch.  Die and let
+                # the parent respawn a clean worker.
+                return
+    except BaseException:  # noqa: BLE001 - sync failures are fatal
+        # Protocol-level failure (bad delta, digest mismatch, unpickling
+        # error): die loudly; the parent sees EOF and respawns.
+        raise
     finally:
         conn.close()
 
@@ -127,7 +196,7 @@ def route_group_in(
 
     Also used directly by the in-process fallback when no worker pool can
     be created, with a private :meth:`RoutingWorkspace.snapshot` standing
-    in for the forked copy.
+    in for the pool worker's copy.
     """
     from repro.core.router import GreedyRouter
 
@@ -146,8 +215,3 @@ def route_group_in(
     result.lee_expansions = routing.lee_expansions
     result.profile = router.profile
     return result
-
-
-def spawn_payload(workspace: RoutingWorkspace, config) -> bytes:
-    """Serialize the wave snapshot for a spawn pool's initializer."""
-    return pickle.dumps((workspace, config), pickle.HIGHEST_PROTOCOL)

@@ -88,7 +88,9 @@ class TestParallelRoute:
             ]
         ) == 0
         out = capsys.readouterr().out
-        assert "parallel: 2 workers" in out
+        # A tna board at scale 0.25 is far below the pool's size
+        # threshold, so the parallel router reports the auto-serial path.
+        assert "parallel: auto-serial" in out
         assert os.path.exists(files["routes"])
 
     def test_workers_must_be_positive(self, files):

@@ -66,8 +66,13 @@ class TestWorkerRecovery:
         monkeypatch.setenv("GRR_FAULT", fault)
         board, connections = _titan_problem()
         sink = RingBufferSink()
+        # pool_auto_serial=False: the recovery paths under test live in
+        # the worker pool, which the size heuristic would skip on a
+        # board this small.
         router = make_router(
-            board, RouterConfig(workers=workers), sink=sink
+            board,
+            RouterConfig(workers=workers, pool_auto_serial=False),
+            sink=sink,
         )
         result = router.route(connections)
         return board, connections, router, result, sink

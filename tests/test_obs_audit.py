@@ -177,8 +177,12 @@ class TestSuiteAudits:
         WorkspaceAuditor(serial.workspace).check("serial tna")
 
         board2, connections2 = _titan_problem("tna")
+        # pool_auto_serial=False keeps the merge/delta audit path under
+        # test (the size heuristic would route a board this small
+        # serially); audit=True also digest-checks every delta sync.
         parallel = ParallelRouter(
-            board2, RouterConfig(workers=4, audit=True)
+            board2,
+            RouterConfig(workers=4, audit=True, pool_auto_serial=False),
         )
         parallel.route(connections2)  # audits after every merge
         WorkspaceAuditor(parallel.workspace).check("parallel tna")

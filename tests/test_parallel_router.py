@@ -64,22 +64,43 @@ class TestParallelRoute:
         assert set(result.routed_by) == set(serial.routed_by)
         assert result.complete == serial.complete
 
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parity_with_serial_forced_pool(self, workers):
+        # A board this small auto-serials by default, which would make
+        # parity trivial; forcing the pool exercises the wave pipeline.
+        board, connections = build_problem()
+        serial = GreedyRouter(board).route(connections)
+
+        board_n, connections_n = build_problem()
+        router = make_router(
+            board_n,
+            RouterConfig(workers=workers, pool_auto_serial=False),
+        )
+        result = router.route(connections_n)
+
+        assert set(result.routed_by) == set(serial.routed_by)
+        assert result.complete == serial.complete
+
     def test_worker_counts_agree_with_each_other(self):
         completed = []
         for workers in (2, 3):
             board, connections = build_problem(seed=5)
-            result = ParallelRouter(board, RouterConfig(workers=workers)).route(
-                connections
-            )
+            result = ParallelRouter(
+                board,
+                RouterConfig(workers=workers, pool_auto_serial=False),
+            ).route(connections)
             completed.append(set(result.routed_by))
         assert completed[0] == completed[1]
 
     def test_runs_waves_and_reports_them(self):
         board, connections = build_problem()
-        router = ParallelRouter(board, RouterConfig(workers=2))
+        router = ParallelRouter(
+            board, RouterConfig(workers=2, pool_auto_serial=False)
+        )
         result = router.route(connections)
         assert result.waves >= 1
         assert result.demoted >= 0
+        assert not result.auto_serial
         assert not result.fallback_serial or result.complete
 
     def test_result_summary_includes_parallel_stats(self):
@@ -91,10 +112,13 @@ class TestParallelRoute:
         assert summary["waves"] == result.waves
         assert summary["demoted"] == result.demoted
         assert summary["fallback_serial"] == result.fallback_serial
+        assert summary["auto_serial"] == result.auto_serial
 
     def test_workspace_records_match_routed_by(self):
         board, connections = build_problem()
-        router = ParallelRouter(board, RouterConfig(workers=2))
+        router = ParallelRouter(
+            board, RouterConfig(workers=2, pool_auto_serial=False)
+        )
         result = router.route(connections)
         assert set(result.routed_by) == set(router.workspace.records)
 

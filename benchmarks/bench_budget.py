@@ -39,6 +39,11 @@ try:
 except ImportError:  # direct script run without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+try:
+    from benchmarks.ci_summary import append_table, gate_mark
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from ci_summary import append_table, gate_mark
+
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.core.budget import RouteBudget
@@ -229,6 +234,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"wrote {args.out}: parity_all={summary['parity_all']} "
         f"overhead={summary['overhead_pct']:+.2f}% "
         f"deadline_graceful={summary['deadline_graceful']}"
+    )
+    deadline = report["deadline"]
+    append_table(
+        "Budget enforcement (bench_budget)",
+        ("leg", "measured", "gate", "status"),
+        [
+            (
+                "parity+overhead",
+                f"{summary['overhead_pct']:+.2f}% overhead",
+                "parity always; overhead "
+                + (
+                    f"<= {args.assert_overhead}%"
+                    if args.assert_overhead is not None
+                    else "recorded"
+                ),
+                gate_mark(
+                    summary["parity_all"]
+                    and (
+                        args.assert_overhead is None
+                        or summary["overhead_pct"] <= args.assert_overhead
+                    )
+                ),
+            ),
+            (
+                f"deadline ({deadline['board']})",
+                f"{deadline['routed']}/{deadline['total']} in "
+                f"{deadline['wall_seconds']}s",
+                "graceful partial, clean audit",
+                gate_mark(summary["deadline_graceful"]),
+            ),
+        ],
     )
     if not summary["parity_all"]:
         print("FAIL: budgeted routing diverged from unbudgeted", file=sys.stderr)

@@ -45,6 +45,11 @@ try:
 except ImportError:  # direct script run without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+try:
+    from benchmarks.ci_summary import append_table, gate_mark
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from ci_summary import append_table, gate_mark
+
 from repro.channels.workspace import RoutingWorkspace
 from repro.core.router import RouterConfig, make_router
 from repro.stringer import Stringer
@@ -344,17 +349,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{summary['cache_on_seconds']}s "
             f"({summary['improvement_vs_pre_pr_pct']}%)"
         )
+    failures: List[str] = []
+    board_ok = {row["board"]: True for row in report["boards"]}
     if not summary["parity_all"]:
-        print("FAIL: cached/uncached completion parity broken", file=sys.stderr)
-        return 1
+        failures.append("cached/uncached completion parity broken")
     if args.assert_hit_rate is not None:
-        floor = summary["min_board_hit_rate"]
-        if floor is None or floor < args.assert_hit_rate:
-            print(
-                f"FAIL: min board hit rate {floor} < {args.assert_hit_rate}",
-                file=sys.stderr,
-            )
-            return 1
+        for row in report["boards"]:
+            rate = row["cache_on"]["hit_rate"]
+            if rate is None or rate < args.assert_hit_rate:
+                board_ok[row["board"]] = False
+                failures.append(
+                    f"{row['board']} hit rate {rate} < "
+                    f"{args.assert_hit_rate}"
+                )
     if args.assert_board_floor is not None:
         for row in report["boards"]:
             off_s = row["cache_off"]["seconds"]
@@ -364,24 +371,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                 FLOOR_GRACE_SECONDS,
             )
             if on_s - off_s > allowance:
-                print(
-                    f"FAIL: {row['board']} regresses with cache on: "
+                board_ok[row["board"]] = False
+                failures.append(
+                    f"{row['board']} regresses with cache on: "
                     f"{off_s}s -> {on_s}s "
-                    f"(floor {args.assert_board_floor}%)",
-                    file=sys.stderr,
+                    f"(floor {args.assert_board_floor}%)"
                 )
-                return 1
     if args.assert_improvement is not None:
         measured = summary.get(
             "improvement_vs_pre_pr_pct", summary["improvement_pct"]
         )
         if measured is None or measured < args.assert_improvement:
-            print(
-                f"FAIL: improvement {measured}% < {args.assert_improvement}%",
-                file=sys.stderr,
+            failures.append(
+                f"improvement {measured}% < {args.assert_improvement}%"
             )
-            return 1
-    return 0
+    append_table(
+        "Free-gap cache (bench_gap_cache)",
+        ("board", "cache off", "cache on", "hit rate", "gate", "status"),
+        (
+            (
+                row["board"],
+                f"{row['cache_off']['seconds']}s",
+                f"{row['cache_on']['seconds']}s",
+                row["cache_on"]["hit_rate"],
+                f">= {args.assert_hit_rate}"
+                if args.assert_hit_rate is not None
+                else "—",
+                gate_mark(board_ok[row["board"]]),
+            )
+            for row in report["boards"]
+        ),
+        note=f"suite hit rate {summary['hit_rate']}, "
+        f"parity_all={summary['parity_all']}",
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -42,6 +42,11 @@ try:
 except ImportError:  # direct script run without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+try:
+    from benchmarks.ci_summary import append_table, gate_mark
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from ci_summary import append_table, gate_mark
+
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.core.router import GreedyRouter, RouterConfig
@@ -258,6 +263,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{summary['max_estimated_overhead_pct']}% "
         f"(threshold {THRESHOLD_PCT}%), wall vs pre-PR baseline "
         f"{summary['max_wall_overhead_vs_baseline_pct']}%"
+    )
+    append_table(
+        "Observability overhead (bench_obs_overhead)",
+        ("board", "null sink", "est. overhead", "gate", "status"),
+        (
+            (
+                row["board"],
+                f"{row['null_median_s']}s",
+                f"{row['estimated_overhead_pct']}%",
+                f"<= {THRESHOLD_PCT}%",
+                gate_mark(
+                    row["estimated_overhead_pct"] <= THRESHOLD_PCT
+                ),
+            )
+            for row in report["boards"]
+        ),
     )
     if not summary["pass"]:
         print(

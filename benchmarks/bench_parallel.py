@@ -46,6 +46,11 @@ try:
 except ImportError:  # direct script run without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+try:
+    from benchmarks.ci_summary import append_table, gate_mark
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from ci_summary import append_table, gate_mark
+
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.core.router import GreedyRouter, RouterConfig, make_router
@@ -375,10 +380,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"parity_all={summary['parity_all']} "
         f"(cores available: {report['affinity_count']})"
     )
+    violations = evaluate_gates(report, args.gate_large, args.gate_small)
+    top = str(max(report["worker_counts"]))
+    append_table(
+        "Parallel wave routing (bench_parallel)",
+        ("board", "serial", f"x{top}", "speedup", "gate", "status"),
+        (
+            (
+                row["board"],
+                f"{row['serial']['seconds']}s",
+                f"{row['parallel'][top]['seconds']}s",
+                row["parallel"][top]["speedup"],
+                (
+                    f"<= {args.gate_large}x"
+                    if row["serial"]["seconds"] >= LARGE_SERIAL_SECONDS
+                    and args.gate_large is not None
+                    else f"<= {args.gate_small}x"
+                    if args.gate_small is not None
+                    else "—"
+                ),
+                gate_mark(
+                    row["parallel"][top]["parity"]
+                    and not any(
+                        v.startswith(f"{row['board']}:")
+                        for v in violations
+                    )
+                ),
+            )
+            for row in report["boards"]
+        ),
+        note=f"parity_all={summary['parity_all']}",
+    )
     if not summary["parity_all"]:
         print("FAIL: parallel/serial completion parity broken", file=sys.stderr)
         return 1
-    violations = evaluate_gates(report, args.gate_large, args.gate_small)
     if violations:
         for violation in violations:
             print(f"FAIL: {violation}", file=sys.stderr)

@@ -1,0 +1,48 @@
+"""Shared GitHub Actions step-summary helper for the perf benchmarks.
+
+Every perf-smoke benchmark reports its gate results (board, measured
+value, gate, pass/fail) as a markdown table appended to the file named
+by ``$GITHUB_STEP_SUMMARY`` — the runner renders it on the workflow
+run page, so a gate failure is readable without digging through logs.
+
+Outside Actions (no ``GITHUB_STEP_SUMMARY`` in the environment) every
+call is a silent no-op, so benchmarks behave identically when run by
+hand.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence
+
+
+def gate_mark(ok: bool) -> str:
+    """The pass/fail cell: a rendered check or cross."""
+    return "✅ pass" if ok else "❌ FAIL"
+
+
+def append_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    note: Optional[str] = None,
+) -> bool:
+    """Append one titled markdown table to the step summary.
+
+    Returns True when a summary was written (i.e. running under
+    Actions), False when skipped.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return False
+    lines = [f"### {title}", ""]
+    lines.append("| " + " | ".join(str(h) for h in headers) + " |")
+    lines.append("|" + "---|" * len(headers))
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    if note:
+        lines.extend(["", note])
+    lines.append("")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+    return True

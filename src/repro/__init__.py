@@ -16,7 +16,7 @@ Quickstart (the stable ``repro.api`` facade — see ``docs/API.md``)::
     print(response.result.summary(), response.stopped_reason)
 """
 
-from repro.api import RouteRequest, RouteResponse, route
+from repro.api import RouteRequest, RouteResponse, begin_eco, reroute, route
 from repro.board import (
     Board,
     Connection,
@@ -35,6 +35,7 @@ from repro.board import (
     sip_package,
 )
 from repro.channels import RoutingWorkspace
+from repro.eco import EcoError, EcoSession, EcoStats
 from repro.core import (
     GreedyRouter,
     RouteBudget,
@@ -51,6 +52,9 @@ __all__ = [
     "Board",
     "Box",
     "Connection",
+    "EcoError",
+    "EcoSession",
+    "EcoStats",
     "GreedyRouter",
     "GridPoint",
     "Layer",
@@ -74,7 +78,9 @@ __all__ = [
     "Strategy",
     "TechRules",
     "ViaPoint",
+    "begin_eco",
     "dip_package",
+    "reroute",
     "route",
     "sip_package",
     "sort_connections",

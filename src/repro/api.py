@@ -118,3 +118,36 @@ def route(request: RouteRequest) -> RouteResponse:
         counters=dict(profile.counters),
         elapsed_seconds=result.cpu_seconds,
     )
+
+
+def begin_eco(request: RouteRequest, response: RouteResponse):
+    """Open an ECO session over a completed :func:`route` call.
+
+    The session adopts the request's board and connection list and the
+    response's routed workspace — the incremental counterpart of the
+    batch facade.  Mutate it (``move_part`` / ``add_nets`` /
+    ``cut_nets``), then call :func:`reroute`.
+    """
+    from repro.eco import EcoSession
+
+    return EcoSession(
+        board=request.board,
+        connections=request.connections,
+        config=request.resolved_config,
+        sink=request.sink,
+        workspace=response.result.workspace,
+        routed_by=response.result.routed_by,
+    )
+
+
+def reroute(session, budget: Optional[RouteBudget] = None) -> RouteResponse:
+    """Incrementally reroute an ECO session's pending connections.
+
+    The incremental entry point beside :func:`route`: surviving routes,
+    warm gap-cache entries and the session's kept worker pool are all
+    reused, and only connections the session's mutations invalidated
+    (plus anything that was already unrouted) are routed.  Shares
+    ``route()``'s degradation contract — a ``budget`` that runs out
+    yields a partial :class:`RouteResponse`, never an exception.
+    """
+    return session.reroute(budget=budget)

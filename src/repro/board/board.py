@@ -104,6 +104,60 @@ class Board:
         self.parts.append(part)
         return part
 
+    def move_part(
+        self, part_id: int, origin: ViaPoint
+    ) -> List[tuple]:
+        """Relocate a placed part; returns ``(pin, old_position)`` pairs.
+
+        Placement rules are re-validated against the *vacated* board
+        (the part's own current sites do not block the move), and the
+        board is untouched if any destination site is off-board or
+        occupied by another part.  Routing state is not touched here;
+        the ECO layer (:mod:`repro.eco`) is responsible for undrilling
+        the old pin sites and drilling the new ones.
+        """
+        if not 0 <= part_id < len(self.parts):
+            raise ValueError(f"unknown part id {part_id}")
+        part = self.parts[part_id]
+        own_pins = {pin.pin_id for pin in part.pins}
+        new_positions = [
+            ViaPoint(origin.vx + dx, origin.vy + dy)
+            for dx, dy in part.package.pin_offsets
+        ]
+        for pos in new_positions:
+            if not self.grid.contains_via(pos):
+                raise PlacementError(
+                    f"pin of {part.name} at {pos} is off the board"
+                )
+            occupant = self._occupied.get(pos)
+            if occupant is not None and occupant not in own_pins:
+                raise PlacementError(
+                    f"via site {pos} already occupied by pin {occupant}"
+                )
+        moves = []
+        for pin in part.pins:
+            del self._occupied[pin.position]
+        for pin, pos in zip(part.pins, new_positions):
+            moves.append((pin, pin.position))
+            pin.position = pos
+            self._occupied[pos] = pin.pin_id
+        part.origin = origin
+        return moves
+
+    def relocate_pin(self, pin_id: int, position: ViaPoint) -> None:
+        """Move one pin's site bookkeeping (delta replay on replicas).
+
+        Replays the board-side half of an ECO part move on a workspace
+        replica (worker pool copies) so the invariant auditor's
+        pin-vs-via reconciliation stays coherent.  No validation: the
+        master already validated the move in :meth:`move_part`.
+        """
+        pin = self.pins[pin_id]
+        if self._occupied.get(pin.position) == pin_id:
+            del self._occupied[pin.position]
+        pin.position = position
+        self._occupied[position] = pin_id
+
     def part_can_fit(self, package: Package, origin: ViaPoint) -> bool:
         """True if every pin site is on-board and unoccupied."""
         for dx, dy in package.pin_offsets:

@@ -14,7 +14,10 @@ two route-level mutators (:meth:`RoutingWorkspace.commit_record` and
 wiring appears or disappears, and a :class:`~repro.channels.workspace.
 RouteRecord` already carries every segment and via of its route.  Pins
 and tesselation fill are installed before the pool starts and never
-change mid-call, so they ride in the startup snapshot.
+change mid-call, so they ride in the startup snapshot.  The one
+exception is an ECO part move between routing calls, which ships the
+affected pin sites as explicit ``drill``/``undrill`` ops (see
+:mod:`repro.eco`) so a kept pool's replicas track the edit too.
 
 Applying a delta replays the operations in recorded order through the
 same ``add``/``remove`` primitives routing itself uses, so channel
@@ -41,10 +44,20 @@ from repro.channels.workspace import RouteRecord
 #: Operation tags (slot 0 of every op tuple).
 OP_ADD = "add"
 OP_REMOVE = "remove"
+#: Pin-level operations (ECO part moves): a pin's drilled via appearing
+#: at or disappearing from a site, payload ``(ViaPoint, owner_token)``,
+#: plus the board-side relocation ``(pin_id, ViaPoint)`` that keeps a
+#: replica's :class:`~repro.board.board.Board` consistent with its
+#: workspace (the invariant auditor reconciles the two).
+OP_DRILL = "drill"
+OP_UNDRILL = "undrill"
+OP_MOVE_PIN = "move_pin"
 
 #: One recorded operation: ``("add", RouteRecord)`` installs a route,
-#: ``("remove", conn_id)`` rips one up.
-DeltaOp = Union[Tuple[str, RouteRecord], Tuple[str, int]]
+#: ``("remove", conn_id)`` rips one up, ``("drill"/"undrill",
+#: (via, owner))`` moves a pin's drilled site (ECO part moves only —
+#: batch routing never changes pins mid-call).
+DeltaOp = Union[Tuple[str, RouteRecord], Tuple[str, int], Tuple[str, tuple]]
 
 
 class DeltaConflictError(RuntimeError):
@@ -72,6 +85,18 @@ class WorkspaceDelta:
         """Log the rip-up of one route."""
         self.ops.append((OP_REMOVE, conn_id))
 
+    def record_drill(self, via, owner: int) -> None:
+        """Log a pin via being drilled at a site (ECO part move)."""
+        self.ops.append((OP_DRILL, (via, owner)))
+
+    def record_undrill(self, via, owner: int) -> None:
+        """Log a pin via being removed from a site (ECO part move)."""
+        self.ops.append((OP_UNDRILL, (via, owner)))
+
+    def record_move_pin(self, pin_id: int, via) -> None:
+        """Log a pin's board-side relocation (ECO part move)."""
+        self.ops.append((OP_MOVE_PIN, (pin_id, via)))
+
     def __len__(self) -> int:
         return len(self.ops)
 
@@ -87,6 +112,14 @@ class WorkspaceDelta:
     def removed(self) -> int:
         """Routes ripped up by this delta."""
         return sum(1 for op in self.ops if op[0] == OP_REMOVE)
+
+    def removed_ids(self) -> List[int]:
+        """Connection ids of every ``remove`` op, in order."""
+        return [op[1] for op in self.ops if op[0] == OP_REMOVE]
+
+    def added_ids(self) -> List[int]:
+        """Connection ids of every ``add`` op, in order."""
+        return [op[1].conn_id for op in self.ops if op[0] == OP_ADD]
 
     def to_payload(self) -> bytes:
         """Pickle once for broadcast to every pool worker."""

@@ -196,6 +196,35 @@ class RoutingWorkspace:
         for pin in self.board.pins:
             self.drill_via(pin.position, pin.owner_token)
 
+    def drill_pin(self, via: ViaPoint, owner: int) -> None:
+        """Drill one pin site, logging it into any active delta.
+
+        The ECO path (:mod:`repro.eco`) moves pins between routing
+        calls; unlike :meth:`install_pins` (which runs before any delta
+        recording exists) the change must reach a kept worker pool's
+        replicas, so it rides the delta log as an explicit op.
+        """
+        self.drill_via(via, owner)
+        if self._delta_log is not None:
+            self._delta_log.record_drill(via, owner)
+
+    def undrill_pin(self, via: ViaPoint, owner: int) -> None:
+        """Remove one pin site's via, logging it into any active delta."""
+        self.remove_via(via, owner)
+        if self._delta_log is not None:
+            self._delta_log.record_undrill(via, owner)
+
+    def note_pin_moved(self, pin_id: int, position: ViaPoint) -> None:
+        """Log a pin's board-side relocation into any active delta.
+
+        The board itself was already updated by
+        :meth:`Board.move_part`; this only records the fact so replicas
+        replaying the delta keep their own ``Board`` consistent with
+        the drilled vias (the auditor reconciles the two).
+        """
+        if self._delta_log is not None:
+            self._delta_log.record_move_pin(pin_id, position)
+
     # ------------------------------------------------------------------
     # route-level operations
     # ------------------------------------------------------------------
@@ -300,6 +329,26 @@ class RoutingWorkspace:
         delta, self._delta_log = self._delta_log, None
         return delta
 
+    @property
+    def delta_active(self) -> bool:
+        """True while route-level mutations are being logged."""
+        return self._delta_log is not None
+
+    def drain_delta(self):
+        """Return the ops recorded so far and keep recording.
+
+        The ECO session keeps one *continuous* recording open across
+        mutations and reroutes; each pool synchronization point drains
+        the log (ops since the previous drain) without closing it, so
+        no mutation can ever fall between two recording windows.
+        """
+        from repro.channels.delta import WorkspaceDelta
+
+        if self._delta_log is None:
+            raise RuntimeError("no delta recording active")
+        delta, self._delta_log = self._delta_log, WorkspaceDelta()
+        return delta
+
     def apply_delta(self, delta) -> None:
         """Replay a delta recorded on another workspace copy.
 
@@ -311,7 +360,14 @@ class RoutingWorkspace:
         cleanly raises :class:`~repro.channels.delta.DeltaConflictError`
         (state divergence is a protocol bug, not a routing condition).
         """
-        from repro.channels.delta import OP_ADD, DeltaConflictError
+        from repro.channels.delta import (
+            OP_ADD,
+            OP_DRILL,
+            OP_MOVE_PIN,
+            OP_REMOVE,
+            OP_UNDRILL,
+            DeltaConflictError,
+        )
 
         for op, payload in delta.ops:
             if op == OP_ADD:
@@ -325,12 +381,38 @@ class RoutingWorkspace:
                         f"delta add of connection {payload.conn_id} "
                         "collides with existing state"
                     )
-            else:
+            elif op == OP_REMOVE:
                 if payload not in self.records:
                     raise DeltaConflictError(
                         f"delta remove of unrouted connection {payload}"
                     )
                 self.remove_connection(payload)
+            elif op == OP_DRILL:
+                via, owner = payload
+                try:
+                    self.drill_via(via, owner)
+                except (ChannelConflictError, ValueError) as exc:
+                    raise DeltaConflictError(
+                        f"delta drill at {via} does not apply: {exc}"
+                    ) from exc
+            elif op == OP_UNDRILL:
+                via, owner = payload
+                try:
+                    self.remove_via(via, owner)
+                except ValueError as exc:
+                    raise DeltaConflictError(
+                        f"delta undrill at {via} does not apply: {exc}"
+                    ) from exc
+            elif op == OP_MOVE_PIN:
+                pin_id, via = payload
+                try:
+                    self.board.relocate_pin(pin_id, via)
+                except (IndexError, KeyError) as exc:
+                    raise DeltaConflictError(
+                        f"delta pin move of {pin_id} does not apply: {exc}"
+                    ) from exc
+            else:
+                raise DeltaConflictError(f"unknown delta op {op!r}")
 
     def __getstate__(self):
         """Pickle everything except an active delta log.

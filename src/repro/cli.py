@@ -9,6 +9,8 @@ Subcommands mirror the original toolchain:
 * ``grr render``   — regenerate the Figure 20/21/22 artifacts from a
   board + connections + routes;
 * ``grr table1``   — run the whole Table 1 reproduction.
+* ``grr eco``      — apply engineering change orders to a routed board
+  and incrementally reroute only what the edits invalidated.
 
 Every command reads/writes the text formats of :mod:`repro.io`.
 """
@@ -219,6 +221,155 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _parse_move(spec: str):
+    """Parse one ``--move-part PART:VX,VY`` spec."""
+    from repro.grid.coords import ViaPoint
+
+    try:
+        part_text, coords = spec.split(":", 1)
+        vx_text, vy_text = coords.split(",", 1)
+        return int(part_text), ViaPoint(int(vx_text), int(vy_text))
+    except ValueError:
+        raise SystemExit(
+            f"bad --move-part spec {spec!r} (expected PART:VX,VY)"
+        )
+
+
+def _parse_pin_group(spec: str) -> List[int]:
+    """Parse one ``--add-net P1,P2,...`` spec."""
+    try:
+        pins = [int(p) for p in spec.split(",") if p]
+    except ValueError:
+        raise SystemExit(
+            f"bad --add-net spec {spec!r} (expected PIN,PIN,...)"
+        )
+    if len(pins) < 2:
+        raise SystemExit(f"--add-net needs at least two pins: {spec!r}")
+    return pins
+
+
+def _cmd_eco(args: argparse.Namespace) -> int:
+    from repro.core.budget import STOP_DEADLINE, RouteBudget
+    from repro.core.result import Strategy
+    from repro.eco import EcoError, EcoSession
+    from repro.obs import JsonlSink
+
+    with open(args.board) as f:
+        board = read_board(f)
+    with open(args.connections) as f:
+        connections = read_connections(f)
+    workspace = RoutingWorkspace(board)
+    with open(args.routes_in) as f:
+        restored = load_routes(workspace, f)
+    config = RouterConfig(
+        radius=args.radius, cost=args.cost, workers=args.workers
+    )
+    if args.timeout is not None or args.per_connection_timeout is not None:
+        config = dataclasses.replace(
+            config,
+            budget=RouteBudget(
+                deadline_seconds=args.timeout,
+                per_connection_seconds=args.per_connection_timeout,
+            ),
+        )
+    if args.audit:
+        config = dataclasses.replace(config, audit=True)
+    sink = JsonlSink(args.trace) if args.trace else None
+    # Restored routes carry no strategy attribution in the dump format;
+    # PUTBACK ("kept as previously routed") is the honest label.
+    routed_by = {conn_id: Strategy.PUTBACK for conn_id in restored}
+    try:
+        with EcoSession(
+            board,
+            connections,
+            config=config,
+            sink=sink,
+            workspace=workspace,
+            routed_by=routed_by,
+        ) as session:
+            try:
+                for net_id in args.cut_net:
+                    stats = session.cut_nets([net_id])
+                    print(
+                        f"cut net {net_id}: {len(stats.dropped)} "
+                        f"connections dropped, {len(stats.ripped)} ripped"
+                    )
+                for part_id, origin in (
+                    _parse_move(spec) for spec in args.move_part
+                ):
+                    stats = session.move_part(part_id, origin)
+                    print(
+                        f"move part {part_id} -> {origin.vx},{origin.vy}: "
+                        f"{len(stats.invalidated)} invalidated, "
+                        f"{len(stats.cascades)} cascade rip-ups"
+                    )
+                for group in (
+                    _parse_pin_group(spec) for spec in args.add_net
+                ):
+                    stats = session.add_nets([group])
+                    print(
+                        f"add net over pins {group}: "
+                        f"{len(stats.added)} connections strung"
+                    )
+            except EcoError as exc:
+                print(f"ECO rejected: {exc}", file=sys.stderr)
+                return 2
+            response = session.reroute()
+            result = response.result
+            counters = response.counters
+            print(
+                f"eco reroute: {counters.get('eco_invalidated', 0)} "
+                f"invalidated, {counters.get('eco_reused', 0)} reused, "
+                f"{counters.get('eco_rerouted', 0)} rerouted"
+            )
+            if args.profile:
+                _print_profile_counters(counters, response.timings)
+            with open(args.routes_out, "w") as f:
+                save_routes(session.workspace, f)
+            if args.write_board:
+                with open(args.write_board, "w") as f:
+                    write_board(session.board, f)
+                print(f"wrote {args.write_board}")
+            if args.write_connections:
+                with open(args.write_connections, "w") as f:
+                    write_connections(session.connections, f)
+                print(f"wrote {args.write_connections}")
+            failed = result.failed
+            total = len(session.connections)
+    finally:
+        if sink is not None:
+            sink.close()
+    if sink is not None:
+        print(f"trace: {sink.emitted} events -> {args.trace}")
+    if failed:
+        reason = (
+            f" ({response.stopped_reason})" if response.stopped_reason else ""
+        )
+        print(
+            f"FAILED: {len(failed)} connections unrouted{reason}",
+            file=sys.stderr,
+        )
+        if response.stopped_reason == STOP_DEADLINE:
+            print(
+                f"partial result kept: {total - len(failed)}/{total} "
+                f"connections routed",
+                file=sys.stderr,
+            )
+            return 3
+        return 1
+    print(f"wrote {args.routes_out}")
+    return 0
+
+
+def _print_profile_counters(counters, timings) -> None:
+    """Print the eco reroute's timings and counters (``--profile``)."""
+    print("profile:")
+    for name, seconds in sorted(timings.items()):
+        print(f"  {name:<12} {seconds:>8.3f}s")
+    for counter, amount in sorted(counters.items()):
+        print(f"  {counter}: {amount}")
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     rows = []
     for name in TITAN_CONFIGS:
@@ -315,6 +466,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("connections")
     p.add_argument("routes")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "eco",
+        help="apply change orders to a routed board and reroute the "
+        "residue incrementally",
+    )
+    p.add_argument("board", help="input board file")
+    p.add_argument("connections", help="input connection file")
+    p.add_argument("routes_in", help="input route dump (the routed state)")
+    p.add_argument("routes_out", help="output route dump after the ECO")
+    p.add_argument(
+        "--move-part",
+        action="append",
+        default=[],
+        metavar="PART:VX,VY",
+        help="relocate part PART to via site (VX,VY); repeatable",
+    )
+    p.add_argument(
+        "--cut-net",
+        action="append",
+        type=int,
+        default=[],
+        metavar="NET",
+        help="remove signal net NET (rips its routes, frees its pins); "
+        "repeatable",
+    )
+    p.add_argument(
+        "--add-net",
+        action="append",
+        default=[],
+        metavar="PINS",
+        help="create a net over comma-separated free pin ids and string "
+        "it; repeatable",
+    )
+    p.add_argument(
+        "--write-board",
+        metavar="PATH",
+        default=None,
+        help="also write the post-ECO board (part moves and net edits "
+        "change it; required to verify/render the ECO'd routes)",
+    )
+    p.add_argument(
+        "--write-connections",
+        metavar="PATH",
+        default=None,
+        help="also write the post-ECO connection list (cuts shrink it, "
+        "adds grow it)",
+    )
+    p.add_argument("--radius", type=int, default=1)
+    p.add_argument(
+        "--cost",
+        default="distance_hops",
+        choices=["unit", "distance", "distance_hops"],
+    )
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--timeout", type=float, metavar="SECS", default=None)
+    p.add_argument(
+        "--per-connection-timeout", type=float, metavar="SECS", default=None
+    )
+    p.add_argument("--trace", metavar="PATH", default=None)
+    p.add_argument("--audit", action="store_true")
+    p.add_argument("--profile", action="store_true")
+    p.set_defaults(func=_cmd_eco)
 
     p = sub.add_parser("table1", help="run the Table 1 reproduction")
     p.add_argument("--scale", type=float, default=0.30)

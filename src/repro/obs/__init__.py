@@ -32,11 +32,16 @@ from repro.obs.events import (
     ConnectionFailed,
     ConnectionRouted,
     DegradedMode,
+    DeltaSync,
+    EcoBegin,
+    EcoInvalidate,
+    EcoReroute,
     ImproveAttempt,
     LeeExhausted,
     MergeDemoted,
     PassEnd,
     PassStart,
+    PoolStart,
     PutbackResult,
     RipUpVictims,
     RouteEvent,
@@ -45,6 +50,7 @@ from repro.obs.events import (
     WaveEnd,
     WaveStart,
     WorkerRetry,
+    WorkerSteal,
 )
 from repro.obs.sinks import (
     NULL_SINK,
@@ -63,6 +69,10 @@ __all__ = [
     "ConnectionFailed",
     "ConnectionRouted",
     "DegradedMode",
+    "DeltaSync",
+    "EcoBegin",
+    "EcoInvalidate",
+    "EcoReroute",
     "EventSink",
     "ImproveAttempt",
     "JsonlSink",
@@ -72,6 +82,7 @@ __all__ = [
     "NullSink",
     "PassEnd",
     "PassStart",
+    "PoolStart",
     "PutbackResult",
     "RestoreBlockedError",
     "RingBufferSink",
@@ -83,6 +94,7 @@ __all__ = [
     "WaveEnd",
     "WaveStart",
     "WorkerRetry",
+    "WorkerSteal",
     "WorkspaceAuditError",
     "WorkspaceAuditor",
 ]

@@ -340,3 +340,49 @@ class CacheStats(RouteEvent):
     misses: int
     hit_rate: float
     bypassed: int = 0
+
+
+@dataclass(frozen=True)
+class EcoBegin(RouteEvent):
+    """An ECO mutation started on a routed board: ``op`` is
+    ``"move_part"`` / ``"add_nets"`` / ``"cut_nets"`` and ``target``
+    the part id, net count or net id it applies to.  Emitted before any
+    state changes, so a trace brackets each edit exactly."""
+
+    kind: ClassVar[str] = "eco_begin"
+    op: str
+    target: int
+
+
+@dataclass(frozen=True)
+class EcoInvalidate(RouteEvent):
+    """One ECO mutation finished computing its invalidated connection
+    set: ``invalidated`` connections now need rerouting, of which
+    ``ripped`` had installed routes removed and ``cascades`` were
+    surviving routes ripped only because the edit collided with their
+    wiring (e.g. a moved pin landing on a trace)."""
+
+    kind: ClassVar[str] = "eco_invalidate"
+    op: str
+    invalidated: int
+    ripped: int
+    cascades: int
+
+
+@dataclass(frozen=True)
+class EcoReroute(RouteEvent):
+    """An incremental reroute completed: of ``total`` connections in
+    the session, ``reused`` kept their installed routes untouched,
+    ``rerouted`` were (re)routed by this call and ``failed`` remain
+    unrouted.  ``invalidated`` counts the connections the mutations
+    since the previous reroute marked dirty; ``fast_path`` is True when
+    nothing was pending and the router was never invoked."""
+
+    kind: ClassVar[str] = "eco_reroute"
+    total: int
+    invalidated: int
+    reused: int
+    rerouted: int
+    failed: int
+    fast_path: bool
+    seconds: float

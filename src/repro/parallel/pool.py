@@ -107,6 +107,8 @@ class WorkerPool:
         #: replayed to catch a respawned worker up to the current epoch.
         self._payload: Optional[bytes] = None
         self._sync_log: List[Tuple[int, bytes, Optional[str]]] = []
+        self._started = False
+        self._closed = False
         # Attribution counters, folded into the router profile.
         self.spawn_seconds = 0.0
         self.snapshot_bytes = 0
@@ -114,6 +116,33 @@ class WorkerPool:
         self.delta_ops = 0
         self.steals = 0
         self.respawns = 0
+
+    @property
+    def alive(self) -> bool:
+        """Started and not closed (dead workers are revived on demand)."""
+        return self._started and not self._closed
+
+    def drain_counters(self) -> dict:
+        """Return and reset the attribution counters.
+
+        A pool kept alive across routing calls (the ECO session's
+        mutate→reroute boundary) is folded into each call's profile;
+        draining prevents one call's bytes/steals from being counted
+        again by the next.
+        """
+        drained = {
+            "snapshot_bytes": self.snapshot_bytes,
+            "delta_bytes": self.delta_bytes,
+            "delta_ops": self.delta_ops,
+            "worker_steals": self.steals,
+            "worker_respawns": self.respawns,
+        }
+        self.snapshot_bytes = 0
+        self.delta_bytes = 0
+        self.delta_ops = 0
+        self.steals = 0
+        self.respawns = 0
+        return drained
 
     @property
     def start_method(self) -> str:
@@ -133,6 +162,7 @@ class WorkerPool:
         self._workers = [PoolWorker(i) for i in range(self.n_workers)]
         for worker in self._workers:
             self._start_worker(worker)
+        self._started = True
         self.spawn_seconds = time.perf_counter() - started
         if self.sink.enabled:
             self.sink.emit(
@@ -197,6 +227,7 @@ class WorkerPool:
 
     def close(self) -> None:
         """Stop every worker; called before the serial residue phase."""
+        self._closed = True
         for worker in self._workers:
             if worker.dead:
                 continue

@@ -111,6 +111,42 @@ class ParallelRouter:
         #: Optional externally-owned deadline clock (mirrors the serial
         #: router); normally None and created per route() call.
         self.budget_tracker = budget_tracker
+        #: Keep the worker pool alive past route() instead of closing
+        #: it: the ECO session sets this so the mutate→reroute loop
+        #: reuses one pool (claim it back with :meth:`release_pool`).
+        self.keep_pool = False
+        self._adopted_pool: Optional[WorkerPool] = None
+        self._kept_pool: Optional[WorkerPool] = None
+
+    # ------------------------------------------------------------------
+    # pool handoff (ECO session reuse)
+    # ------------------------------------------------------------------
+
+    def attach_pool(self, pool: Optional[WorkerPool]) -> None:
+        """Offer an already-running pool for the next route() call.
+
+        The pool is adopted only if it is alive, mirrors *this*
+        router's workspace object and matches the configured worker
+        count; otherwise it is closed and a fresh pool spawns as usual.
+        The caller must have synchronized the pool to the workspace's
+        current state (see :meth:`RoutingWorkspace.drain_delta`).
+        """
+        self._adopted_pool = pool
+
+    def release_pool(self) -> Optional[WorkerPool]:
+        """Claim the surviving pool after a ``keep_pool`` route() call.
+
+        Returns None when no pool survived (auto-serial with no prior
+        pool, inline fallback, parity fallback, or ``keep_pool`` unset
+        — in which case the pool was closed).
+        """
+        pool, self._kept_pool = self._kept_pool, None
+        if pool is None:
+            # route() may never have touched the pool (auto-serial or a
+            # waveless call); hand an adopted pool back rather than
+            # leaking it.  Its replicas catch up at the next sync.
+            pool, self._adopted_pool = self._adopted_pool, None
+        return pool
 
     # ------------------------------------------------------------------
     # wave execution
@@ -260,17 +296,35 @@ class ParallelRouter:
         def run_wave(groups: List[WaveGroup]) -> List[GroupResult]:
             nonlocal pool, inline
             if pool is None and not inline:
-                try:
-                    with self.profile.measure("pool_spawn"):
-                        candidate = WorkerPool(
-                            ws, cfg, cfg.workers, sink=sink
-                        )
-                        candidate.start()
-                    pool = candidate
-                except (OSError, PermissionError):
-                    # No subprocesses available (restricted
-                    # environments): route in-process instead.
-                    inline = True
+                adopted, self._adopted_pool = self._adopted_pool, None
+                if (
+                    adopted is not None
+                    and adopted.alive
+                    and adopted.workspace is ws
+                    and adopted.n_workers == cfg.workers
+                ):
+                    pool = adopted
+                else:
+                    if adopted is not None:
+                        adopted.close()
+                    try:
+                        with self.profile.measure("pool_spawn"):
+                            if ws.delta_active:
+                                # A continuous (ECO) recording may hold
+                                # ops already baked into the snapshot
+                                # the new workers are about to receive;
+                                # drop them so the first sync does not
+                                # replay them twice.
+                                ws.drain_delta()
+                            candidate = WorkerPool(
+                                ws, cfg, cfg.workers, sink=sink
+                            )
+                            candidate.start()
+                        pool = candidate
+                    except (OSError, PermissionError):
+                        # No subprocesses available (restricted
+                        # environments): route in-process instead.
+                        inline = True
             wcfg = self._wave_config(wave_cfg, tracker)
             if inline:
                 return self._run_inline(groups, wcfg, result, tracker)
@@ -290,11 +344,16 @@ class ParallelRouter:
 
             The delta is recorded around the merge (the only master
             mutations between waves), so the broadcast carries exactly
-            what this wave changed.  The last wave never syncs: the
-            pool is about to be closed.
+            what this wave changed.  The last wave syncs only when the
+            pool outlives this call (``keep_pool``); otherwise it is
+            about to be closed.  Under an external continuous recording
+            (the ECO session's), the log is *drained* at each sync
+            point rather than opened and closed around the merge, so
+            the session's own mutations never slip between windows.
             """
-            recording = pool is not None and not last
-            if recording:
+            external = ws.delta_active
+            recording = pool is not None and (not last or self.keep_pool)
+            if recording and not external:
                 ws.begin_delta()
             try:
                 with self.profile.measure("merge"):
@@ -302,7 +361,10 @@ class ParallelRouter:
                         ws, group_results, result, rank, sink=sink
                     )
             finally:
-                delta = ws.end_delta() if recording else None
+                if recording:
+                    delta = ws.drain_delta() if external else ws.end_delta()
+                else:
+                    delta = None
             if delta:
                 digest = ws.state_digest() if cfg.audit else None
                 with self.profile.measure("delta_sync"):
@@ -415,14 +477,13 @@ class ParallelRouter:
                         self._audit(f"wave {result.waves} merge")
         finally:
             if pool is not None:
-                pool.close()
-                for counter, amount in (
-                    ("snapshot_bytes", pool.snapshot_bytes),
-                    ("delta_bytes", pool.delta_bytes),
-                    ("delta_ops", pool.delta_ops),
-                    ("worker_steals", pool.steals),
-                    ("worker_respawns", pool.respawns),
-                ):
+                if self.keep_pool:
+                    # The ECO session reclaims it via release_pool();
+                    # its replicas sit at the post-merge sync state.
+                    self._kept_pool = pool
+                else:
+                    pool.close()
+                for counter, amount in pool.drain_counters().items():
                     if amount:
                         self.profile.bump(counter, amount)
 
@@ -551,6 +612,11 @@ class ParallelRouter:
         )
         result = serial.route(connections)
         self.profile.merge(serial.profile)
+        if self._kept_pool is not None:
+            # The kept pool mirrors the *discarded* workspace; a reroute
+            # against the fresh one could never sync it coherently.
+            self._kept_pool.close()
+            self._kept_pool = None
         if (
             result.stopped_reason == STOP_DEADLINE
             and result.routed_count < attempt.routed_count

@@ -1,6 +1,14 @@
-"""Shared fixtures: small boards and workspaces used across the suite."""
+"""Shared fixtures: small boards and workspaces used across the suite.
+
+Also owns the hypothesis example-count scaling: every property test
+writes ``max_examples=scaled(N)`` and the nightly workflow raises
+``GRR_HYPOTHESIS_SCALE`` to multiply N across the whole suite without
+touching the per-test baselines CI runs with.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -9,6 +17,13 @@ from repro.board.nets import Connection
 from repro.board.parts import PinRole, sip_package
 from repro.channels.workspace import RoutingWorkspace
 from repro.grid.coords import ViaPoint
+
+_HYPOTHESIS_SCALE = max(1, int(os.environ.get("GRR_HYPOTHESIS_SCALE", "1")))
+
+
+def scaled(max_examples: int) -> int:
+    """Per-test hypothesis example count times the suite-wide scale."""
+    return max_examples * _HYPOTHESIS_SCALE
 
 
 @pytest.fixture

@@ -12,6 +12,8 @@ from hypothesis import strategies as st
 from repro.channels.alternatives import MovingHeadChannel, TreeChannel
 from repro.channels.channel import Channel, ChannelConflictError
 
+from tests.conftest import scaled
+
 SPAN = 60
 
 interval = st.tuples(
@@ -70,7 +72,7 @@ class Reference:
 
 
 @given(st.lists(interval, min_size=1, max_size=30))
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scaled(200), deadline=None)
 def test_three_structures_agree_on_adds_and_probes(ops):
     """Channel, MovingHeadChannel and TreeChannel behave identically."""
     impls = [Channel(), MovingHeadChannel(), TreeChannel()]
@@ -101,7 +103,7 @@ def test_three_structures_agree_on_adds_and_probes(ops):
     st.lists(interval, min_size=1, max_size=25),
     st.sets(st.integers(0, 3), max_size=2),
 )
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=scaled(150), deadline=None)
 def test_passable_gaps_match_reference(ops, passable_set):
     """Passable-owner gap merging matches the per-cell model."""
     channel = Channel()
@@ -119,7 +121,7 @@ def test_passable_gaps_match_reference(ops, passable_set):
 
 
 @given(st.lists(interval, min_size=1, max_size=30), st.randoms())
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=scaled(150), deadline=None)
 def test_invariants_survive_add_remove_cycles(ops, rng):
     """Random interleaved removes keep the channel sorted and disjoint."""
     channel = Channel()
@@ -142,7 +144,7 @@ def test_invariants_survive_add_remove_cycles(ops, rng):
 
 
 @given(st.lists(interval, min_size=1, max_size=20))
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled(100), deadline=None)
 def test_gap_at_consistent_with_free_gaps(ops):
     """gap_at(x) must contain x and agree with clipped free_gaps."""
     channel = Channel()

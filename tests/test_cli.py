@@ -202,3 +202,83 @@ class TestParser:
     def test_unknown_config_rejected(self, files):
         with pytest.raises(SystemExit):
             main(["generate", files["board"], "--config", "nope"])
+
+
+class TestEco:
+    def _routed_fixture(self, files):
+        assert main(
+            [
+                "generate", files["board"],
+                "--config", "tna", "--scale", "0.25", "--seed", "3",
+            ]
+        ) == 0
+        assert main(["string", files["board"], files["conns"]]) == 0
+        assert main(
+            ["route", files["board"], files["conns"], files["routes"]]
+        ) == 0
+
+    def test_eco_cut_move_add_roundtrip(self, files, tmp_path, capsys):
+        self._routed_fixture(files)
+        board2 = str(tmp_path / "eco.board")
+        conns2 = str(tmp_path / "eco.conns")
+        routes2 = str(tmp_path / "eco.routes")
+        # Net 0's pins become free after the cut; re-add a net over
+        # some of them (ECL restringing reclaims a terminator itself).
+        from repro.io import read_board
+
+        with open(files["board"]) as f:
+            board = read_board(f)
+        from repro.board.parts import PinRole
+
+        net = board.nets[0]
+        keep = [
+            p for p in net.pin_ids
+            if board.pins[p].role is not PinRole.TERMINATOR
+        ]
+        assert main(
+            [
+                "eco", files["board"], files["conns"], files["routes"],
+                routes2,
+                "--cut-net", "0",
+                "--move-part", "0:0,0",
+                "--add-net", ",".join(str(p) for p in keep),
+                "--write-board", board2,
+                "--write-connections", conns2,
+                "--audit", "--profile",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "eco reroute:" in out
+        assert "eco_rerouted" in out
+        # The ECO'd outputs verify as a coherent routed board.
+        assert main(["verify", board2, conns2, routes2]) == 0
+        assert "VERDICT: PASS" in capsys.readouterr().out
+
+    def test_eco_noop_is_fast_path(self, files, capsys):
+        self._routed_fixture(files)
+        routes2 = files["routes"] + ".out"
+        assert main(
+            [
+                "eco", files["board"], files["conns"], files["routes"],
+                routes2,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 rerouted" in out
+
+    def test_eco_rejects_bad_specs(self, files):
+        self._routed_fixture(files)
+        routes2 = files["routes"] + ".out"
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "eco", files["board"], files["conns"],
+                    files["routes"], routes2, "--move-part", "junk",
+                ]
+            )
+        assert main(
+            [
+                "eco", files["board"], files["conns"], files["routes"],
+                routes2, "--cut-net", "999",
+            ]
+        ) == 2

@@ -30,7 +30,7 @@ from repro.core.ripup import put_back, rip_up
 from repro.core.router import GreedyRouter
 from repro.grid.coords import ViaPoint
 
-from tests.conftest import make_connection
+from tests.conftest import make_connection, scaled
 
 
 def _route_one(board, a, b, conn_id=0):
@@ -227,7 +227,7 @@ pin_sites = st.lists(
 
 
 @given(pin_sites, st.lists(delta_op, min_size=1, max_size=24))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled(60), deadline=None)
 def test_snapshot_plus_folded_deltas_is_canonical_state(sites, ops):
     """The property the pool's correctness reduces to.
 

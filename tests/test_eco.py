@@ -1,0 +1,392 @@
+"""EcoSession: incremental ECO re-routing on a routed board.
+
+Covers the invalidation bookkeeping (move/cut/add), the no-edit fast
+path, rip-up cascades when a moved pin lands on surviving wiring,
+budget-degraded partial reroutes, attribution carry-over, and — behind
+the slow marker — kept-pool parity across the mutate→reroute boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import RouteRequest, begin_eco, reroute, route
+from repro.board.board import Board, PlacementError
+from repro.board.parts import PinRole, sip_package
+from repro.core.budget import STOP_DEADLINE, RouteBudget
+from repro.core.result import Strategy
+from repro.core.router import RouterConfig
+from repro.eco import EcoError, EcoSession
+from repro.grid.coords import ViaPoint
+from repro.obs.sinks import RingBufferSink
+from repro.stringer import Stringer
+from repro.verify import check_connectivity
+from repro.workloads import make_titan_board
+
+from tests.conftest import make_connection
+from tests.helpers import assert_workspace_consistent
+
+
+def _routed_session(scale=0.25, seed=3, sink=None, config=None):
+    """Cold-route a small titan board and open an ECO session on it."""
+    board = make_titan_board("tna", scale=scale, seed=seed)
+    connections = Stringer(board).string_all()
+    request = RouteRequest(
+        board=board,
+        connections=connections,
+        config=config or RouterConfig(),
+        sink=sink,
+    )
+    response = route(request)
+    assert response.result.complete
+    return begin_eco(request, response), request, response
+
+
+def _free_destination(board, part_id):
+    """A nearby vacant origin for the part, or None."""
+    part = board.parts[part_id]
+    own = {p.pin_id for p in part.pins}
+    for dx in range(-4, 5):
+        for dy in range(-4, 5):
+            if dx == dy == 0:
+                continue
+            dest = ViaPoint(part.origin.vx + dx, part.origin.vy + dy)
+            if all(
+                board.grid.contains_via(
+                    ViaPoint(dest.vx + ox, dest.vy + oy)
+                )
+                and board._occupied.get(
+                    ViaPoint(dest.vx + ox, dest.vy + oy), -1
+                )
+                in own | {-1}
+                for ox, oy in part.package.pin_offsets
+            ):
+                return dest
+    return None
+
+
+class TestFastPath:
+    def test_noop_reroute_never_builds_a_router(self):
+        sink = RingBufferSink(capacity=4096)
+        session, _, cold = _routed_session(sink=sink)
+        with session:
+            before = dict(session.workspace.records)
+            response = session.reroute()
+            assert session.workspace.records == before
+            assert response.counters["eco_rerouted"] == 0
+            assert response.counters["eco_reused"] == len(
+                session.connections
+            )
+            assert response.stopped_reason is None
+            # Attribution survives the no-op verbatim.
+            assert response.result.routed_by == cold.result.routed_by
+        fast = [e for e in sink.events if e.kind == "eco_reroute"]
+        assert fast and fast[-1].fast_path
+
+    def test_facade_reroute_delegates(self):
+        session, _, _ = _routed_session()
+        with session:
+            response = reroute(session)
+            assert response.counters["eco_rerouted"] == 0
+
+    def test_closed_session_rejects_edits(self):
+        session, _, _ = _routed_session()
+        session.close()
+        with pytest.raises(EcoError, match="closed"):
+            session.reroute()
+
+
+class TestCutNets:
+    def test_cut_unrouted_net_is_pure_bookkeeping(self, empty_board):
+        board = empty_board
+        conn = make_connection(board, ViaPoint(3, 3), ViaPoint(15, 11))
+        with EcoSession(board, [conn]) as session:
+            stats = session.cut_nets([conn.net_id])
+            assert stats.ripped == ()
+            assert stats.dropped == (conn.conn_id,)
+            assert session.connections == []
+            assert board.pins[conn.pin_a].net_id == -1
+            assert board.pins[conn.pin_b].net_id == -1
+            response = session.reroute()
+            assert response.counters["eco_rerouted"] == 0
+
+    def test_cut_routed_net_rips_and_frees_pins(self):
+        session, _, _ = _routed_session()
+        with session:
+            net = next(
+                n
+                for n in session.board.signal_nets
+                if len(n.pin_ids) >= 2
+            )
+            pin_ids = list(net.pin_ids)
+            stats = session.cut_nets([net.net_id])
+            assert stats.ripped  # it was routed
+            assert set(stats.ripped) <= set(stats.dropped)
+            for conn_id in stats.dropped:
+                assert not session.workspace.is_routed(conn_id)
+            assert all(
+                session.board.pins[p].net_id == -1 for p in pin_ids
+            )
+            assert net.pin_ids == []  # tombstone
+            assert_workspace_consistent(session.workspace)
+            report = check_connectivity(
+                session.board, session.workspace, session.connections
+            )
+            assert report.fully_connected
+
+    def test_cut_rejects_power_nets_and_unknown_ids(self):
+        session, _, _ = _routed_session()
+        with session:
+            with pytest.raises(EcoError, match="unknown net"):
+                session.cut_nets([999])
+            power = session.board.power_nets
+            if power:
+                with pytest.raises(EcoError, match="not a signal net"):
+                    session.cut_nets([power[0].net_id])
+
+
+class TestAddNets:
+    def test_cut_then_readd_restrings_and_reroutes(self):
+        session, _, _ = _routed_session()
+        with session:
+            net = next(
+                n
+                for n in session.board.signal_nets
+                if len(n.pin_ids) >= 3
+            )
+            # Keep only the non-terminator pins: re-stringing an ECL net
+            # claims a (possibly different) free terminator itself.
+            pins = [
+                p
+                for p in net.pin_ids
+                if session.board.pins[p].role is not PinRole.TERMINATOR
+            ]
+            session.cut_nets([net.net_id])
+            stats = session.add_nets([pins])
+            assert stats.added == stats.invalidated
+            assert len(stats.added) >= len(pins) - 1
+            new_ids = set(stats.added)
+            assert new_ids <= set(session.pending)
+            # Fresh ids never collide with existing connections.
+            existing = {c.conn_id for c in session.connections}
+            assert len(existing) == len(session.connections)
+            response = session.reroute()
+            assert response.result.complete
+            assert response.counters["eco_rerouted"] >= len(stats.added)
+            report = check_connectivity(
+                session.board, session.workspace, session.connections
+            )
+            assert report.fully_connected
+
+    def test_add_over_claimed_pins_rejected(self):
+        session, _, _ = _routed_session()
+        with session:
+            net = session.board.signal_nets[0]
+            with pytest.raises(EcoError, match="already belongs"):
+                session.add_nets([list(net.pin_ids[:2])])
+
+
+class TestMovePart:
+    def test_move_invalidates_incident_connections(self):
+        sink = RingBufferSink(capacity=4096)
+        session, _, _ = _routed_session(sink=sink)
+        with session:
+            part_id = next(
+                p.part_id
+                for p in session.board.parts
+                if _free_destination(session.board, p.part_id)
+                and any(pin.net_id != -1 for pin in p.pins)
+            )
+            dest = _free_destination(session.board, part_id)
+            pin_ids = {
+                p.pin_id for p in session.board.parts[part_id].pins
+            }
+            incident = {
+                c.conn_id
+                for c in session.connections
+                if c.pin_a in pin_ids or c.pin_b in pin_ids
+            }
+            stats = session.move_part(part_id, dest)
+            assert incident <= set(stats.invalidated)
+            assert set(stats.ripped) <= incident
+            # Endpoints now point at the new pin sites.
+            for conn in session.connections:
+                if conn.pin_a in pin_ids:
+                    assert conn.a == session.board.pins[conn.pin_a].position
+                if conn.pin_b in pin_ids:
+                    assert conn.b == session.board.pins[conn.pin_b].position
+            response = session.reroute()
+            assert response.result.complete
+            assert response.counters["eco_invalidated"] == len(
+                stats.invalidated
+            )
+            assert_workspace_consistent(session.workspace)
+            report = check_connectivity(
+                session.board, session.workspace, session.connections
+            )
+            assert report.fully_connected
+        kinds = [e.kind for e in sink.events]
+        assert "eco_begin" in kinds and "eco_invalidate" in kinds
+
+    def test_move_onto_surviving_route_cascades(self, empty_board):
+        board = empty_board
+        # A straight route along row 3, plus an idle two-pin part far
+        # away; moving the part onto the route's path must rip it.
+        conn = make_connection(board, ViaPoint(2, 3), ViaPoint(16, 3))
+        victim = make_connection(
+            board, ViaPoint(2, 10), ViaPoint(16, 10), conn_id=1
+        )
+        request = RouteRequest(board=board, connections=[conn, victim])
+        response = route(request)
+        assert response.result.complete
+        with begin_eco(request, response) as session:
+            # The part owning conn's *a* pin stays; move victim's a-pin
+            # part onto the straight route between conn's endpoints.
+            part_id = board.pins[victim.pin_a].part_id
+            stats = session.move_part(part_id, ViaPoint(9, 3))
+            assert conn.conn_id in stats.cascades
+            assert conn.conn_id in stats.invalidated
+            assert not session.workspace.is_routed(conn.conn_id)
+            response = session.reroute()
+            assert response.result.complete
+            report = check_connectivity(
+                board, session.workspace, session.connections
+            )
+            assert report.fully_connected
+
+    def test_move_onto_pin_rejected_atomically(self, empty_board):
+        board = empty_board
+        conn = make_connection(board, ViaPoint(3, 3), ViaPoint(15, 11))
+        request = RouteRequest(board=board, connections=[conn])
+        response = route(request)
+        with begin_eco(request, response) as session:
+            part_id = board.pins[conn.pin_a].part_id
+            origin_before = board.parts[part_id].origin
+            with pytest.raises(EcoError, match="occupied"):
+                session.move_part(part_id, ViaPoint(15, 11))
+            # Nothing changed: placement, routes, bookkeeping.
+            assert board.parts[part_id].origin == origin_before
+            assert session.workspace.is_routed(conn.conn_id)
+            assert session.pending == []
+        with pytest.raises(PlacementError):
+            board.move_part(part_id, ViaPoint(15, 11))
+
+    def test_move_off_board_rejected(self, empty_board):
+        board = empty_board
+        conn = make_connection(board, ViaPoint(3, 3), ViaPoint(15, 11))
+        with EcoSession(board, [conn]) as session:
+            with pytest.raises(EcoError, match="off the board"):
+                session.move_part(
+                    board.pins[conn.pin_a].part_id, ViaPoint(-5, 3)
+                )
+
+    def test_unknown_part_rejected(self, empty_board):
+        with EcoSession(empty_board, []) as session:
+            with pytest.raises(EcoError, match="unknown part"):
+                session.move_part(99, ViaPoint(0, 0))
+
+
+class TestBudgetedReroute:
+    def test_deadline_returns_clean_partial(self):
+        board = make_titan_board("tna", scale=0.30, seed=5)
+        connections = Stringer(board).string_all()
+        with EcoSession(board, connections) as session:
+            response = session.reroute(
+                budget=RouteBudget(deadline_seconds=0.0)
+            )
+            assert response.stopped_reason == STOP_DEADLINE
+            assert session.pending  # clock ran out before completion
+            assert_workspace_consistent(session.workspace)
+            # The partial is resumable: a second, unbudgeted reroute
+            # finishes the job on the same warm workspace.
+            response = session.reroute()
+            assert response.result.complete
+            assert session.pending == []
+            report = check_connectivity(
+                board, session.workspace, session.connections
+            )
+            assert report.fully_connected
+
+    def test_budget_override_is_per_call(self):
+        session, _, _ = _routed_session()
+        with session:
+            session.reroute(budget=RouteBudget(deadline_seconds=0.0))
+            assert session.config.budget.deadline_seconds is None
+
+
+class TestAttribution:
+    def test_routed_by_spans_survivors_and_residue(self):
+        session, _, cold = _routed_session()
+        with session:
+            part_id = next(
+                p.part_id
+                for p in session.board.parts
+                if _free_destination(session.board, p.part_id)
+                and any(pin.net_id != -1 for pin in p.pins)
+            )
+            stats = session.move_part(
+                part_id, _free_destination(session.board, part_id)
+            )
+            response = session.reroute()
+            assert response.result.complete
+            # Every routed connection has an attribution, survivors
+            # keep their cold-route strategy.
+            routed_by = response.result.routed_by
+            assert set(routed_by) == {
+                c.conn_id for c in session.connections
+            }
+            for conn_id, strategy in cold.result.routed_by.items():
+                if conn_id not in stats.invalidated:
+                    assert routed_by[conn_id] == strategy
+
+    def test_putback_seed_for_restored_dumps(self, empty_board):
+        board = empty_board
+        conn = make_connection(board, ViaPoint(3, 3), ViaPoint(15, 11))
+        request = RouteRequest(board=board, connections=[conn])
+        response = route(request)
+        session = EcoSession(
+            board,
+            [conn],
+            workspace=response.result.workspace,
+            routed_by={conn.conn_id: Strategy.PUTBACK, 99: Strategy.LEE},
+        )
+        with session:
+            # Attribution for unrouted ids is dropped at adoption.
+            response = session.reroute()
+            assert response.result.routed_by == {
+                conn.conn_id: Strategy.PUTBACK
+            }
+
+
+@pytest.mark.slow
+class TestKeptPoolParity:
+    def test_pool_survives_mutate_reroute_cycles(self):
+        sink = RingBufferSink(capacity=65536)
+        config = RouterConfig(workers=2, pool_auto_serial=False, audit=True)
+        board = make_titan_board("kdj11_4l", scale=0.30, seed=7)
+        connections = Stringer(board).string_all()
+        request = RouteRequest(
+            board=board, connections=connections, config=config, sink=sink
+        )
+        response = route(request)
+        assert response.result.complete
+        with begin_eco(request, response) as session:
+            for part_id in (3, 5):
+                dest = _free_destination(board, part_id)
+                assert dest is not None
+                session.move_part(part_id, dest)
+                response = session.reroute()
+                assert response.result.complete
+                # The kept pool stayed coherent: no worker had to be
+                # retried or respawned to absorb the ECO delta.
+                assert response.result.worker_retries == 0
+                assert response.counters.get("worker_respawns", 0) == 0
+                assert session.pool_alive
+            report = check_connectivity(
+                board, session.workspace, session.connections
+            )
+            assert report.fully_connected
+        assert not session.pool_alive
+        # One pool for the cold route, one adopted across both reroutes.
+        starts = [e for e in sink.events if e.kind == "pool_start"]
+        assert len(starts) == 2

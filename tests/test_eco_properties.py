@@ -1,0 +1,154 @@
+"""Property fuzz: ECO-rerouted state equals the from-scratch state.
+
+Arbitrary mutate/reroute sequences over a small sparse board must leave
+the session in exactly the state a cold route of the final (mutated)
+problem would reach:
+
+* the mutation *substrate* is exact — replaying the surviving route
+  records onto a fresh workspace reproduces the session workspace's
+  canonical state bit for bit (nothing leaks, nothing is forgotten);
+* the final reroute matches the from-scratch route on the routed set
+  and on full net connectivity (the routes themselves may legitimately
+  differ — warm state changes exploration order, not correctness).
+
+Each step also runs the structural helpers, so any via-map or channel
+drift inside the ECO mutators fails loudly at the step that caused it.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board.board import Board
+from repro.board.parts import PinRole, sip_package
+from repro.board.technology import LogicFamily
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.router import GreedyRouter
+from repro.eco import EcoError, EcoSession
+from repro.grid.coords import ViaPoint
+from repro.stringer import Stringer
+from repro.verify import check_connectivity
+
+from tests.helpers import assert_workspace_consistent
+
+from tests.conftest import scaled
+
+N_PARTS = 6
+
+
+def _build_board() -> Board:
+    """A sparse 18x14 board: six 2-pin TTL parts, three strung nets.
+
+    TTL keeps the stringer out of terminator bookkeeping, so cut/add
+    sequences stay valid for any pin subset the fuzz picks.
+    """
+    board = Board.create(
+        via_nx=18, via_ny=14, n_signal_layers=2, name="eco-fuzz"
+    )
+    origins = [
+        ViaPoint(2, 2), ViaPoint(9, 2), ViaPoint(15, 2),
+        ViaPoint(2, 10), ViaPoint(9, 10), ViaPoint(15, 10),
+    ]
+    for origin in origins:
+        board.add_part(
+            sip_package(2), origin, roles=[PinRole.OUTPUT, PinRole.INPUT]
+        )
+    for a, b in ((0, 7), (2, 9), (4, 11)):
+        board.add_net([a, b], family=LogicFamily.TTL)
+    return board
+
+
+mutation = st.one_of(
+    st.tuples(
+        st.just("move"),
+        st.integers(0, N_PARTS - 1),
+        st.integers(-3, 3),
+        st.integers(-3, 3),
+    ),
+    st.tuples(st.just("cut"), st.integers(0, 9)),
+    st.tuples(
+        st.just("add"), st.integers(0, 2 * N_PARTS - 1),
+        st.integers(0, 2 * N_PARTS - 1),
+    ),
+    st.tuples(st.just("reroute"), st.just(0)),
+)
+
+
+def _apply(session: EcoSession, op) -> None:
+    """Apply one fuzz op, skipping the ones the board legally rejects."""
+    board = session.board
+    if op[0] == "move":
+        _, part_id, dx, dy = op
+        origin = board.parts[part_id].origin
+        try:
+            session.move_part(
+                part_id, ViaPoint(origin.vx + dx, origin.vy + dy)
+            )
+        except EcoError:
+            pass  # off-board / occupied / immovable: legal rejection
+    elif op[0] == "cut":
+        _, pick = op
+        live = [n.net_id for n in board.signal_nets if n.pin_ids]
+        if live:
+            session.cut_nets([live[pick % len(live)]])
+    elif op[0] == "add":
+        _, pa, pb = op
+        free = [p.pin_id for p in board.pins if p.net_id == -1]
+        if len(free) >= 2:
+            a = free[pa % len(free)]
+            b = free[pb % len(free)]
+            if a != b:
+                session.add_nets([[a, b]], family=LogicFamily.TTL)
+    else:
+        session.reroute()
+
+
+@given(st.lists(mutation, min_size=1, max_size=12))
+@settings(max_examples=scaled(40), deadline=None)
+def test_eco_state_matches_from_scratch(ops: List[tuple]) -> None:
+    board = _build_board()
+    connections = Stringer(board).string_all()
+    router = GreedyRouter(board)
+    result = router.route(connections)
+    assert result.complete
+
+    with EcoSession(
+        board,
+        connections,
+        workspace=router.workspace,
+        routed_by=result.routed_by,
+    ) as session:
+        for op in ops:
+            _apply(session, op)
+            assert_workspace_consistent(session.workspace)
+        response = session.reroute()
+        ws = session.workspace
+        assert_workspace_consistent(ws)
+
+        # Substrate exactness: surviving records replayed onto a fresh
+        # workspace over the *mutated* board reproduce the canonical
+        # wiring state bit for bit.
+        replay = RoutingWorkspace(board)
+        for conn_id in sorted(ws.records):
+            assert replay.restore_record(ws.records[conn_id])
+        assert replay.canonical_state() == ws.canonical_state()
+
+        # Outcome parity with a from-scratch route of the final problem
+        # (fresh workspace, same mutated board and connection list).
+        cold = GreedyRouter(board)
+        cold_result = cold.route(copy.deepcopy(session.connections))
+        assert set(ws.records) == set(cold.workspace.records)
+        assert response.result.complete == cold_result.complete
+        eco_report = check_connectivity(board, ws, session.connections)
+        cold_report = check_connectivity(
+            board, cold.workspace, session.connections
+        )
+        assert eco_report.fully_connected == cold_report.fully_connected
+        if response.result.complete:
+            assert eco_report.fully_connected
+        # Attribution covers exactly the routed set.
+        assert set(response.result.routed_by) == set(ws.records)

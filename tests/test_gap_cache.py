@@ -34,7 +34,7 @@ from repro.obs.sinks import RingBufferSink
 from repro.stringer import Stringer
 from repro.workloads import BoardSpec, NetlistSpec, generate_board
 
-from tests.conftest import make_connection
+from tests.conftest import make_connection, scaled
 
 SPAN = 40
 N_CHANNELS = 3
@@ -74,7 +74,7 @@ op = st.one_of(
 
 
 @given(st.booleans(), st.lists(op, min_size=1, max_size=60))
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scaled(200), deadline=None)
 def test_cache_reads_equal_fresh_recompute(graduated, ops):
     """Every cache read under interleaved add/remove/probe sequences
     equals a fresh ``Channel.free_gaps`` recompute — on probation
@@ -118,7 +118,7 @@ def test_cache_reads_equal_fresh_recompute(graduated, ops):
 
 
 @given(st.lists(interval, min_size=1, max_size=25))
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled(100), deadline=None)
 def test_disabled_cache_matches_recompute(ops):
     """``enabled=False`` must bypass memoization but stay correct."""
     layer = _StubLayer(n_channels=1)

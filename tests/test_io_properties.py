@@ -19,6 +19,8 @@ from repro.io import (
     write_connections,
 )
 
+from tests.conftest import scaled
+
 ROLES = list(PinRole)
 
 
@@ -60,7 +62,7 @@ def board_strategy(draw):
 
 
 @given(board_strategy())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled(60), deadline=None)
 def test_board_roundtrip(board):
     buf = io.StringIO()
     write_board(board, buf)
@@ -96,7 +98,7 @@ connection_strategy = st.builds(
 
 
 @given(st.lists(connection_strategy, max_size=30))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled(60), deadline=None)
 def test_connections_roundtrip(connections):
     buf = io.StringIO()
     write_connections(connections, buf)

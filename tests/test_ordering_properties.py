@@ -8,6 +8,8 @@ from repro.core.cost import distance_cost, distance_hops_cost, unit_cost
 from repro.core.sorting import minimal_path_count, sort_connections
 from repro.grid.coords import ViaPoint, manhattan
 
+from tests.conftest import scaled
+
 separation = st.tuples(st.integers(0, 40), st.integers(0, 40))
 
 
@@ -23,7 +25,7 @@ def _conn(conn_id, sep):
 
 
 @given(st.lists(separation, min_size=2, max_size=20))
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=scaled(150), deadline=None)
 def test_sort_is_total_and_stable(separations):
     connections = [_conn(i, s) for i, s in enumerate(separations)]
     ordered = sort_connections(connections)
@@ -35,7 +37,7 @@ def test_sort_is_total_and_stable(separations):
 
 
 @given(separation, separation)
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scaled(200), deadline=None)
 def test_straighter_never_sorts_after_equal_length_diagonal(s1, s2):
     """Among equal-Manhattan-length connections, the straighter one (fewer
     minimal paths) sorts first."""
@@ -56,7 +58,7 @@ def test_straighter_never_sorts_after_equal_length_diagonal(s1, s2):
     st.tuples(st.integers(0, 30), st.integers(0, 30)),
     st.integers(1, 6),
 )
-@settings(max_examples=200, deadline=None)
+@settings(max_examples=scaled(200), deadline=None)
 def test_cost_functions_basic_laws(n_xy, m_xy, target_xy, hops):
     n, m, target = ViaPoint(*n_xy), ViaPoint(*m_xy), ViaPoint(*target_xy)
     # Non-negativity.
@@ -81,7 +83,7 @@ def test_cost_functions_basic_laws(n_xy, m_xy, target_xy, hops):
 
 
 @given(st.integers(0, 15), st.integers(0, 15))
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled(100), deadline=None)
 def test_minimal_path_count_recurrence(dx, dy):
     """Pascal's recurrence: paths(dx,dy) = paths(dx-1,dy) + paths(dx,dy-1)."""
     if dx == 0 or dy == 0:

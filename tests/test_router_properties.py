@@ -19,6 +19,8 @@ from repro.grid.coords import ViaPoint
 
 from tests.helpers import assert_result_valid
 
+from tests.conftest import scaled
+
 VIA_NX, VIA_NY = 14, 12
 
 
@@ -70,7 +72,7 @@ def build(positions, layers):
 
 
 @given(routing_problem())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled(60), deadline=None)
 def test_routed_connections_are_always_valid(problem):
     positions, layers, radius, cost = problem
     board, connections = build(positions, layers)
@@ -85,7 +87,7 @@ def test_routed_connections_are_always_valid(problem):
 
 
 @given(routing_problem())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=scaled(30), deadline=None)
 def test_empty_board_problems_route_completely(problem):
     # With at most 6 connections on an otherwise empty multi-layer board,
     # the strategy stack should never fail.
@@ -98,7 +100,7 @@ def test_empty_board_problems_route_completely(problem):
 
 
 @given(routing_problem())
-@settings(max_examples=30, deadline=None)
+@settings(max_examples=scaled(30), deadline=None)
 def test_unlimited_budget_never_changes_routing(problem):
     # The budget machinery's zero-overhead contract: a run with huge
     # (never-exhausted) wall-clock limits takes every checkpoint branch
@@ -129,7 +131,7 @@ def test_unlimited_budget_never_changes_routing(problem):
 
 
 @given(routing_problem())
-@settings(max_examples=20, deadline=None)
+@settings(max_examples=scaled(20), deadline=None)
 def test_rip_up_preserves_validity(problem):
     positions, layers, radius, cost = problem
     board, connections = build(positions, layers)

@@ -10,6 +10,8 @@ from repro.board.parts import PinRole, sip_package
 from repro.grid.coords import ViaPoint, manhattan
 from repro.stringer import Stringer
 
+from tests.conftest import scaled
+
 VIA_N = 24
 
 
@@ -53,7 +55,7 @@ def _build(n_outputs, n_inputs, positions):
 
 
 @given(net_problem())
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled(100), deadline=None)
 def test_chain_covers_every_pin_once(problem):
     n_outputs, n_inputs, positions = problem
     board, net, pins = _build(n_outputs, n_inputs, positions)
@@ -67,7 +69,7 @@ def test_chain_covers_every_pin_once(problem):
 
 
 @given(net_problem())
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled(100), deadline=None)
 def test_outputs_precede_inputs(problem):
     n_outputs, n_inputs, positions = problem
     board, net, pins = _build(n_outputs, n_inputs, positions)
@@ -83,7 +85,7 @@ def test_outputs_precede_inputs(problem):
 
 
 @given(net_problem())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled(60), deadline=None)
 def test_nearest_neighbor_invariant(problem):
     """Each input hop goes to the nearest *remaining* input pin.
 
@@ -106,7 +108,7 @@ def test_nearest_neighbor_invariant(problem):
 
 
 @given(net_problem())
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled(60), deadline=None)
 def test_terminator_is_near_chain_end(problem):
     """The terminator is the nearest free one to the chain's last pin."""
     n_outputs, n_inputs, positions = problem

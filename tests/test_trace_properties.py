@@ -21,6 +21,8 @@ from repro.channels.workspace import RoutingWorkspace
 from repro.core.single_layer import reachable_vias, trace
 from repro.grid.coords import GridPoint
 
+from tests.conftest import scaled
+
 VIA_N = 6  # 16x16 routing grid
 
 
@@ -77,7 +79,7 @@ def _bfs_reachable(cells, start) -> Set[Tuple[int, int]]:
     st.integers(0, 15), st.integers(0, 15),
     st.integers(0, 1),
 )
-@settings(max_examples=120, deadline=None)
+@settings(max_examples=scaled(120), deadline=None)
 def test_trace_agrees_with_cell_bfs(segments, ax, ay, bx, by, layer_index):
     board, ws = _workspace()
     _install(ws, segments)
@@ -110,7 +112,7 @@ def test_trace_agrees_with_cell_bfs(segments, ax, ay, bx, by, layer_index):
     st.integers(0, VIA_N - 1), st.integers(0, VIA_N - 1),
     st.integers(0, 2),
 )
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=scaled(80), deadline=None)
 def test_vias_agree_with_cell_bfs(segments, avx, avy, radius):
     """Every via Vias() reports must be BFS-reachable in the strip, and
     every free BFS-reachable via site in the strip must be reported."""

@@ -26,7 +26,7 @@ from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Box
 from repro.obs import WorkspaceAuditor
 
-from tests.conftest import make_connection
+from tests.conftest import make_connection, scaled
 from tests.helpers import assert_workspace_consistent
 
 VIA_N = 5
@@ -56,7 +56,7 @@ operation = st.one_of(
 
 
 @given(st.lists(operation, min_size=1, max_size=30), st.randoms())
-@settings(max_examples=100, deadline=None)
+@settings(max_examples=scaled(100), deadline=None)
 def test_via_map_never_drifts(ops, rng):
     board = Board.create(via_nx=VIA_N, via_ny=VIA_N, n_signal_layers=2)
     ws = RoutingWorkspace(board)
@@ -107,7 +107,7 @@ def test_via_map_never_drifts(ops, rng):
 
 
 @given(st.lists(operation, min_size=1, max_size=25))
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=scaled(80), deadline=None)
 def test_full_unwind_restores_empty_board(ops):
     board = Board.create(via_nx=VIA_N, via_ny=VIA_N, n_signal_layers=2)
     ws = RoutingWorkspace(board)
@@ -182,7 +182,7 @@ pin_sites = st.lists(
 
 
 @given(pin_sites, st.lists(router_op, min_size=1, max_size=20))
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=scaled(60), deadline=None)
 def test_router_operations_never_break_invariants(sites, ops):
     """Random route / rip-up / putback / improve sequences audit clean.
 

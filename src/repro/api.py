@@ -120,6 +120,36 @@ def route(request: RouteRequest) -> RouteResponse:
     )
 
 
+def request_from_text(
+    board_text: str,
+    connections_text: str,
+    *,
+    budget: Optional[RouteBudget] = None,
+    config: Optional[RouterConfig] = None,
+    sink: Optional[EventSink] = None,
+) -> RouteRequest:
+    """Build a :class:`RouteRequest` from the :mod:`repro.io` text formats.
+
+    The service boundary (``repro.serve``, or any caller shipping boards
+    over a wire) moves boards and connection lists as the same text the
+    CLI reads and writes; this is the one place that decoding happens,
+    so the wire format and the file format can never drift apart.
+    """
+    import io
+
+    from repro.io import read_board, read_connections
+
+    board = read_board(io.StringIO(board_text))
+    connections = read_connections(io.StringIO(connections_text))
+    return RouteRequest(
+        board=board,
+        connections=tuple(connections),
+        budget=budget,
+        config=config,
+        sink=sink,
+    )
+
+
 def begin_eco(request: RouteRequest, response: RouteResponse):
     """Open an ECO session over a completed :func:`route` call.
 

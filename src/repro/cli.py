@@ -11,6 +11,8 @@ Subcommands mirror the original toolchain:
 * ``grr table1``   — run the whole Table 1 reproduction.
 * ``grr eco``      — apply engineering change orders to a routed board
   and incrementally reroute only what the edits invalidated.
+* ``grr serve``    — long-lived routing service over HTTP with warm
+  ECO sessions, admission control and SSE event streaming.
 
 Every command reads/writes the text formats of :mod:`repro.io`.
 """
@@ -370,6 +372,27 @@ def _print_profile_counters(counters, timings) -> None:
         print(f"  {counter}: {amount}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import JsonlSink
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_concurrent=args.max_concurrent,
+        max_queue_depth=args.queue_depth,
+        default_deadline_seconds=args.timeout,
+        session_ttl_seconds=args.idle_ttl,
+    )
+    sink = JsonlSink(args.trace) if args.trace else None
+    try:
+        return run_server(config, sink=sink)
+    finally:
+        if sink is not None:
+            sink.close()
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     rows = []
     for name in TITAN_CONFIGS:
@@ -529,6 +552,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--audit", action="store_true")
     p.add_argument("--profile", action="store_true")
     p.set_defaults(func=_cmd_eco)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve routing over HTTP with warm ECO sessions "
+        "(POST /route, /eco/*; GET /jobs, /healthz)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8747)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="default worker processes per routing job (1 = serial)",
+    )
+    p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=2,
+        help="routing jobs allowed to run at once",
+    )
+    p.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="jobs allowed to wait for a slot; beyond this the server "
+        "answers 429 with a Retry-After hint",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECS",
+        default=60.0,
+        help="default wall-clock budget per routing job (requests may "
+        "ask for less, never for more than the server cap)",
+    )
+    p.add_argument(
+        "--idle-ttl",
+        type=float,
+        metavar="SECS",
+        default=300.0,
+        help="evict warm sessions idle longer than this (worker pools "
+        "and caches are freed on eviction)",
+    )
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write serve_* lifecycle events as JSONL to PATH",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("table1", help="run the Table 1 reproduction")
     p.add_argument("--scale", type=float, default=0.30)

@@ -92,6 +92,9 @@ class EcoStats:
     dropped: Tuple[int, ...] = ()
     #: Connections created by this edit (add_nets).
     added: Tuple[int, ...] = ()
+    #: Net ids this edit created (add_nets) or removed (cut_nets) —
+    #: the handle a remote caller needs to cut what it just added.
+    net_ids: Tuple[int, ...] = ()
 
 
 class EcoSession:
@@ -149,13 +152,20 @@ class EcoSession:
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Release the kept worker pool and stop delta recording."""
+        """Release the kept worker pool and stop delta recording.
+
+        Idempotent, and the delta recording is ended even when the pool
+        teardown raises — a reused workspace must never keep recording
+        ops unboundedly because a close went half way.
+        """
         self._closed = True
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
-        if self.workspace.delta_active:
-            self.workspace.end_delta()
+        pool, self._pool = self._pool, None
+        try:
+            if pool is not None:
+                pool.close()
+        finally:
+            if self.workspace.delta_active:
+                self.workspace.end_delta()
 
     def __enter__(self) -> "EcoSession":
         return self
@@ -286,11 +296,13 @@ class EcoSession:
             self.sink.emit(EcoBegin("add_nets", len(pin_groups)))
         stringer = Stringer(self.board)
         added: List[int] = []
+        new_nets: List[int] = []
         for pin_ids in pin_groups:
             try:
                 net = self.board.add_net(list(pin_ids), family=family)
             except ValueError as exc:
                 raise EcoError(str(exc)) from exc
+            new_nets.append(net.net_id)
             chain = stringer.string_net(net)
             new_conns = stringer.connections_for_chain(
                 net, chain, start_id=self._next_conn_id
@@ -305,6 +317,7 @@ class EcoSession:
             op="add_nets",
             invalidated=tuple(added),
             added=tuple(added),
+            net_ids=tuple(new_nets),
         )
 
     def cut_nets(self, net_ids: Sequence[int]) -> EcoStats:
@@ -355,6 +368,7 @@ class EcoSession:
             op="cut_nets",
             ripped=tuple(ripped),
             dropped=tuple(dropped),
+            net_ids=tuple(sorted(cut)),
         )
 
     # ------------------------------------------------------------------
@@ -427,7 +441,22 @@ class EcoSession:
             router.keep_pool = True
             router.attach_pool(self._pool)
             self._pool = None
-        result = router.route(list(self.connections))
+        try:
+            result = router.route(list(self.connections))
+        except BaseException:
+            # The route died mid-flight (KeyboardInterrupt, a raising
+            # sink, a worker-path escape).  The handed-off pool would
+            # otherwise leak its worker processes — and the continuous
+            # delta recording, now without a consumer, would accumulate
+            # ops forever on a reused workspace.  Reclaim both before
+            # re-raising; the session stays open but cold.
+            if parallel:
+                stranded = router.release_pool()
+                if stranded is not None:
+                    stranded.close()
+            if ws.delta_active:
+                ws.end_delta()
+            raise
         rerouted = len(result.routed_by)
         if parallel:
             self._pool = router.release_pool()
@@ -492,6 +521,17 @@ class EcoSession:
     def pool_alive(self) -> bool:
         """True while a kept worker pool survives between reroutes."""
         return self._pool is not None and self._pool.alive
+
+    @property
+    def pool_pids(self) -> List[int]:
+        """Process ids of the kept pool's live workers (bookkeeping).
+
+        The serving layer uses this to prove clean shutdown: after
+        :meth:`close`, every pid listed here must be gone.
+        """
+        if self._pool is not None and self._pool.alive:
+            return self._pool.pids()
+        return []
 
     def _check_open(self) -> None:
         if self._closed:

@@ -46,6 +46,10 @@ from repro.obs.events import (
     RipUpVictims,
     RouteEvent,
     SearchCapHit,
+    ServeAccept,
+    ServeAdmit,
+    ServeEvict,
+    ServeReject,
     StrategyAttempt,
     WaveEnd,
     WaveStart,
@@ -89,6 +93,10 @@ __all__ = [
     "RipUpVictims",
     "RouteEvent",
     "SearchCapHit",
+    "ServeAccept",
+    "ServeAdmit",
+    "ServeEvict",
+    "ServeReject",
     "StrategyAttempt",
     "Violation",
     "WaveEnd",

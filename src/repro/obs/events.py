@@ -34,6 +34,10 @@ kind                emitted when
 ``delta_sync``      a workspace delta was broadcast to the pool
 ``worker_steal``    an idle pool worker took a group from the deque
 ``auto_serial``     the size heuristic routed the board serially
+``serve_accept``    the routing service received a job-creating request
+``serve_admit``     the admission controller let a job start routing
+``serve_reject``    an overloaded service answered 429 + retry-after
+``serve_evict``     an idle warm session hit its TTL and was closed
 ==================  ====================================================
 """
 
@@ -340,6 +344,58 @@ class CacheStats(RouteEvent):
     misses: int
     hit_rate: float
     bypassed: int = 0
+
+
+@dataclass(frozen=True)
+class ServeAccept(RouteEvent):
+    """The routing service received a request that creates a job:
+    ``endpoint`` is the request path (``/route`` / ``/eco/begin`` /
+    ``/eco/reroute``), ``job_id`` the id assigned, ``session`` the warm
+    session the job targets (empty for stateless cold routes).  Emitted
+    before the admission decision, so accepts = admits + rejects."""
+
+    kind: ClassVar[str] = "serve_accept"
+    endpoint: str
+    job_id: str
+    session: str = ""
+
+
+@dataclass(frozen=True)
+class ServeAdmit(RouteEvent):
+    """The admission controller let job ``job_id`` start routing after
+    ``queued_seconds`` in the bounded queue (0.0 when a slot was free
+    immediately); ``running`` counts jobs routing concurrently
+    including this one."""
+
+    kind: ClassVar[str] = "serve_admit"
+    job_id: str
+    queued_seconds: float
+    running: int
+
+
+@dataclass(frozen=True)
+class ServeReject(RouteEvent):
+    """The service refused a job instead of queueing without bound:
+    ``running`` jobs were routing and ``queued`` waiting when the
+    request arrived, so it was answered with HTTP 429 and a
+    ``retry_after`` hint (seconds) derived from observed job times."""
+
+    kind: ClassVar[str] = "serve_reject"
+    endpoint: str
+    running: int
+    queued: int
+    retry_after: float
+
+
+@dataclass(frozen=True)
+class ServeEvict(RouteEvent):
+    """A warm session sat idle past the server's TTL and was closed
+    (worker pool released, delta recording ended) after
+    ``idle_seconds`` without a request."""
+
+    kind: ClassVar[str] = "serve_evict"
+    session: str
+    idle_seconds: float
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,7 @@ The contract is deliberately tiny so emit sites stay cheap:
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from typing import IO, Iterator, List, Optional, Union
 
@@ -73,24 +74,39 @@ class RingBufferSink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Append events as JSON lines to a file or stream (``--trace``)."""
+    """Append events as JSON lines to a file or stream (``--trace``).
+
+    Lifecycle contract (a long-lived service keeps sinks around, so it
+    must be explicit, not an ``assert`` that vanishes under ``-O``):
+
+    * :meth:`emit` after :meth:`close` raises :class:`RuntimeError` —
+      an event stream that silently loses its tail is worse than a
+      loud caller bug.
+    * :meth:`close` is idempotent and safe under concurrent callers:
+      exactly one caller flushes and (when the sink opened the path
+      itself) closes the underlying stream; the rest are no-ops.
+    """
 
     def __init__(self, target: Union[str, IO[str]]) -> None:
         self._owns_stream = isinstance(target, str)
         self._stream: Optional[IO[str]] = (
             open(target, "w") if isinstance(target, str) else target
         )
+        self._close_lock = threading.Lock()
         self.emitted = 0
 
     def emit(self, event: RouteEvent) -> None:
-        assert self._stream is not None, "sink is closed"
-        self._stream.write(json.dumps(event.to_dict()) + "\n")
+        stream = self._stream
+        if stream is None:
+            raise RuntimeError("JsonlSink is closed")
+        stream.write(json.dumps(event.to_dict()) + "\n")
         self.emitted += 1
 
     def close(self) -> None:
-        if self._stream is None:
+        with self._close_lock:
+            stream, self._stream = self._stream, None
+        if stream is None:
             return
-        self._stream.flush()
+        stream.flush()
         if self._owns_stream:
-            self._stream.close()
-        self._stream = None
+            stream.close()

@@ -149,30 +149,52 @@ class WorkerPool:
         """``"fork"`` or ``"spawn"``."""
         return "fork" if self._forked else "spawn"
 
+    def pids(self) -> List[int]:
+        """Live worker process ids.
+
+        Process bookkeeping for callers that must prove no workers
+        outlive them (the serve smoke test's orphan check): every pid
+        returned here must be dead once the pool is closed.
+        """
+        return [
+            worker.proc.pid
+            for worker in self._workers
+            if not worker.dead and worker.proc is not None
+        ]
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def start(self) -> None:
-        """Spawn every worker (the one full-snapshot moment of a call)."""
+        """Spawn every worker (the one full-snapshot moment of a call).
+
+        Never leaks on failure: if any spawn (or the ``pool_start``
+        emit) raises, every worker already running is torn back down
+        before the exception propagates.
+        """
         started = time.perf_counter()
-        if not self._forked:
-            self._payload = pool_payload(self.workspace)
-            self.snapshot_bytes = len(self._payload)
-        self._workers = [PoolWorker(i) for i in range(self.n_workers)]
-        for worker in self._workers:
-            self._start_worker(worker)
-        self._started = True
-        self.spawn_seconds = time.perf_counter() - started
-        if self.sink.enabled:
-            self.sink.emit(
-                PoolStart(
-                    self.n_workers,
-                    self.start_method,
-                    self.snapshot_bytes,
-                    self.spawn_seconds,
+        try:
+            if not self._forked:
+                self._payload = pool_payload(self.workspace)
+                self.snapshot_bytes = len(self._payload)
+            self._workers = [PoolWorker(i) for i in range(self.n_workers)]
+            for worker in self._workers:
+                self._start_worker(worker)
+            self._started = True
+            self.spawn_seconds = time.perf_counter() - started
+            if self.sink.enabled:
+                self.sink.emit(
+                    PoolStart(
+                        self.n_workers,
+                        self.start_method,
+                        self.snapshot_bytes,
+                        self.spawn_seconds,
+                    )
                 )
-            )
+        except BaseException:
+            self.close()
+            raise
 
     def _start_worker(self, worker: PoolWorker) -> None:
         """(Re)start one worker at the master's current sync state."""

@@ -1,0 +1,773 @@
+"""The routing service: HTTP endpoints over warm sessions and jobs.
+
+Endpoint surface (see ``docs/API.md`` → "Serving"):
+
+=======================  ==============================================
+``POST /route``          admission-controlled cold route of one board
+``POST /eco/begin``      cold-route (or adopt) a board into a named
+                         warm session
+``POST /eco/mutate``     apply ECO ops (move/cut/add) to a session
+``POST /eco/reroute``    admission-controlled incremental reroute
+``POST /eco/end``        close a session (also ``DELETE /sessions/{n}``)
+``GET /sessions``        list warm sessions
+``GET /jobs/{id}``       job state + result payload
+``GET /jobs/{id}/events``  the job's routing event stream as SSE
+``GET /healthz``         capacity, counters, process bookkeeping
+=======================  ==============================================
+
+Threading model: the event loop owns all bookkeeping (jobs, sessions,
+admission); routing runs in a bounded thread pool sized to the
+admission ``max_concurrent``, so an admitted job always has a thread.
+Each job gets an :class:`AsyncSink` bridging its event stream back to
+SSE subscribers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import os
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.api import begin_eco, request_from_text, route as api_route
+from repro.board.technology import LogicFamily
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.profiling import RouterProfile
+from repro.core.result import Strategy
+from repro.core.router import RouterConfig
+from repro.eco import EcoError, EcoSession
+from repro.grid.coords import ViaPoint
+from repro.io import load_routes, save_routes
+from repro.obs.events import ServeAccept, ServeAdmit, ServeEvict, ServeReject
+from repro.obs.sinks import NULL_SINK, EventSink
+from repro.serve.admission import AdmissionController, AdmissionRejected
+from repro.serve.config import ServeConfig
+from repro.serve.http import (
+    HttpError,
+    Request,
+    error_payload,
+    read_request,
+    retry_after_header,
+    send_json,
+    send_sse,
+    start_sse,
+)
+from repro.serve.jobs import Job, JobRegistry
+from repro.serve.sessions import ManagedSession, SessionManager
+from repro.serve.sink import AsyncSink
+
+
+#: Live servers whose fds must be closed inside forked worker processes.
+#:
+#: A warm session's kept pool forks from the server process, inheriting
+#: every open fd — including the accepted client socket of the very
+#: request that triggered the fork.  The server finishes and closes its
+#: copy, but the long-lived worker still holds the fd, so the client
+#: never sees EOF (and after shutdown the workers would keep the port
+#: bound).  Transient pools exit quickly and mask the bug; kept pools
+#: pin the socket for their whole lifetime.  The after-fork hook below
+#: runs in each fresh worker and drops every inherited server fd.
+_LIVE_SERVERS: "weakref.WeakSet[RoutingServer]" = weakref.WeakSet()
+_AFTER_FORK_REGISTERED = False
+
+
+def _close_server_fds_after_fork(servers) -> None:
+    # Runs inside the forked worker process, never in the server.
+    for server in list(servers):
+        server._close_fds_in_child()
+
+
+def _register_after_fork_hook() -> None:
+    global _AFTER_FORK_REGISTERED
+    if _AFTER_FORK_REGISTERED:
+        return
+    from multiprocessing import util as mp_util
+
+    mp_util.register_after_fork(_LIVE_SERVERS, _close_server_fds_after_fork)
+    _AFTER_FORK_REGISTERED = True
+
+
+def _require_str(body: Dict[str, object], field: str) -> str:
+    value = body.get(field)
+    if not isinstance(value, str) or not value:
+        raise HttpError(400, f"missing or non-string field {field!r}")
+    return value
+
+
+def _router_config(body: Dict[str, object], default_workers: int):
+    """Per-request router knobs: worker count + pool heuristic override."""
+    import dataclasses
+
+    try:
+        workers = int(body.get("workers", default_workers))
+    except (TypeError, ValueError):
+        raise HttpError(400, "workers must be an integer")
+    config = RouterConfig(workers=workers)
+    if "pool_auto_serial" in body:
+        config = dataclasses.replace(
+            config, pool_auto_serial=bool(body["pool_auto_serial"])
+        )
+    return config
+
+
+def _optional_timeout(body: Dict[str, object]) -> Optional[float]:
+    value = body.get("timeout")
+    if value is None:
+        return None
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise HttpError(400, "timeout must be a number")
+
+
+class RoutingServer:
+    """The long-lived routing service (one instance per process)."""
+
+    def __init__(
+        self, config: ServeConfig, sink: Optional[EventSink] = None
+    ) -> None:
+        self.config = config
+        #: Server-level event stream (``serve_*`` events — an access
+        #: log when pointed at a JsonlSink).  Per-job routing events go
+        #: to each job's AsyncSink instead.
+        self.sink = sink if sink is not None else NULL_SINK
+        #: serve_accepts / serve_admits / serve_rejects / serve_evicts
+        #: counters, mirroring the four serve events one-for-one.
+        self.profile = RouterProfile()
+        self.jobs = JobRegistry(config.max_jobs_retained)
+        self.sessions = SessionManager(config.session_ttl_seconds)
+        self.admission = AdmissionController(
+            config.max_concurrent, config.max_queue_depth
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.max_concurrent,
+            thread_name_prefix="grr-serve",
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._evictor: Optional[asyncio.Task] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._started_at = time.time()
+        self.address: Optional[Tuple[str, int]] = None
+        #: fds a forked worker must close (listener + open client
+        #: connections); see :data:`_LIVE_SERVERS`.
+        self._tracked_fds: Set[int] = set()
+        _LIVE_SERVERS.add(self)
+        _register_after_fork_hook()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port)."""
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.time()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+        if self.config.session_ttl_seconds is not None:
+            self._evictor = asyncio.create_task(self._evict_loop())
+        for sock in self._server.sockets:
+            self._tracked_fds.add(sock.fileno())
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    def _close_fds_in_child(self) -> None:
+        """Drop inherited server fds; runs in forked workers only."""
+        for fd in list(self._tracked_fds):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._tracked_fds.clear()
+
+    async def shutdown(self) -> None:
+        """Graceful stop: finish running jobs, close every session.
+
+        After this returns, no worker process the server created is
+        alive — sessions close their kept pools, and per-job pools
+        never outlive their routing call.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._evictor is not None:
+            self._evictor.cancel()
+            try:
+                await self._evictor
+            except asyncio.CancelledError:
+                pass
+            self._evictor = None
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self.sessions.close_all()
+        self._executor.shutdown(wait=True)
+
+    def worker_pids(self) -> List[int]:
+        """Pids of every worker process warm sessions keep alive.
+
+        The clean-shutdown check: after :meth:`shutdown`, every pid
+        this returned must be dead (per-job pools are closed by the
+        routing call itself, so sessions are the only keepers).
+        """
+        pids: Set[int] = set()
+        for name in self.sessions.names():
+            managed = self.sessions.get(name)
+            if managed is not None and managed.ready:
+                pids.update(managed.session.pool_pids)
+        return sorted(pids)
+
+    async def _evict_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.evict_interval_seconds)
+            for name, idle in self.sessions.evict_idle():
+                if self.sink.enabled:
+                    self.sink.emit(ServeEvict(name, round(idle, 3)))
+                self.profile.bump("serve_evicts")
+
+    # ------------------------------------------------------------------
+    # job machinery
+    # ------------------------------------------------------------------
+
+    def _accept(
+        self, endpoint: str, kind: str, session: str = ""
+    ) -> Tuple[Job, Optional[asyncio.Future]]:
+        """Create a job and make the admission decision, 429 on full."""
+        sink = AsyncSink(self._loop, capacity=self.config.event_capacity)
+        job = self.jobs.create(kind, sink, session=session)
+        if self.sink.enabled:
+            self.sink.emit(ServeAccept(endpoint, job.job_id, session))
+        self.profile.bump("serve_accepts")
+        try:
+            grant = self.admission.reserve()
+        except AdmissionRejected as exc:
+            if self.sink.enabled:
+                self.sink.emit(
+                    ServeReject(
+                        endpoint,
+                        exc.running,
+                        exc.queued,
+                        round(exc.retry_after, 3),
+                    )
+                )
+            self.profile.bump("serve_rejects")
+            job.state = "failed"
+            job.error = str(exc)
+            job.finished = time.time()
+            job.sink.close()
+            self.jobs.finish(job)
+            raise HttpError(
+                429, str(exc), headers=retry_after_header(exc.retry_after)
+            )
+        return job, grant
+
+    async def _execute_job(
+        self,
+        job: Job,
+        grant: Optional[asyncio.Future],
+        work,
+        managed: Optional[ManagedSession] = None,
+    ) -> None:
+        """Run one admitted (or queued) job to completion."""
+        loop = self._loop
+        try:
+            if grant is not None:
+                job.state = "queued"
+                waited_from = loop.time()
+                try:
+                    await grant
+                except asyncio.CancelledError:
+                    self.admission.abandon(grant)
+                    job.state = "failed"
+                    job.error = "cancelled while queued"
+                    return
+                job.queued_seconds = loop.time() - waited_from
+            job.state = "running"
+            job.started = time.time()
+            if self.sink.enabled:
+                self.sink.emit(
+                    ServeAdmit(
+                        job.job_id,
+                        round(job.queued_seconds, 6),
+                        self.admission.running,
+                    )
+                )
+            self.profile.bump("serve_admits")
+            ran_from = loop.time()
+            try:
+                if managed is not None:
+                    async with managed.lock:
+                        job.result = await loop.run_in_executor(
+                            self._executor, work
+                        )
+                        self.sessions.touch(managed)
+                else:
+                    job.result = await loop.run_in_executor(
+                        self._executor, work
+                    )
+                job.state = "done"
+            except Exception as exc:  # job failure is a job outcome
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+            finally:
+                self.admission.release(loop.time() - ran_from)
+        finally:
+            job.finished = time.time()
+            job.sink.close()
+            self.jobs.finish(job)
+
+    def _spawn(self, coro) -> asyncio.Task:
+        task = asyncio.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    @staticmethod
+    def _route_payload(response, workspace, include_routes: bool) -> Dict:
+        result = response.result
+        payload: Dict[str, object] = {
+            "total": result.total_count,
+            "routed": result.routed_count,
+            "failed": len(result.failed),
+            "complete": result.complete,
+            "stopped_reason": response.stopped_reason,
+            "elapsed_seconds": round(response.elapsed_seconds, 6),
+            "counters": dict(response.counters),
+        }
+        if include_routes:
+            buffer = io.StringIO()
+            save_routes(workspace, buffer)
+            payload["routes"] = buffer.getvalue()
+        return payload
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    async def _handle_route(self, request: Request, writer) -> None:
+        body = request.json()
+        board_text = _require_str(body, "board")
+        connections_text = _require_str(body, "connections")
+        router_config = _router_config(body, self.config.workers)
+        include_routes = bool(body.get("include_routes", False))
+        wait = bool(body.get("wait", True))
+        budget = self.config.budget_for(_optional_timeout(body))
+        job, grant = self._accept("/route", "route")
+        sink = job.sink
+
+        def work() -> Dict:
+            req = request_from_text(
+                board_text,
+                connections_text,
+                budget=budget,
+                config=router_config,
+                sink=sink,
+            )
+            response = api_route(req)
+            return self._route_payload(
+                response, response.result.workspace, include_routes
+            )
+
+        task = self._spawn(self._execute_job(job, grant, work))
+        if wait:
+            await asyncio.shield(task)
+            status = 200 if job.state == "done" else 500
+            await send_json(writer, status, job.to_dict())
+        else:
+            await send_json(writer, 202, job.to_dict(include_result=False))
+
+    async def _handle_eco_begin(self, request: Request, writer) -> None:
+        body = request.json()
+        name = _require_str(body, "session")
+        board_text = _require_str(body, "board")
+        connections_text = _require_str(body, "connections")
+        routes_text = body.get("routes")
+        router_config = _router_config(body, self.config.workers)
+        include_routes = bool(body.get("include_routes", False))
+        budget = self.config.budget_for(_optional_timeout(body))
+        try:
+            managed = self.sessions.reserve(name)
+        except KeyError:
+            raise HttpError(409, f"session {name!r} already exists")
+
+        if isinstance(routes_text, str):
+            # Adoption: the routed state ships with the request; no
+            # routing happens, so no admission slot is needed.
+            def adopt() -> Dict:
+                req = request_from_text(
+                    board_text,
+                    connections_text,
+                    config=router_config,
+                )
+                workspace = RoutingWorkspace(req.board)
+                restored = load_routes(workspace, io.StringIO(routes_text))
+                session = EcoSession(
+                    req.board,
+                    list(req.connections),
+                    config=req.resolved_config,
+                    workspace=workspace,
+                    routed_by={
+                        conn_id: Strategy.PUTBACK for conn_id in restored
+                    },
+                )
+                self.sessions.fulfill(managed, session)
+                return {
+                    "session": name,
+                    "adopted": len(restored),
+                    "total": len(req.connections),
+                }
+
+            try:
+                payload = await self._loop.run_in_executor(None, adopt)
+            except Exception:
+                self.sessions.abort(managed)
+                raise
+            await send_json(writer, 200, payload)
+            return
+
+        job, grant = None, None
+        try:
+            job, grant = self._accept("/eco/begin", "eco-begin", session=name)
+        except HttpError:
+            self.sessions.abort(managed)
+            raise
+        sink = job.sink
+
+        def work() -> Dict:
+            req = request_from_text(
+                board_text,
+                connections_text,
+                budget=budget,
+                config=router_config,
+                sink=sink,
+            )
+            response = api_route(req)
+            session = begin_eco(req, response)
+            self.sessions.fulfill(managed, session)
+            payload = self._route_payload(
+                response, session.workspace, include_routes
+            )
+            payload["session"] = name
+            return payload
+
+        task = self._spawn(self._execute_job(job, grant, work))
+        await asyncio.shield(task)
+        if job.state != "done":
+            self.sessions.abort(managed)
+            await send_json(writer, 500, job.to_dict())
+            return
+        await send_json(writer, 200, job.to_dict())
+
+    def _session_or_404(self, name: str) -> ManagedSession:
+        managed = self.sessions.get(name)
+        if managed is None:
+            raise HttpError(404, f"no session {name!r}")
+        if not managed.ready:
+            raise HttpError(409, f"session {name!r} is still being created")
+        return managed
+
+    async def _handle_eco_mutate(self, request: Request, writer) -> None:
+        body = request.json()
+        name = _require_str(body, "session")
+        ops = body.get("ops")
+        if not isinstance(ops, list) or not ops:
+            raise HttpError(400, "ops must be a non-empty list")
+        managed = self._session_or_404(name)
+        parsed = [self._parse_op(op) for op in ops]
+
+        def work() -> List[Dict]:
+            session = managed.session
+            out: List[Dict] = []
+            for apply_op in parsed:
+                stats = apply_op(session)
+                out.append(
+                    {
+                        "op": stats.op,
+                        "invalidated": list(stats.invalidated),
+                        "ripped": list(stats.ripped),
+                        "cascades": list(stats.cascades),
+                        "dropped": list(stats.dropped),
+                        "added": list(stats.added),
+                        "net_ids": list(stats.net_ids),
+                    }
+                )
+            return out
+
+        async with managed.lock:
+            try:
+                applied = await self._loop.run_in_executor(None, work)
+            except EcoError as exc:
+                raise HttpError(422, f"ECO rejected: {exc}")
+            finally:
+                self.sessions.touch(managed)
+        await send_json(
+            writer,
+            200,
+            {
+                "session": name,
+                "applied": applied,
+                "pending": len(managed.session.pending),
+            },
+        )
+
+    @staticmethod
+    def _parse_op(op):
+        """Validate one mutation op eagerly; returns session -> EcoStats."""
+        if not isinstance(op, dict):
+            raise HttpError(400, "each op must be an object")
+        kind = op.get("op")
+        if kind == "move_part":
+            try:
+                part_id = int(op["part"])
+                to = op["to"]
+                origin = ViaPoint(int(to[0]), int(to[1]))
+            except (KeyError, TypeError, ValueError, IndexError):
+                raise HttpError(
+                    400, 'move_part needs {"part": id, "to": [vx, vy]}'
+                )
+            return lambda session: session.move_part(part_id, origin)
+        if kind == "cut_nets":
+            try:
+                nets = [int(n) for n in op["nets"]]
+            except (KeyError, TypeError, ValueError):
+                raise HttpError(400, 'cut_nets needs {"nets": [id, ...]}')
+            return lambda session: session.cut_nets(nets)
+        if kind == "add_nets":
+            try:
+                groups = [
+                    [int(p) for p in group] for group in op["pin_groups"]
+                ]
+                family = LogicFamily[str(op.get("family", "ECL")).upper()]
+            except (KeyError, TypeError, ValueError):
+                raise HttpError(
+                    400, 'add_nets needs {"pin_groups": [[pin, ...], ...]}'
+                )
+            return lambda session: session.add_nets(groups, family=family)
+        raise HttpError(400, f"unknown op {kind!r}")
+
+    async def _handle_eco_reroute(self, request: Request, writer) -> None:
+        body = request.json()
+        name = _require_str(body, "session")
+        include_routes = bool(body.get("include_routes", False))
+        wait = bool(body.get("wait", True))
+        budget = self.config.budget_for(_optional_timeout(body))
+        managed = self._session_or_404(name)
+        job, grant = self._accept("/eco/reroute", "eco", session=name)
+        sink = job.sink
+
+        def work() -> Dict:
+            session = managed.session
+            previous_sink = session.sink
+            session.sink = sink
+            try:
+                response = session.reroute(budget=budget)
+            finally:
+                session.sink = previous_sink
+            payload = self._route_payload(
+                response, session.workspace, include_routes
+            )
+            payload["session"] = name
+            payload["pool_alive"] = session.pool_alive
+            return payload
+
+        task = self._spawn(
+            self._execute_job(job, grant, work, managed=managed)
+        )
+        if wait:
+            await asyncio.shield(task)
+            status = 200 if job.state == "done" else 500
+            await send_json(writer, status, job.to_dict())
+        else:
+            await send_json(writer, 202, job.to_dict(include_result=False))
+
+    async def _handle_eco_end(self, name: str, writer) -> None:
+        managed = self.sessions.get(name)
+        if managed is None:
+            raise HttpError(404, f"no session {name!r}")
+        async with managed.lock:
+            closed = self.sessions.close(name)
+        await send_json(writer, 200, {"session": name, "closed": closed})
+
+    async def _handle_sessions(self, writer) -> None:
+        rows = []
+        for name in self.sessions.names():
+            managed = self.sessions.get(name)
+            if managed is None:
+                continue
+            row: Dict[str, object] = {
+                "session": name,
+                "ready": managed.ready,
+                "idle_seconds": round(self.sessions.idle_seconds(managed), 3),
+                "busy": managed.lock.locked(),
+            }
+            if managed.ready:
+                row["connections"] = len(managed.session.connections)
+                row["pending"] = len(managed.session.pending)
+                row["pool_alive"] = managed.session.pool_alive
+            rows.append(row)
+        await send_json(writer, 200, {"sessions": rows})
+
+    async def _handle_job(self, job_id: str, writer) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no job {job_id!r}")
+        await send_json(writer, 200, job.to_dict())
+
+    async def _handle_job_events(
+        self, job_id: str, request: Request, writer
+    ) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no job {job_id!r}")
+        try:
+            start = int(request.query.get("from", "0"))
+        except ValueError:
+            raise HttpError(400, "from must be an integer")
+        await start_sse(writer)
+        async for index, record in job.sink.subscribe(start=start):
+            await send_sse(writer, record, event_id=index)
+        await send_sse(
+            writer,
+            {"job": job.job_id, "state": job.state, "error": job.error},
+            event="end",
+        )
+
+    async def _handle_healthz(self, writer) -> None:
+        await send_json(
+            writer,
+            200,
+            {
+                "ok": True,
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "admission": {
+                    "running": self.admission.running,
+                    "queued": self.admission.queued,
+                    "max_concurrent": self.admission.max_concurrent,
+                    "max_queue_depth": self.admission.max_queue_depth,
+                    "admitted": self.admission.admitted,
+                    "rejected": self.admission.rejected,
+                    "avg_job_seconds": round(
+                        self.admission.avg_job_seconds, 4
+                    ),
+                },
+                "jobs": self.jobs.counts(),
+                "sessions": self.sessions.names(),
+                "counters": dict(self.profile.counters),
+                "worker_pids": self.worker_pids(),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, request: Request, writer) -> None:
+        method, path = request.method, request.path
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            await self._handle_healthz(writer)
+        elif path == "/route" and method == "POST":
+            await self._handle_route(request, writer)
+        elif path == "/eco/begin" and method == "POST":
+            await self._handle_eco_begin(request, writer)
+        elif path == "/eco/mutate" and method == "POST":
+            await self._handle_eco_mutate(request, writer)
+        elif path == "/eco/reroute" and method == "POST":
+            await self._handle_eco_reroute(request, writer)
+        elif path == "/eco/end" and method == "POST":
+            body = request.json()
+            await self._handle_eco_end(_require_str(body, "session"), writer)
+        elif path == "/sessions" and method == "GET":
+            await self._handle_sessions(writer)
+        elif len(parts) == 2 and parts[0] == "sessions" and method == "DELETE":
+            await self._handle_eco_end(parts[1], writer)
+        elif len(parts) == 2 and parts[0] == "jobs" and method == "GET":
+            await self._handle_job(parts[1], writer)
+        elif (
+            len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "events"
+            and method == "GET"
+        ):
+            await self._handle_job_events(parts[1], request, writer)
+        else:
+            raise HttpError(404, f"no route for {method} {path}")
+
+    async def _handle_client(self, reader, writer) -> None:
+        sock = writer.get_extra_info("socket")
+        fd = sock.fileno() if sock is not None else None
+        if fd is not None and fd >= 0:
+            self._tracked_fds.add(fd)
+        try:
+            try:
+                request = await read_request(
+                    reader, self.config.max_body_bytes
+                )
+            except HttpError as exc:
+                status, payload, headers = error_payload(exc)
+                await send_json(writer, status, payload, headers)
+                return
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError,
+            ):
+                return
+            if request is None:
+                return
+            try:
+                await self._dispatch(request, writer)
+            except HttpError as exc:
+                status, payload, headers = error_payload(exc)
+                await send_json(writer, status, payload, headers)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass  # client went away mid-response
+            except Exception as exc:  # never kill the accept loop
+                try:
+                    await send_json(
+                        writer,
+                        500,
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                    )
+                except (ConnectionError, RuntimeError):
+                    pass
+        finally:
+            if fd is not None:
+                self._tracked_fds.discard(fd)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+
+def run_server(config: ServeConfig, sink: Optional[EventSink] = None) -> int:
+    """Blocking entry point for ``grr serve``: serve until SIGINT/SIGTERM."""
+    import signal
+
+    async def main() -> None:
+        server = RoutingServer(config, sink=sink)
+        host, port = await server.start()
+        print(f"grr serve: listening on http://{host}:{port}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # non-Unix event loops
+                pass
+        await stop.wait()
+        print("grr serve: shutting down", flush=True)
+        await server.shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -161,9 +161,14 @@ class TestAddNets:
                 for p in net.pin_ids
                 if session.board.pins[p].role is not PinRole.TERMINATOR
             ]
-            session.cut_nets([net.net_id])
+            cut_stats = session.cut_nets([net.net_id])
+            assert cut_stats.net_ids == (net.net_id,)
             stats = session.add_nets([pins])
             assert stats.added == stats.invalidated
+            # The created net's id is reported back: a remote caller
+            # needs it to cut what it just added.
+            assert len(stats.net_ids) == 1
+            assert session.board.nets[stats.net_ids[0]].pin_ids
             assert len(stats.added) >= len(pins) - 1
             new_ids = set(stats.added)
             assert new_ids <= set(session.pending)
@@ -356,6 +361,107 @@ class TestAttribution:
             assert response.result.routed_by == {
                 conn.conn_id: Strategy.PUTBACK
             }
+
+
+class _RaisingSink:
+    """A sink that blows up on a chosen event kind (broken consumer)."""
+
+    enabled = True
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+
+    def emit(self, event) -> None:
+        if event.kind == self.kind:
+            raise RuntimeError(f"sink boom on {event.kind}")
+
+    def close(self) -> None:
+        pass
+
+
+class _ExplodingPool:
+    """Stands in for a kept pool whose close() fails."""
+
+    alive = True
+
+    def __init__(self) -> None:
+        self.closes = 0
+
+    def close(self) -> None:
+        self.closes += 1
+        raise RuntimeError("pool teardown failed")
+
+
+class TestLifecycleCleanup:
+    """The leaks a long-lived server turns from annoyance into outage."""
+
+    def test_close_ends_active_delta_recording(self):
+        session, _, _ = _routed_session()
+        session.workspace.begin_delta()
+        session.close()
+        assert not session.workspace.delta_active
+
+    def test_close_is_idempotent(self):
+        session, _, _ = _routed_session()
+        session.close()
+        session.close()
+        assert not session.workspace.delta_active
+
+    def test_close_ends_delta_even_when_pool_close_raises(self):
+        session, _, _ = _routed_session()
+        pool = _ExplodingPool()
+        session._pool = pool
+        session.workspace.begin_delta()
+        with pytest.raises(RuntimeError, match="pool teardown"):
+            session.close()
+        assert not session.workspace.delta_active
+        # The pool was detached before close; a second close is a no-op.
+        session.close()
+        assert pool.closes == 1
+
+    def test_pool_pids_empty_without_a_pool(self):
+        session, _, _ = _routed_session()
+        with session:
+            assert session.pool_pids == []
+
+
+@pytest.mark.slow
+class TestRerouteExceptionCleanup:
+    def test_raising_sink_leaks_no_workers_and_no_recording(self):
+        import multiprocessing
+
+        config = RouterConfig(workers=2, pool_auto_serial=False)
+        board = make_titan_board("tna", scale=0.25, seed=3)
+        connections = Stringer(board).string_all()
+        request = RouteRequest(
+            board=board, connections=connections, config=config
+        )
+        response = route(request)
+        assert response.result.complete
+        session = begin_eco(request, response)
+        with session:
+            part_id = 2
+            dest = _free_destination(board, part_id)
+            assert dest is not None
+            session.move_part(part_id, dest)
+            assert session.pending
+            # A consumer that dies mid-route: the exception must not
+            # strand the worker pool the session handed to the router,
+            # nor leave the workspace recording deltas for nobody.
+            session.sink = _RaisingSink("wave_start")
+            with pytest.raises(RuntimeError, match="sink boom"):
+                session.reroute()
+            assert not session.pool_alive
+            assert session.pool_pids == []
+            assert not session.workspace.delta_active
+            assert multiprocessing.active_children() == []
+            # The session survives cold: a reroute with a sane sink
+            # finishes the interrupted ECO.
+            session.sink = RingBufferSink(capacity=65536)
+            response = session.reroute()
+            assert response.result.complete
+        assert not session.pool_alive
+        assert multiprocessing.active_children() == []
 
 
 @pytest.mark.slow

@@ -111,6 +111,42 @@ class TestSinks:
         sink.close()
         sink.close()
 
+    def test_jsonl_emit_after_close_raises(self, tmp_path):
+        # A real error, not a bare assert: the check must survive -O,
+        # because a closed trace silently eating events is data loss.
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.emit(PassStart(1, 1))
+        sink.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sink.emit(PassStart(2, 1))
+        assert sink.emitted == 1
+
+    def test_jsonl_concurrent_close_closes_stream_once(self, tmp_path):
+        import threading
+
+        closes = []
+
+        class CountingIO(io.StringIO):
+            def close(self):
+                closes.append(1)
+                super().close()
+
+        sink = JsonlSink(CountingIO())
+        sink._owns_stream = True  # exercise the owning-close path
+        sink.emit(PassStart(1, 1))
+        barrier = threading.Barrier(8)
+
+        def slam():
+            barrier.wait()
+            sink.close()
+
+        threads = [threading.Thread(target=slam) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert closes == [1]
+
 
 class TestRouterEmission:
     def test_default_router_uses_null_sink(self, two_pin_board):

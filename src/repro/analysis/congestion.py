@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - base install without [fast]
+    np = None
 
 from repro.board.board import Board
 from repro.board.nets import Connection
@@ -22,12 +25,21 @@ from repro.channels.workspace import RoutingWorkspace
 from repro.grid.geometry import Box, Orientation
 
 
+def _require_numpy(what: str) -> None:
+    if np is None:
+        raise ImportError(
+            f"{what} returns numpy arrays; install the extra: "
+            "pip install repro[fast]"
+        )
+
+
 def channel_occupancy(
     workspace: RoutingWorkspace, layer_index: int
-) -> np.ndarray:
+) -> "np.ndarray":
     """Fraction of each channel's cells in use (0..1), one entry per
     channel of the layer.  Fill segments are excluded (they are
     temporary)."""
+    _require_numpy("channel_occupancy")
     layer = workspace.layers[layer_index]
     occupancy = np.zeros(layer.n_channels)
     for channel_index, channel in enumerate(layer.channels):
@@ -38,9 +50,10 @@ def channel_occupancy(
     return occupancy
 
 
-def cell_usage_grid(workspace: RoutingWorkspace) -> np.ndarray:
+def cell_usage_grid(workspace: RoutingWorkspace) -> "np.ndarray":
     """(ny, nx) array counting, per routing-grid cell, how many layers
     have copper there — the aggregate congestion picture."""
+    _require_numpy("cell_usage_grid")
     grid = workspace.grid
     usage = np.zeros((grid.ny, grid.nx), dtype=np.int16)
     for layer in workspace.layers:
@@ -129,8 +142,8 @@ def wire_length_stats(
         "routes": len(ratios),
         "total_wire": total_wire,
         "total_manhattan": total_manhattan,
-        "mean_detour": float(np.mean(ratios)),
-        "max_detour": float(np.max(ratios)),
+        "mean_detour": sum(ratios) / len(ratios),
+        "max_detour": max(ratios),
     }
 
 
@@ -141,6 +154,7 @@ def render_congestion(
     cell: int = 3,
 ):
     """Grayscale congestion heatmap (darker = more layers occupied)."""
+    _require_numpy("render_congestion")
     from repro.viz.ppm import Canvas, write_ppm
 
     usage = cell_usage_grid(workspace)

@@ -34,12 +34,25 @@ class ChannelConflictError(ValueError):
 class Channel:
     """Used segments along one grid line, sorted and disjoint."""
 
-    __slots__ = ("_los", "_his", "_owners", "_owner_counts", "generation")
+    __slots__ = (
+        "_los",
+        "_his",
+        "_owners",
+        "_owner_counts",
+        "generation",
+        "array_mirror",
+    )
 
     def __init__(self) -> None:
         self._los: List[int] = []
         self._his: List[int] = []
         self._owners: List[int] = []
+        #: Generation-stamped ``(generation, lo array, hi array)`` mirror
+        #: of the segment bounds, built lazily by the fastpath free-gap
+        #: kernel (:func:`repro.core.fastpath.free_gaps_vectorized`) and
+        #: discarded whenever the generation moves on.  Never pickled:
+        #: snapshots rebuild it on first vectorized probe.
+        self.array_mirror: Optional[tuple] = None
         #: owner -> live segment count, maintained by add/remove so
         #: owner-presence probes (the gap cache's base/passable routing
         #: decision) cost O(1) per owner instead of a segment scan.
@@ -163,6 +176,14 @@ class Channel:
         hi = right if right is not None else (1 << 60)
         return (lo, hi)
 
+    def segment_bounds(self) -> Tuple[List[int], List[int]]:
+        """The raw sorted (lo, hi) bound lists — read-only kernel views.
+
+        Callers must not mutate the returned lists; they are the live
+        arrays behind every probe above.
+        """
+        return self._los, self._his
+
     def owner_set(self) -> FrozenSet[int]:
         """All owners with at least one segment in this channel."""
         return frozenset(self._owner_counts)
@@ -274,6 +295,29 @@ class Channel:
         return (
             f"[{self._los[k]},{self._his[k]}] owned by {self._owners[k]}"
         )
+
+    # ------------------------------------------------------------------
+    # pickling: snapshots carry segments, not the numpy mirror
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        return (
+            self._los,
+            self._his,
+            self._owners,
+            self._owner_counts,
+            self.generation,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self._los,
+            self._his,
+            self._owners,
+            self._owner_counts,
+            self.generation,
+        ) = state
+        self.array_mirror = None
 
     def check_invariants(self) -> None:
         """Assert sortedness and disjointness (used by property tests)."""

@@ -89,6 +89,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Tuple
 
+from repro.core.fastpath import MIN_VECTOR_SEGMENTS, free_gaps_vectorized
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.channels.layer_data import LayerData
 
@@ -135,7 +137,6 @@ ADAPTIVE_MIN_HIT_RATE = 0.20
 #: every probe takes the bypass path.
 _BYPASS_ALL = 1 << 30
 
-
 class GapCache:
     """Memoized ``(channel, box-clip, passable) -> gap list`` per layer.
 
@@ -172,7 +173,9 @@ class GapCache:
         self.hits = 0
         self.misses = 0
         self.bypassed = 0
-        #: channel_index -> entry list (see the slot constants above).
+        #: channel_index -> entry list (see the slot constants above);
+        #: also holds the full-span views :meth:`full_bounds` serves to
+        #: the fastpath kernels.
         self._entries: Dict[int, list] = {}
         # Store-level warmup tallies for the self-judgment (module
         # docstring); unlike ``hits``, ``_probe_hits`` excludes the
@@ -253,12 +256,12 @@ class GapCache:
                     # full-span view only on a second distinct box —
                     # and never while on probation, whose misses must
                     # cost no more than an uncached probe.
-                    gaps = channel.free_gaps(lo, hi)
+                    gaps = self._base_gaps(channel, lo, hi)
                     if len(clipped_store) >= MAX_CLIPPED:
                         clipped_store.clear()
                     clipped_store[key] = gaps
                     return gaps
-                gaps = channel.free_gaps(0, span_hi)
+                gaps = self._base_gaps(channel, 0, span_hi)
                 full = (gaps, [g[0] for g in gaps], [g[1] for g in gaps])
                 entry[_BASE] = full
             else:
@@ -304,6 +307,113 @@ class GapCache:
             clipped_store.clear()
         clipped_store[key] = clipped
         return clipped
+
+    def _base_gaps(
+        self, channel, lo: int, hi: int
+    ) -> List[Tuple[int, int]]:
+        """Passable-blind recompute, vectorized on the numpy backend.
+
+        The base-entry recomputes are the hot ``free_gaps`` traffic; on
+        large channels the numpy kernel turns the O(overlap) segment
+        walk into two ``searchsorted`` calls plus array arithmetic.
+        Small channels keep the python walk — the array-view build
+        would cost more than it saves (see
+        :data:`repro.core.fastpath.MIN_VECTOR_SEGMENTS`).
+        """
+        if (
+            self.layer.backend != "python"
+            and len(channel) >= MIN_VECTOR_SEGMENTS
+        ):
+            return free_gaps_vectorized(channel, lo, hi)
+        return channel.free_gaps(lo, hi)
+
+    def full_bounds(
+        self, channel_index: int, passable: FrozenSet[int]
+    ) -> Tuple[List[Tuple[int, int]], List[int], List[int]]:
+        """Full-span ``(gaps, los, his)`` view of one channel (fastpath).
+
+        The numpy kernels traverse whole-channel gap arrays and clamp
+        extents to the search box on the fly, so a single full-span
+        view per ``(channel, passable)`` serves *every* box between
+        mutations — no per-box clip lists on the fast path.  The views
+        are the same full-span entries :meth:`gaps` promotes into,
+        under the same generation stamping.
+
+        Unlike :meth:`gaps` this ignores both the adaptive bypass
+        verdict *and* the static small-channel cutoff: those judge
+        boxed-store churn (entries keyed by box die when boxes vary, and
+        clipping a small list is nearly free), while full views are
+        insensitive to box variation and only die on actual mutations —
+        caching them is a win at every channel size.  Only ``enabled``
+        is honored.  Returned lists are shared — treat them as
+        immutable.
+        """
+        if not self.enabled:
+            self.misses += 1
+            channel = self.layer.channels[channel_index]
+            gaps = channel.free_gaps(
+                0, self.layer.channel_length - 1, passable
+            )
+            return (gaps, [g[0] for g in gaps], [g[1] for g in gaps])
+        channel = self.layer.channels[channel_index]
+        generation = channel.generation
+        entry = self._entries.get(channel_index)
+        if entry is None:
+            entry = [generation, None, {}, {}, {}]
+            self._entries[channel_index] = entry
+        elif entry[_GEN] != generation:
+            entry[_GEN] = generation
+            entry[_BASE] = None
+            entry[_BASE_CLIPS].clear()
+            if entry[_PASS_FULLS]:
+                entry[_PASS_FULLS].clear()
+            if entry[_PASS_CLIPS]:
+                entry[_PASS_CLIPS].clear()
+        if not passable:
+            full = entry[_BASE]
+            if full is None:
+                self.misses += 1
+                gaps = self._base_gaps(
+                    channel, 0, self.layer.channel_length - 1
+                )
+                full = (gaps, [g[0] for g in gaps], [g[1] for g in gaps])
+                entry[_BASE] = full
+            else:
+                self.hits += 1
+            return full
+        full_store = entry[_PASS_FULLS]
+        full = full_store.get(passable)
+        if full is not None and full is not _PROBED_ONCE:
+            self.hits += 1
+            return full
+        # Miss.  When the passable set owns nothing in this channel its
+        # view IS the base view; an alias stored under the passable key
+        # lets every later hit skip the ``has_any_owner`` scan.  Stale
+        # aliases cannot survive: the generation bump above clears the
+        # base and the store together.
+        if len(full_store) >= MAX_FULL_VARIANTS:
+            full_store.clear()
+            entry[_PASS_CLIPS].clear()
+        if not channel.has_any_owner(passable):
+            full = entry[_BASE]
+            if full is None:
+                self.misses += 1
+                gaps = self._base_gaps(
+                    channel, 0, self.layer.channel_length - 1
+                )
+                full = (gaps, [g[0] for g in gaps], [g[1] for g in gaps])
+                entry[_BASE] = full
+            else:
+                self.hits += 1
+            full_store[passable] = full
+            return full
+        self.misses += 1
+        gaps = channel.free_gaps(
+            0, self.layer.channel_length - 1, passable
+        )
+        full = (gaps, [g[0] for g in gaps], [g[1] for g in gaps])
+        full_store[passable] = full
+        return full
 
     @staticmethod
     def _clip(

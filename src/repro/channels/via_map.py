@@ -11,13 +11,19 @@ number of signal layers for a used via."
 Besides the count this implementation tracks, per site, the *sole owner* of
 the covering segments (or a MIXED marker) so that a connection can reuse its
 own via sites, and the owner of an actually drilled via.
+
+The count grid is a flat stdlib ``array('i')`` — scalar probes index it
+faster than a numpy array, and it keeps the core numpy-free (numpy is the
+optional ``[fast]`` extra).  The fastpath kernels batch their probes
+through :meth:`ViaMap.available_mask`, which lazily wraps the same buffer
+in a zero-copy numpy view — writes through the scalar path are visible to
+the view immediately, so the two access paths can never disagree.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Dict, FrozenSet, Iterator, Optional, Set
-
-import numpy as np
 
 from repro.grid.coords import ViaPoint
 
@@ -55,7 +61,11 @@ class ViaMap:
         self.via_nx = via_nx
         self.via_ny = via_ny
         self.n_layers = n_layers
-        self._count = np.zeros((via_nx, via_ny), dtype=np.int32)
+        #: Flat row-major (vx * via_ny + vy) cover counts.
+        self._count = array("i", [0]) * (via_nx * via_ny)
+        #: Lazy zero-copy numpy view over ``_count`` (None until the
+        #: first :meth:`available_mask` call; never pickled).
+        self._view = None
         self._sole: Dict[ViaPoint, object] = {}
         self._drilled: Dict[ViaPoint, int] = {}
         #: Instrumentation for the Section 4 claim that availability
@@ -70,7 +80,7 @@ class ViaMap:
 
     def count(self, via: ViaPoint) -> int:
         """Number of layer segments covering the site."""
-        return int(self._count[via.vx, via.vy])
+        return self._count[via.vx * self.via_ny + via.vy]
 
     def is_available(
         self, via: ViaPoint, passable: FrozenSet[int] = frozenset()
@@ -82,10 +92,60 @@ class ViaMap:
         owner (typically the connection's own traces or pins).
         """
         self.probe_count += 1
-        if self._count[via.vx, via.vy] == 0:
+        if not self._count[via.vx * self.via_ny + via.vy]:
             return True
         sole = self._sole.get(via)
         return sole is not MIXED and sole in passable
+
+    def is_available_xy(
+        self, vx: int, vy: int, passable: FrozenSet[int]
+    ) -> bool:
+        """:meth:`is_available` on bare coordinates.
+
+        The fastpath site collector filters candidates before it builds
+        ``ViaPoint`` objects for the survivors; only the rare covered
+        site pays for a tuple key (which hashes identically to the
+        ``ViaPoint`` NamedTuple keys of the sole-owner dict).
+        """
+        self.probe_count += 1
+        if not self._count[vx * self.via_ny + vy]:
+            return True
+        sole = self._sole.get((vx, vy))
+        return sole is not MIXED and sole in passable
+
+    def available_mask(self, vx, vy, passable: FrozenSet[int]):
+        """Vectorized :meth:`is_available` over parallel index arrays.
+
+        ``vx``/``vy`` are equal-length integer ndarrays; returns a bool
+        ndarray.  Bit-identical to per-site :meth:`is_available` calls
+        (``probe_count`` included), evaluated in one fancy-indexed sweep
+        over the zero-copy count view, with only the rare covered sites
+        falling back to the sole-owner dict.
+        """
+        self.probe_count += len(vx)
+        view = self._view
+        if view is None:
+            view = self._grid_view()
+        mask = view[vx, vy] == 0
+        if not mask.all():
+            sole_get = self._sole.get
+            for i in (~mask).nonzero()[0]:
+                # A plain (vx, vy) tuple hashes identically to the
+                # ViaPoint NamedTuple keys of the sole-owner dict.
+                sole = sole_get((int(vx[i]), int(vy[i])))
+                if sole is not MIXED and sole in passable:
+                    mask[i] = True
+        return mask
+
+    def _grid_view(self):
+        """Build (and memoize) the numpy view over the flat counts."""
+        import numpy as np
+
+        view = np.frombuffer(self._count, dtype=np.intc).reshape(
+            self.via_nx, self.via_ny
+        )
+        self._view = view
+        return view
 
     def drilled_owner(self, via: ViaPoint) -> Optional[int]:
         """Owner of the via drilled at the site, or None."""
@@ -114,8 +174,10 @@ class ViaMap:
 
     def covered_sites(self) -> Iterator[ViaPoint]:
         """Every site with a nonzero cover count, in scan order."""
-        for vx, vy in np.argwhere(self._count > 0):
-            yield ViaPoint(int(vx), int(vy))
+        ny = self.via_ny
+        for i, count in enumerate(self._count):
+            if count > 0:
+                yield ViaPoint(i // ny, i % ny)
 
     # ------------------------------------------------------------------
     # updates (rare relative to probes)
@@ -124,8 +186,9 @@ class ViaMap:
     def add_cover(self, via: ViaPoint, owner: int) -> None:
         """Record one more layer segment covering the site."""
         self.update_count += 1
-        count = self._count[via.vx, via.vy]
-        self._count[via.vx, via.vy] = count + 1
+        flat = via.vx * self.via_ny + via.vy
+        count = self._count[flat]
+        self._count[flat] = count + 1
         if count == 0:
             self._sole[via] = owner
         elif self._sole.get(via) != owner:
@@ -145,10 +208,11 @@ class ViaMap:
         conservatively stays MIXED until it empties.
         """
         self.update_count += 1
-        count = self._count[via.vx, via.vy]
+        flat = via.vx * self.via_ny + via.vy
+        count = self._count[flat]
         if count <= 0:
             raise ValueError(f"via map underflow at {via}")
-        self._count[via.vx, via.vy] = count - 1
+        self._count[flat] = count - 1
         if count == 1:
             self._sole.pop(via, None)
             return
@@ -172,3 +236,14 @@ class ViaMap:
     def drilled_sites(self) -> Dict[ViaPoint, int]:
         """Snapshot of every drilled via and its owner (for power planes)."""
         return dict(self._drilled)
+
+    # ------------------------------------------------------------------
+    # pickling: snapshots carry counts, not the numpy view
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # The view is a zero-copy alias of ``_count``; pickling it would
+        # ship a detached copy that silently stops tracking updates.
+        state["_view"] = None
+        return state

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.analysis import format_table, table1_row
 from repro.channels.workspace import RoutingWorkspace
+from repro.core.fastpath import BACKENDS
 from repro.core.router import GreedyRouter, RouterConfig, make_router
 from repro.io import (
     load_routes,
@@ -73,6 +74,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
     config = RouterConfig(
         radius=args.radius, cost=args.cost, workers=args.workers
     )
+    if args.backend is not None:
+        # --backend forces it; otherwise the GRR_BACKEND env default holds.
+        config = dataclasses.replace(config, backend=args.backend)
     if args.timeout is not None or args.per_connection_timeout is not None:
         config = dataclasses.replace(
             config,
@@ -266,6 +270,8 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     config = RouterConfig(
         radius=args.radius, cost=args.cost, workers=args.workers
     )
+    if args.backend is not None:
+        config = dataclasses.replace(config, backend=args.backend)
     if args.timeout is not None or args.per_connection_timeout is not None:
         config = dataclasses.replace(
             config,
@@ -443,6 +449,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for parallel wave routing (1 = serial)",
     )
     p.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="search kernel backend: 'numpy' uses the vectorized "
+        "fastpath (requires the [fast] extra), 'python' the "
+        "zero-dependency fallback, 'auto' picks numpy when available; "
+        "results are bit-identical either way (default: GRR_BACKEND "
+        "env, else python)",
+    )
+    p.add_argument(
         "--timeout",
         type=float,
         metavar="SECS",
@@ -544,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["unit", "distance", "distance_hops"],
     )
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--backend", choices=BACKENDS, default=None)
     p.add_argument("--timeout", type=float, metavar="SECS", default=None)
     p.add_argument(
         "--per-connection-timeout", type=float, metavar="SECS", default=None

@@ -101,15 +101,27 @@ def _neighbors(
 
 
 def _back_chain(
-    marks: Dict[ViaPoint, Mark], via: ViaPoint
+    marks: Dict[ViaPoint, Mark], via: ViaPoint, side: str
 ) -> List[Tuple[ViaPoint, Optional[int]]]:
-    """Chain from the wavefront source to ``via``: [(via, layer to reach it)]."""
+    """Chain from the wavefront source to ``via``: [(via, layer to reach it)].
+
+    Every via on the chain was inserted into ``marks`` before its children,
+    so a missing mark can only mean the table was corrupted after the
+    search — raise with enough context to tell *where* the chain broke
+    (a bare KeyError here made backend-parity debugging hopeless).
+    """
     chain: List[Tuple[ViaPoint, Optional[int]]] = []
     current: Optional[ViaPoint] = via
     while current is not None:
-        hops, parent, layer_index = marks[current]
-        chain.append((current, layer_index))
-        current = parent
+        mark = marks.get(current)
+        if mark is None:
+            raise RuntimeError(
+                f"retrace walked off the {side}-side wavefront at "
+                f"{current}: no mark among {len(marks)} — the parent "
+                f"chain is corrupt"
+            )
+        chain.append((current, mark[2]))
+        current = mark[1]
     chain.reverse()
     return chain
 
@@ -202,9 +214,13 @@ def lee_route(
     marked = len(marks[0]) + len(marks[1])
     if meet is None:
         # A cap-truncated search may have hidden reachable neighbors: the
-        # exhaustion is then unproven, and the reason says so.
-        if reason == "wavefront exhausted" and stats.cap_hits > 0:
-            reason = "wavefront exhausted (gap cap)"
+        # failure is then unproven, and the reason says so.  Every
+        # blocked reason gets the suffix — consumers (failure_reasons in
+        # the api/serve summaries, rip-up victim selection) key on it to
+        # tell truncations from hard blockages, so it must track
+        # ``cap_hits`` exactly, whatever ended the search.
+        if stats.cap_hits > 0:
+            reason += " (gap cap)"
         if sink.enabled:
             sink.emit(
                 LeeExhausted(
@@ -257,7 +273,11 @@ def lee_route(
             expansions=expansions,
             marked=marked,
             blocked=True,
-            reason="retrace failed",
+            reason=(
+                "retrace failed (gap cap)"
+                if stats.cap_hits > 0
+                else "retrace failed"
+            ),
             cap_hits=stats.cap_hits,
             gaps_examined=stats.examined,
             best_points=best_points,
@@ -304,13 +324,13 @@ def _retrace(
     # Edges as (u, v, layer, strip anchor): anchor is the via whose radius
     # strip the hop was discovered in (the parent in the original search).
     edges: List[Tuple[ViaPoint, ViaPoint, int, ViaPoint]] = []
-    left = _back_chain(marks[side], p)
+    left = _back_chain(marks[side], p, "ab"[side])
     for i in range(len(left) - 1):
         u, _ = left[i]
         v, layer_index = left[i + 1]
         edges.append((u, v, layer_index, u))
     edges.append((p, n, meet_layer, p))
-    right = _back_chain(marks[1 - side], n)
+    right = _back_chain(marks[1 - side], n, "ab"[1 - side])
     # right runs source_other .. n; reverse it to continue n .. source_other.
     for i in range(len(right) - 1, 0, -1):
         u, layer_index = right[i]

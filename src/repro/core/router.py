@@ -27,6 +27,7 @@ from repro.core.budget import (
     BudgetTracker,
     RouteBudget,
 )
+from repro.core import fastpath
 from repro.core.cost import COST_FUNCTIONS, CostFunction
 from repro.core.lee import LeeSearchResult, lee_route
 from repro.core.optimal import try_one_via, try_two_via, try_zero_via
@@ -38,6 +39,7 @@ from repro.grid.coords import ViaPoint
 from repro.obs.audit import WorkspaceAuditor
 from repro.obs.events import (
     AuditRun,
+    BackendSelected,
     CacheStats,
     ConnectionFailed,
     ConnectionRouted,
@@ -49,9 +51,27 @@ from repro.obs.events import (
 from repro.obs.sinks import NULL_SINK, EventSink
 
 
+#: Gap-cap multiplier for the one retry a cap-truncated Lee search gets
+#: before rip-up may act on it.  A blocked result with ``cap_hits > 0``
+#: is a truncation, not a proven blockage — ripping up neighbors on that
+#: evidence destroys innocent routes (and the truncated ``best_points``
+#: may not even be near the real congestion).
+CAP_RETRY_FACTOR = 4
+
+
 def _audit_default() -> bool:
     """Audit after every pass when ``GRR_AUDIT`` is set (CI's audit tier)."""
     return os.environ.get("GRR_AUDIT", "") not in ("", "0")
+
+
+def _backend_default() -> str:
+    """Search backend from ``GRR_BACKEND`` (CI's backend matrix leg).
+
+    Defaults to the zero-dependency pure-python kernels, *not* "auto":
+    the default path must behave identically whether or not numpy
+    happens to be importable.
+    """
+    return os.environ.get("GRR_BACKEND", "") or "python"
 
 
 @dataclass
@@ -121,6 +141,12 @@ class RouterConfig:
     #: (and after every parallel merge), raising on any violation.
     #: Defaults on when the ``GRR_AUDIT`` environment variable is set.
     audit: bool = field(default_factory=_audit_default)
+    #: Search-kernel backend for the single-layer hot loops:
+    #: ``"python"`` (the always-available default), ``"numpy"`` (the
+    #: vectorized :mod:`repro.core.fastpath` kernels, bit-identical
+    #: routes), or ``"auto"`` (numpy when installed, else python).
+    #: Defaults from the ``GRR_BACKEND`` environment variable.
+    backend: str = field(default_factory=_backend_default)
     #: Deprecated flat spellings of the :attr:`budget` effort caps; kept
     #: as constructor keywords for back compatibility.
     max_lee_expansions: InitVar[Optional[int]] = None
@@ -166,6 +192,11 @@ class RouterConfig:
             raise ValueError(
                 f"unknown cost function {self.cost!r}; "
                 f"choose from {sorted(COST_FUNCTIONS)}"
+            )
+        if self.backend not in fastpath.BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {fastpath.BACKENDS}"
             )
 
     @property
@@ -241,6 +272,11 @@ class GreedyRouter:
         self.board = board
         self.config = config or RouterConfig()
         self.workspace = workspace or RoutingWorkspace(board)
+        #: The resolved search backend ("python"/"numpy"), applied to
+        #: every workspace layer; raises here — not mid-route — when an
+        #: explicit backend="numpy" has no numpy to dispatch to.
+        self.backend = fastpath.resolve_backend(self.config.backend)
+        self.workspace.set_backend(self.backend)
         #: Routing event stream (repro.obs); the null sink by default.
         self.sink = sink if sink is not None else NULL_SINK
         #: Per-phase CPU profile (Section 12), refreshed by each route().
@@ -282,6 +318,9 @@ class GreedyRouter:
         previous = len(unrouted) + 1
         stalled = 0
         sink = self.sink
+        self.profile.bump(f"backend_{self.backend}", 1)
+        if sink.enabled:
+            sink.emit(BackendSelected(cfg.backend, self.backend))
         cache_before = self.workspace.gap_cache_stats()
         while unrouted and result.passes < cfg.max_passes:
             if len(unrouted) < previous:
@@ -531,6 +570,41 @@ class GreedyRouter:
                 result.lee_expansions += search.expansions
                 if search.cap_hits:
                     self.profile.bump("cap_hits", search.cap_hits)
+            still_truncated = False
+            if (
+                record is None
+                and search is not None
+                and search.blocked
+                and search.cap_hits > 0
+                and not (budget is not None and budget.search_exceeded())
+            ):
+                # The Lee search was cap-truncated, so "blocked" is
+                # unproven — hidden reachable neighbors may exist past
+                # the gap cap.  Retry once with the cap raised before
+                # letting rip-up act on the result (see CAP_RETRY_FACTOR).
+                self.profile.bump("cap_retries", 1)
+                with self.profile.measure("lee"):
+                    search = lee_route(
+                        ws,
+                        conn,
+                        radius=cfg.radius,
+                        passable=passable,
+                        cost_fn=cfg.cost_fn,
+                        max_expansions=cfg.budget.max_lee_expansions,
+                        max_gaps=cfg.budget.max_gaps * CAP_RETRY_FACTOR,
+                        sink=sink,
+                        budget=budget,
+                    )
+                result.lee_expansions += search.expansions
+                if search.cap_hits:
+                    self.profile.bump("cap_hits", search.cap_hits)
+                if search.routed:
+                    record, strategy = search.record, Strategy.LEE
+                elif search.cap_hits > 0:
+                    # Still truncated at the raised cap: the blockage
+                    # stays unproven, and victim selection on it would
+                    # rip up routes that may not be in the way at all.
+                    still_truncated = True
             if record is not None:
                 result.routed_by[conn.conn_id] = strategy
                 routed = True
@@ -547,6 +621,8 @@ class GreedyRouter:
                 break
             if not cfg.enable_ripup or attempt == cfg.budget.max_ripup_rounds:
                 break
+            if still_truncated:
+                break  # unproven blockage: do not rip up on it
             if budget is not None and budget.search_exceeded():
                 break  # no clock left to spend on rip-up rounds
             victims: set = set()

@@ -32,6 +32,7 @@ from typing import (
 )
 
 from repro.channels.layer_data import ChannelPiece, LayerData
+from repro.core import fastpath
 from repro.core.budget import SEARCH_CHECK_MASK
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -194,6 +195,8 @@ def trace(
     fs = _FreeSpace(layer, box, passable)
     if fs.is_empty or not fs.in_box(ca, xa) or not fs.in_box(cb, xb):
         return None
+    if layer.backend != "python":
+        return fastpath.trace_kernel(fs, ca, xa, cb, xb, max_gaps, stats, budget)
     start_index = fs.gap_index_at(ca, xa)
     if start_index is None:
         return None
@@ -346,12 +349,16 @@ def reachable_vias(
     fs = _FreeSpace(layer, box, passable)
     if fs.is_empty or not fs.in_box(ca, xa):
         return []
-    start_index = fs.gap_index_at(ca, xa)
-    if start_index is None:
-        return []
     a_via = (
         layer.grid.grid_to_via(a) if layer.grid.is_via_site(a) else None
     )
+    if layer.backend != "python":
+        return fastpath.reachable_vias_kernel(
+            fs, ca, xa, a_via, via_map, passable, max_gaps, stats, budget
+        )
+    start_index = fs.gap_index_at(ca, xa)
+    if start_index is None:
+        return []
     found: List[ViaPoint] = []
     for c, gi in _explore_all(fs, (ca, start_index), max_gaps, stats, budget):
         if not layer.is_via_channel(c):

@@ -34,6 +34,7 @@ kind                emitted when
 ``delta_sync``      a workspace delta was broadcast to the pool
 ``worker_steal``    an idle pool worker took a group from the deque
 ``auto_serial``     the size heuristic routed the board serially
+``backend_selected``  a router resolved and applied its search backend
 ``serve_accept``    the routing service received a job-creating request
 ``serve_admit``     the admission controller let a job start routing
 ``serve_reject``    an overloaded service answered 429 + retry-after
@@ -344,6 +345,19 @@ class CacheStats(RouteEvent):
     misses: int
     hit_rate: float
     bypassed: int = 0
+
+
+@dataclass(frozen=True)
+class BackendSelected(RouteEvent):
+    """A router resolved its configured search backend and applied it to
+    the workspace: ``requested`` is the ``RouterConfig.backend`` value
+    ("auto" included), ``selected`` the resolved kernel set actually
+    dispatching ("python" or "numpy").  Emitted once per ``route()``
+    call, so traces record which backend produced every route."""
+
+    kind: ClassVar[str] = "backend_selected"
+    requested: str
+    selected: str
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,7 @@ from repro.obs.audit import WorkspaceAuditError, WorkspaceAuditor
 from repro.obs.events import (
     AuditRun,
     AutoSerial,
+    BackendSelected,
     CacheStats,
     DegradedMode,
     WaveEnd,
@@ -103,6 +104,12 @@ class ParallelRouter:
         self.board = board
         self.config = config or RouterConfig(workers=2)
         self.workspace = workspace or RoutingWorkspace(board)
+        #: Resolved search backend, applied master-side; snapshots carry
+        #: it to pool workers, so every wave dispatches the same kernels.
+        from repro.core import fastpath
+
+        self.backend = fastpath.resolve_backend(self.config.backend)
+        self.workspace.set_backend(self.backend)
         #: Master-side routing event stream (repro.obs).  Pool workers
         #: route in other processes and are not traced; their outcomes
         #: surface here as merge/demotion events.
@@ -263,6 +270,9 @@ class ParallelRouter:
         timed = tracker.timed
         sink = self.sink
         ws = self.workspace
+        self.profile.bump(f"backend_{self.backend}", 1)
+        if sink.enabled:
+            sink.emit(BackendSelected(cfg.backend, self.backend))
 
         if cfg.workers > 1 and cfg.pool_auto_serial:
             decision = pool_decision(

@@ -9,7 +9,10 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - base install without [fast]
+    np = None
 
 from repro.board.board import Board
 from repro.board.nets import Connection
@@ -30,6 +33,11 @@ class Canvas:
     """A tiny RGB raster with line and disk primitives."""
 
     def __init__(self, width: int, height: int, background: Color = WHITE):
+        if np is None:
+            raise ImportError(
+                "PPM rendering rasterises through numpy; install the "
+                "extra: pip install repro[fast]"
+            )
         self.width = width
         self.height = height
         self.pixels = np.empty((height, width, 3), dtype=np.uint8)

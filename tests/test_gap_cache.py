@@ -46,11 +46,12 @@ def _passable_for(conn):
 
 
 class _StubLayer:
-    """Just enough of LayerData for GapCache: channels + channel_length."""
+    """Just enough of LayerData for GapCache: channels, length, backend."""
 
     def __init__(self, n_channels: int = N_CHANNELS, span: int = SPAN):
         self.channels = [Channel() for _ in range(n_channels)]
         self.channel_length = span
+        self.backend = "python"
 
 
 interval = st.tuples(

@@ -4,7 +4,7 @@ import pytest
 
 from repro.board.board import Board
 from repro.channels.workspace import RoutingWorkspace
-from repro.core.lee import _back_chain, _neighbors, _strip_axis
+from repro.core.lee import _back_chain, _neighbors, _strip_axis, lee_route
 from repro.grid.coords import ViaPoint
 from repro.grid.geometry import Orientation
 
@@ -66,7 +66,7 @@ class TestBackChain:
             ViaPoint(3, 0): (1, ViaPoint(0, 0), 1),
             ViaPoint(3, 5): (2, ViaPoint(3, 0), 0),
         }
-        chain = _back_chain(marks, ViaPoint(3, 5))
+        chain = _back_chain(marks, ViaPoint(3, 5), "a")
         assert [v for v, _ in chain] == [
             ViaPoint(0, 0), ViaPoint(3, 0), ViaPoint(3, 5)
         ]
@@ -74,4 +74,67 @@ class TestBackChain:
 
     def test_single_node(self):
         marks = {ViaPoint(2, 2): (0, None, None)}
-        assert _back_chain(marks, ViaPoint(2, 2)) == [(ViaPoint(2, 2), None)]
+        assert _back_chain(marks, ViaPoint(2, 2), "a") == [
+            (ViaPoint(2, 2), None)
+        ]
+
+    def test_missing_mark_is_diagnosable(self):
+        """A corrupted parent chain must name the via, side and table size."""
+        # The mark's parent (3, 0) is absent from the table.
+        marks = {ViaPoint(3, 5): (2, ViaPoint(3, 0), 0)}
+        with pytest.raises(
+            RuntimeError,
+            match=r"b-side wavefront at ViaPoint\(vx=3, vy=0\): "
+                  r"no mark among 1",
+        ):
+            _back_chain(marks, ViaPoint(3, 5), "b")
+
+
+class TestGapCapReasonSuffix:
+    """The "(gap cap)" reason suffix must be present iff ``cap_hits > 0``.
+
+    ``failure_reasons`` surfaced through ``repro.api`` and serve key on
+    the suffix to tell truncations from proven blockages, so it must
+    track ``cap_hits`` exactly for *every* blocked reason — wavefront
+    exhaustion, the expansion limit, and budget exhaustion alike.
+    """
+
+    def _conn(self, ws):
+        from tests.conftest import make_connection
+
+        return make_connection(ws.board, ViaPoint(2, 2), ViaPoint(7, 5))
+
+    @pytest.mark.parametrize(
+        "max_gaps,max_expansions",
+        [(1, 4000), (1, 1), (20000, 0), (20000, 1), (2, 2)],
+    )
+    def test_suffix_iff_cap_hits(self, ws, max_gaps, max_expansions):
+        search = lee_route(
+            ws,
+            self._conn(ws),
+            max_gaps=max_gaps,
+            max_expansions=max_expansions,
+        )
+        if search.blocked:
+            assert search.reason.endswith(" (gap cap)") == (
+                search.cap_hits > 0
+            )
+
+    def test_expansion_limit_gets_suffix_when_capped(self, ws):
+        # max_gaps=1 truncates every single-layer search past its first
+        # gap; max_expansions=1 then stops the wavefront after one
+        # expansion.  Both truncations are real, and the reason must
+        # carry the cap suffix so the failure is not read as proven.
+        search = lee_route(ws, self._conn(ws), max_gaps=1, max_expansions=1)
+        assert not search.routed
+        assert search.blocked
+        assert search.cap_hits > 0
+        assert search.reason == "expansion limit (gap cap)"
+
+    def test_clean_expansion_limit_has_no_suffix(self, ws):
+        search = lee_route(
+            ws, self._conn(ws), max_gaps=20000, max_expansions=0
+        )
+        assert search.blocked
+        assert search.cap_hits == 0
+        assert search.reason == "expansion limit"

@@ -60,7 +60,7 @@ class TestSeededCorruption:
 
     def test_via_count_drift_is_caught(self, routed):
         ws, conn = routed
-        ws.via_map._count[4, 4] += 1
+        ws.via_map._count[4 * ws.via_map.via_ny + 4] += 1
         report = WorkspaceAuditor(ws).audit()
         assert invariants(report) >= {"via-count"}
 

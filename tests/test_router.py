@@ -3,9 +3,11 @@
 import pytest
 
 from repro.board.board import Board
-from repro.core.result import Strategy
+from repro.core import router as router_module
+from repro.core.lee import LeeSearchResult
+from repro.core.result import RoutingResult, Strategy
 from repro.core.router import GreedyRouter, RouterConfig
-from repro.grid.coords import ViaPoint
+from repro.grid.coords import GridPoint, ViaPoint
 
 from tests.conftest import make_connection
 from tests.helpers import assert_result_valid
@@ -177,3 +179,120 @@ class TestStatistics:
             conns.append(c)
         result = GreedyRouter(board).route(conns)
         assert result.vias_per_connection < 1.0
+
+
+class TestCapTruncatedRipup:
+    """Cap-truncated Lee results must not drive rip-up (they are unproven).
+
+    A blocked search with ``cap_hits > 0`` was truncated at the gap cap:
+    reachable neighbors may exist past the cap, and its best points need
+    not be near real congestion.  The router retries once at
+    ``CAP_RETRY_FACTOR`` times the cap; only a clean block (no cap hits)
+    may select victims.
+    """
+
+    def _install_victim(self, ws, conn_id, row_via):
+        row = row_via * ws.grid.grid_per_via
+        builder = ws.route_builder(conn_id)
+        builder.add_link(
+            0,
+            GridPoint(0, row),
+            GridPoint(ws.grid.nx - 1, row),
+            [(row, 0, ws.grid.nx - 1)],
+        )
+        return builder.commit()
+
+    def _truncated(self, point):
+        return LeeSearchResult(
+            routed=False,
+            blocked=True,
+            reason="wavefront exhausted (gap cap)",
+            cap_hits=3,
+            best_points=(point, point),
+            exhausted_side="a",
+        )
+
+    def test_still_truncated_retry_skips_victim_selection(
+        self, board, monkeypatch
+    ):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        router = GreedyRouter(board)
+        ws = router.workspace
+        self._install_victim(ws, conn_id=7, row_via=4)
+        truncated = self._truncated(ViaPoint(5, 4))
+        monkeypatch.setattr(
+            router, "_try_strategies", lambda *a, **k: (None, None, truncated)
+        )
+        retry_caps = []
+
+        def fake_lee_route(ws_, conn_, **kwargs):
+            retry_caps.append(kwargs["max_gaps"])
+            return truncated
+
+        monkeypatch.setattr(router_module, "lee_route", fake_lee_route)
+        result = RoutingResult(workspace=ws, connections=[conn])
+        routed = router._route_connection(conn, result)
+        assert not routed
+        # Exactly one retry, at the raised cap.
+        assert retry_caps == [
+            router.config.budget.max_gaps * router_module.CAP_RETRY_FACTOR
+        ]
+        assert router.profile.counters["cap_retries"] == 1
+        # The victim was never ripped: still routed, no rip-up recorded.
+        assert ws.is_routed(7)
+        assert result.rip_up_count == 0
+        assert result.putback_count == 0
+
+    def test_clean_block_after_retry_allows_ripup(self, board, monkeypatch):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        router = GreedyRouter(board)
+        ws = router.workspace
+        self._install_victim(ws, conn_id=7, row_via=4)
+        truncated = self._truncated(ViaPoint(5, 4))
+        clean = LeeSearchResult(
+            routed=False,
+            blocked=True,
+            reason="wavefront exhausted",
+            cap_hits=0,
+            best_points=(ViaPoint(5, 4), ViaPoint(5, 4)),
+            exhausted_side="a",
+        )
+        monkeypatch.setattr(
+            router, "_try_strategies", lambda *a, **k: (None, None, truncated)
+        )
+        monkeypatch.setattr(
+            router_module, "lee_route", lambda ws_, conn_, **kw: clean
+        )
+        result = RoutingResult(workspace=ws, connections=[conn])
+        routed = router._route_connection(conn, result)
+        assert not routed
+        # The clean retry proved the blockage, so victim selection ran
+        # (the victim was ripped; the connection still failed, so
+        # putback restored it afterwards).
+        assert result.putback_count >= 1
+
+    def test_routed_retry_commits(self, board, monkeypatch):
+        conn = make_connection(board, ViaPoint(2, 2), ViaPoint(12, 9))
+        router = GreedyRouter(board)
+        ws = router.workspace
+        truncated = self._truncated(ViaPoint(5, 4))
+        monkeypatch.setattr(
+            router, "_try_strategies", lambda *a, **k: (None, None, truncated)
+        )
+
+        def fake_lee_route(ws_, conn_, **kwargs):
+            row = 4 * ws_.grid.grid_per_via
+            builder = ws_.route_builder(conn_.conn_id)
+            builder.add_link(
+                0,
+                GridPoint(0, row),
+                GridPoint(6, row),
+                [(row, 0, 6)],
+            )
+            return LeeSearchResult(routed=True, record=builder.commit())
+
+        monkeypatch.setattr(router_module, "lee_route", fake_lee_route)
+        result = RoutingResult(workspace=ws, connections=[conn])
+        assert router._route_connection(conn, result)
+        assert result.routed_by[conn.conn_id] is Strategy.LEE
+        assert router.profile.counters["cap_retries"] == 1

@@ -1,0 +1,186 @@
+"""K1 — KiCad interchange: the round-trip gate over the fixture boards.
+
+For every checked-in ``.kicad_pcb`` fixture:
+
+* **route** — import must yield a routable problem and the router must
+  complete it.  Always asserted.
+* **round trip** — import -> route -> export -> re-import must restore
+  every routed connection into an identical canonical workspace, and a
+  second export must be byte-identical to the first (the exporter never
+  disturbs content it did not write).  Always asserted.
+* **connectivity** — the re-imported board passes the independent
+  connectivity verifier with no broken connections.  Always asserted.
+
+Timings for the import/route/export legs are recorded in the JSON for
+the CI artifact trail; they are not gated (fixture boards are small and
+shared-runner wall clocks are noisy).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kicad.py --smoke
+    PYTHONPATH=src python benchmarks/bench_kicad.py --export-dir exports
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+try:
+    import repro  # noqa: F401 - probe whether src/ is importable
+except ImportError:  # direct script run without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+try:
+    from benchmarks.ci_summary import append_table, gate_mark
+except ImportError:  # run as a script: benchmarks/ is sys.path[0]
+    from ci_summary import append_table, gate_mark
+
+from repro.core.router import make_router
+from repro.io import kicad
+from repro.verify.connectivity import check_connectivity
+
+FIXTURES = Path(__file__).resolve().parents[1] / "tests" / "fixtures"
+
+
+def run_fixture(path: Path, export_dir: Optional[Path]) -> Dict:
+    name = path.stem
+
+    started = time.perf_counter()
+    imp = kicad.load_file(str(path))
+    import_seconds = time.perf_counter() - started
+
+    router = make_router(imp.board, workspace=imp.workspace)
+    started = time.perf_counter()
+    result = router.route(imp.connections)
+    route_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    exported = kicad.export_document(imp, router.workspace)
+    export_seconds = time.perf_counter() - started
+
+    re_imp = kicad.import_board(exported, path=str(path))
+    identical = (
+        re_imp.workspace.canonical_state()
+        == router.workspace.canonical_state()
+    )
+    idempotent = (
+        kicad.export_document(re_imp, re_imp.workspace) == exported
+    )
+    report = check_connectivity(
+        re_imp.board, re_imp.workspace, re_imp.connections
+    )
+
+    if export_dir is not None:
+        export_dir.mkdir(parents=True, exist_ok=True)
+        out = export_dir / f"{name}.routed.kicad_pcb"
+        out.write_text(exported, encoding="utf-8")
+
+    row = {
+        "fixture": name,
+        "connections": len(imp.connections),
+        "routed": result.routed_count,
+        "complete": result.complete,
+        "dispersed_pads": sum(1 for p in imp.pads if p.dispersed),
+        "restored": len(re_imp.restored),
+        "import_seconds": round(import_seconds, 4),
+        "route_seconds": round(route_seconds, 4),
+        "export_seconds": round(export_seconds, 4),
+        "round_trip_identical": identical,
+        "reexport_idempotent": idempotent,
+        "fully_connected": report.fully_connected,
+    }
+    row["ok"] = (
+        result.complete
+        and identical
+        and idempotent
+        and report.fully_connected
+        and len(re_imp.restored) == len(imp.connections)
+    )
+    print(
+        f"{name:14s} routed={result.routed_count}/{len(imp.connections)} "
+        f"import={import_seconds:.3f}s route={route_seconds:.3f}s "
+        f"round-trip={'ok' if identical else 'MISMATCH'} "
+        f"idempotent={'ok' if idempotent else 'MISMATCH'} "
+        f"connected={'ok' if report.fully_connected else 'BROKEN'}",
+        flush=True,
+    )
+    return row
+
+
+def run_benchmark(export_dir: Optional[Path]) -> Dict:
+    fixtures = sorted(FIXTURES.glob("*.kicad_pcb"))
+    if not fixtures:
+        raise SystemExit(f"no .kicad_pcb fixtures under {FIXTURES}")
+    rows = [run_fixture(path, export_dir) for path in fixtures]
+    return {
+        "experiment": "kicad_interchange",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "summary": {
+            "fixtures": len(rows),
+            "round_trip_all": all(r["ok"] for r in rows),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="accepted for CI symmetry; the fixture suite is already "
+        "smoke-sized",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_kicad.json",
+        help="artifact path (default: BENCH_kicad.json)",
+    )
+    parser.add_argument(
+        "--export-dir",
+        default=None,
+        help="write the exported .routed.kicad_pcb documents here "
+        "(CI uploads them as artifacts)",
+    )
+    args = parser.parse_args(argv)
+    export_dir = Path(args.export_dir) if args.export_dir else None
+    report = run_benchmark(export_dir)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    summary = report["summary"]
+    print(
+        f"wrote {args.out}: fixtures={summary['fixtures']} "
+        f"round_trip_all={summary['round_trip_all']}"
+    )
+    append_table(
+        "KiCad interchange (bench_kicad)",
+        ("fixture", "routed", "round trip", "status"),
+        [
+            (
+                r["fixture"],
+                f"{r['routed']}/{r['connections']}",
+                "identical + idempotent"
+                if r["round_trip_identical"] and r["reexport_idempotent"]
+                else "MISMATCH",
+                gate_mark(r["ok"]),
+            )
+            for r in report["rows"]
+        ],
+        note="Gate: complete routing, identical canonical workspace "
+        "after re-import, byte-idempotent re-export, clean "
+        "connectivity.",
+    )
+    return 0 if summary["round_trip_all"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

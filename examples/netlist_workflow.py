@@ -18,7 +18,7 @@ from repro.io import (
     load_routes,
     read_board,
     read_connections,
-    save_routes,
+    save_route_dump,
     write_board,
     write_connections,
 )
@@ -55,7 +55,7 @@ def main(work_dir: str = ".") -> None:
     print(f"routed {result.routed_count}/{result.total_count} "
           f"({result.summary()['cpu_seconds']}s)")
     with open(route_file, "w") as f:
-        save_routes(router.workspace, f)
+        save_route_dump(router.workspace, f)
     print(f"wrote {route_file}")
 
     # 4. A downstream tool (photoplot postprocessor, verifier, ...)

@@ -27,15 +27,31 @@ blocked or merely out of clock.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.core.budget import RouteBudget
 from repro.core.result import RoutingResult
 from repro.core.router import RouterConfig, make_router
+from repro.io.registry import LoadedBoard, load_board, load_board_text
 from repro.obs.sinks import EventSink
+
+if TYPE_CHECKING:
+    from repro.channels.workspace import RoutingWorkspace
+
+__all__ = [
+    "LoadedBoard",
+    "RouteRequest",
+    "RouteResponse",
+    "begin_eco",
+    "load_board",
+    "request_from_text",
+    "reroute",
+    "route",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +69,12 @@ class RouteRequest:
     config: Optional[RouterConfig] = None
     #: Optional routing event stream (``repro.obs``).
     sink: Optional[EventSink] = None
+    #: Pre-seeded workspace to route into.  Formats that carry routing
+    #: state of their own (kicad: dispersion traces, previously exported
+    #: routes) arrive with one; None builds a fresh workspace from the
+    #: board.  ``connections`` should then hold only the *pending*
+    #: connections — :meth:`from_path` takes care of both.
+    workspace: Optional["RoutingWorkspace"] = None
 
     def __post_init__(self) -> None:
         # Accept any iterable of connections but store a tuple, keeping
@@ -69,6 +91,43 @@ class RouteRequest:
         if self.budget is not None:
             config = replace(config, budget=self.budget)
         return config
+
+    @classmethod
+    def from_path(
+        cls,
+        path: Union[str, os.PathLike],
+        *,
+        format: str = "auto",
+        connections_path: Optional[Union[str, os.PathLike]] = None,
+        budget: Optional[RouteBudget] = None,
+        config: Optional[RouterConfig] = None,
+        sink: Optional[EventSink] = None,
+        pitch_mm: Optional[float] = None,
+    ) -> "RouteRequest":
+        """Build a request from a board file in any registered format.
+
+        Resolves the format by extension (``.kicad_pcb`` -> kicad,
+        anything else -> native text) unless ``format`` overrides it,
+        and loads through the :mod:`repro.io` registry — the same path
+        the CLI and the service use.  Boards that arrive with routing
+        state already installed (a kicad export) contribute it as the
+        request's :attr:`workspace`, and only the still-unrouted
+        connections are requested.
+        """
+        loaded = load_board(
+            path,
+            format=format,
+            connections_path=connections_path,
+            pitch_mm=pitch_mm,
+        )
+        return cls(
+            board=loaded.board,
+            connections=loaded.pending,
+            budget=budget,
+            config=config,
+            sink=sink,
+            workspace=loaded.workspace,
+        )
 
 
 @dataclass(frozen=True)
@@ -104,6 +163,7 @@ def route(request: RouteRequest) -> RouteResponse:
     router = make_router(
         request.board,
         request.resolved_config,
+        workspace=request.workspace,
         sink=request.sink,
     )
     result = router.route(list(request.connections))
@@ -122,31 +182,33 @@ def route(request: RouteRequest) -> RouteResponse:
 
 def request_from_text(
     board_text: str,
-    connections_text: str,
+    connections_text: Optional[str] = None,
     *,
+    format: str = "native",
     budget: Optional[RouteBudget] = None,
     config: Optional[RouterConfig] = None,
     sink: Optional[EventSink] = None,
 ) -> RouteRequest:
-    """Build a :class:`RouteRequest` from the :mod:`repro.io` text formats.
+    """Build a :class:`RouteRequest` from board/connections text.
 
     The service boundary (``repro.serve``, or any caller shipping boards
-    over a wire) moves boards and connection lists as the same text the
-    CLI reads and writes; this is the one place that decoding happens,
-    so the wire format and the file format can never drift apart.
+    over a wire) moves boards and connection lists as text; decoding
+    goes through the :mod:`repro.io` format registry, so the wire format
+    and the file format can never drift apart.  ``format`` must be
+    explicit (text has no extension to sniff); the default is the
+    native line-based format.  Omitting ``connections_text`` strings
+    the board's nets.
     """
-    import io
-
-    from repro.io import read_board, read_connections
-
-    board = read_board(io.StringIO(board_text))
-    connections = read_connections(io.StringIO(connections_text))
+    loaded = load_board_text(
+        board_text, connections_text, format=format
+    )
     return RouteRequest(
-        board=board,
-        connections=tuple(connections),
+        board=loaded.board,
+        connections=loaded.pending,
         budget=budget,
         config=config,
         sink=sink,
+        workspace=loaded.workspace,
     )
 
 

@@ -29,12 +29,14 @@ from repro.channels.workspace import RoutingWorkspace
 from repro.core.fastpath import BACKENDS
 from repro.core.router import GreedyRouter, RouterConfig, make_router
 from repro.io import (
+    FORMAT_KICAD,
+    FormatError,
+    detect_format,
+    load_board,
     load_routes,
-    read_board,
-    read_connections,
+    save_board,
+    save_connections,
     save_routes,
-    write_board,
-    write_connections,
 )
 from repro.stringer import Stringer
 from repro.workloads import TITAN_CONFIGS, make_titan_board
@@ -42,8 +44,8 @@ from repro.workloads import TITAN_CONFIGS, make_titan_board
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     board = make_titan_board(args.config, scale=args.scale, seed=args.seed)
-    with open(args.board, "w") as f:
-        write_board(board, f)
+    # Registry writer: a .kicad_pcb destination gets a KiCad document.
+    save_board(board, args.board)
     print(
         f"wrote {args.board}: {board.grid.via_nx}x{board.grid.via_ny} via "
         f"sites, {len(board.parts)} parts, {len(board.signal_nets)} "
@@ -53,22 +55,20 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_string(args: argparse.Namespace) -> int:
-    with open(args.board) as f:
-        board = read_board(f)
-    connections = Stringer(board).string_all()
-    with open(args.connections, "w") as f:
-        write_connections(connections, f)
-    print(f"wrote {args.connections}: {len(connections)} connections")
+    loaded = load_board(args.board, format=args.format)
+    save_connections(loaded.connections, args.connections)
+    print(
+        f"wrote {args.connections}: {len(loaded.connections)} connections"
+    )
     return 0
 
 
 def _cmd_route(args: argparse.Namespace) -> int:
     from repro.obs import JsonlSink
 
-    with open(args.board) as f:
-        board = read_board(f)
-    with open(args.connections) as f:
-        connections = read_connections(f)
+    loaded, routes_out = _load_route_inputs(args)
+    board = loaded.board
+    connections = list(loaded.pending)
     from repro.core.budget import STOP_DEADLINE, RouteBudget
 
     config = RouterConfig(
@@ -90,8 +90,15 @@ def _cmd_route(args: argparse.Namespace) -> int:
         # --audit forces it on; otherwise the GRR_AUDIT env default holds.
         config = dataclasses.replace(config, audit=True)
     sink = JsonlSink(args.trace) if args.trace else None
+    if loaded.restored:
+        print(
+            f"restored {len(loaded.restored)} routed connections from "
+            f"{args.board}; {len(connections)} left to route"
+        )
     try:
-        router = make_router(board, config, sink=sink)
+        router = make_router(
+            board, config, workspace=loaded.workspace, sink=sink
+        )
         result = router.route(connections)
     finally:
         if sink is not None:
@@ -116,8 +123,7 @@ def _cmd_route(args: argparse.Namespace) -> int:
         _print_profile(router.profile)
         if result.stopped_reason is not None:
             print(f"  stopped reason: {result.stopped_reason}")
-    with open(args.routes, "w") as f:
-        save_routes(router.workspace, f)
+    save_routes(router.workspace, routes_out, source=loaded.source)
     print(format_table([table1_row(board, connections, result)]))
     if not result.complete:
         reason = (
@@ -138,8 +144,45 @@ def _cmd_route(args: argparse.Namespace) -> int:
             )
             return 3
         return 1
-    print(f"wrote {args.routes}")
+    print(f"wrote {routes_out}")
     return 0
+
+
+def _load_route_inputs(args: argparse.Namespace):
+    """Resolve ``grr route``'s positionals for both formats.
+
+    Native text keeps the classic three-file shape: ``route BOARD
+    CONNECTIONS ROUTES``.  A kicad board embeds its netlist, so the one
+    optional positional after it is the *output* document: ``route
+    BOARD.kicad_pcb [OUT.kicad_pcb]``, defaulting to
+    ``BOARD.routed.kicad_pcb``.  Returns ``(loaded, routes_out_path)``.
+    """
+    import os
+
+    fmt = detect_format(args.board, args.format)
+    if fmt == FORMAT_KICAD:
+        if args.routes is not None:
+            raise SystemExit(
+                "kicad boards embed their netlist: usage is "
+                "'grr route BOARD.kicad_pcb [OUT.kicad_pcb]'"
+            )
+        loaded = load_board(
+            args.board, format=args.format, pitch_mm=args.pitch_mm
+        )
+        routes_out = args.connections
+        if routes_out is None:
+            stem = os.path.splitext(args.board)[0]
+            routes_out = f"{stem}.routed.kicad_pcb"
+        return loaded, routes_out
+    if args.connections is None or args.routes is None:
+        raise SystemExit(
+            "native boards need explicit files: usage is "
+            "'grr route BOARD CONNECTIONS ROUTES'"
+        )
+    loaded = load_board(
+        args.board, format=args.format, connections_path=args.connections
+    )
+    return loaded, args.routes
 
 
 def _print_profile(profile) -> None:
@@ -175,13 +218,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
         render_signal_layer,
     )
 
-    with open(args.board) as f:
-        board = read_board(f)
-    with open(args.connections) as f:
-        connections = read_connections(f)
-    workspace = RoutingWorkspace(board)
-    with open(args.routes) as f:
-        load_routes(workspace, f)
+    board, connections, workspace, _ = _load_routed_state(args)
     prefix = args.prefix
     render_problem(board, connections, path=f"{prefix}_problem.ppm")
     render_signal_layer(board, workspace, 0, path=f"{prefix}_layer0.ppm")
@@ -199,13 +236,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.verify import check_connectivity, run_drc
 
-    with open(args.board) as f:
-        board = read_board(f)
-    with open(args.connections) as f:
-        connections = read_connections(f)
-    workspace = RoutingWorkspace(board)
-    with open(args.routes) as f:
-        restored = load_routes(workspace, f)
+    board, connections, workspace, restored = _load_routed_state(args)
     drc = run_drc(board, workspace)
     connectivity = check_connectivity(board, workspace, connections)
     print(f"routes loaded: {len(restored)}")
@@ -225,6 +256,38 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     ok = drc.clean and connectivity.fully_connected
     print("VERDICT:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
+
+
+def _load_routed_state(args: argparse.Namespace):
+    """Board + connections + routed workspace for render/verify.
+
+    Native text takes the classic three files.  A routed
+    ``.kicad_pcb`` carries all three in one document, so the
+    connections/routes positionals are omitted.
+    """
+    if detect_format(args.board) == FORMAT_KICAD:
+        if args.connections is not None or args.routes is not None:
+            raise SystemExit(
+                "a .kicad_pcb carries its netlist and routes; usage is "
+                f"'grr {args.command} BOARD.kicad_pcb'"
+            )
+        loaded = load_board(args.board)
+        return (
+            loaded.board,
+            list(loaded.connections),
+            loaded.workspace,
+            list(loaded.restored),
+        )
+    if args.connections is None or args.routes is None:
+        raise SystemExit(
+            f"native boards need explicit files: usage is "
+            f"'grr {args.command} BOARD CONNECTIONS ROUTES'"
+        )
+    loaded = load_board(args.board, connections_path=args.connections)
+    workspace = RoutingWorkspace(loaded.board)
+    with open(args.routes) as f:
+        restored = load_routes(workspace, f)
+    return loaded.board, list(loaded.connections), workspace, restored
 
 
 def _parse_move(spec: str):
@@ -260,13 +323,9 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     from repro.eco import EcoError, EcoSession
     from repro.obs import JsonlSink
 
-    with open(args.board) as f:
-        board = read_board(f)
-    with open(args.connections) as f:
-        connections = read_connections(f)
-    workspace = RoutingWorkspace(board)
-    with open(args.routes_in) as f:
-        restored = load_routes(workspace, f)
+    loaded, workspace, restored, routes_out = _load_eco_inputs(args)
+    board = loaded.board
+    connections = list(loaded.connections)
     config = RouterConfig(
         radius=args.radius, cost=args.cost, workers=args.workers
     )
@@ -332,16 +391,23 @@ def _cmd_eco(args: argparse.Namespace) -> int:
             )
             if args.profile:
                 _print_profile_counters(counters, response.timings)
-            with open(args.routes_out, "w") as f:
-                save_routes(session.workspace, f)
-            if args.write_board:
-                with open(args.write_board, "w") as f:
-                    write_board(session.board, f)
-                print(f"wrote {args.write_board}")
-            if args.write_connections:
-                with open(args.write_connections, "w") as f:
-                    write_connections(session.connections, f)
-                print(f"wrote {args.write_connections}")
+            save_routes(
+                session.workspace, routes_out, source=loaded.source
+            )
+            # The side writers follow the same extension-detection rules
+            # as inputs: --write-board out.kicad_pcb gets a KiCad doc.
+            try:
+                if args.write_board:
+                    save_board(session.board, args.write_board)
+                    print(f"wrote {args.write_board}")
+                if args.write_connections:
+                    save_connections(
+                        session.connections, args.write_connections
+                    )
+                    print(f"wrote {args.write_connections}")
+            except FormatError as exc:
+                print(f"output rejected: {exc}", file=sys.stderr)
+                return 2
             failed = result.failed
             total = len(session.connections)
     finally:
@@ -365,8 +431,48 @@ def _cmd_eco(args: argparse.Namespace) -> int:
             )
             return 3
         return 1
-    print(f"wrote {args.routes_out}")
+    print(f"wrote {routes_out}")
     return 0
+
+
+def _load_eco_inputs(args: argparse.Namespace):
+    """Resolve ``grr eco``'s positionals for both formats.
+
+    Native text keeps the classic four-file shape: ``eco BOARD
+    CONNECTIONS ROUTES_IN ROUTES_OUT``.  A kicad board carries its
+    netlist and routed state in one document, so the shape collapses to
+    ``eco BOARD.kicad_pcb [OUT.kicad_pcb]`` (default
+    ``BOARD.eco.kicad_pcb``).  Returns ``(loaded, workspace, restored,
+    routes_out_path)``.
+    """
+    import os
+
+    if detect_format(args.board) == FORMAT_KICAD:
+        if args.routes_in is not None or args.routes_out is not None:
+            raise SystemExit(
+                "a .kicad_pcb carries its netlist and routes; usage is "
+                "'grr eco BOARD.kicad_pcb [OUT.kicad_pcb]'"
+            )
+        loaded = load_board(args.board)
+        routes_out = args.connections
+        if routes_out is None:
+            stem = os.path.splitext(args.board)[0]
+            routes_out = f"{stem}.eco.kicad_pcb"
+        return loaded, loaded.workspace, list(loaded.restored), routes_out
+    if (
+        args.connections is None
+        or args.routes_in is None
+        or args.routes_out is None
+    ):
+        raise SystemExit(
+            "native boards need explicit files: usage is "
+            "'grr eco BOARD CONNECTIONS ROUTES_IN ROUTES_OUT'"
+        )
+    loaded = load_board(args.board, connections_path=args.connections)
+    workspace = RoutingWorkspace(loaded.board)
+    with open(args.routes_in) as f:
+        restored = load_routes(workspace, f)
+    return loaded, workspace, restored, args.routes_out
 
 
 def _print_profile_counters(counters, timings) -> None:
@@ -376,6 +482,49 @@ def _print_profile_counters(counters, timings) -> None:
         print(f"  {name:<12} {seconds:>8.3f}s")
     for counter, amount in sorted(counters.items()):
         print(f"  {counter}: {amount}")
+
+
+def _cmd_kicad(args: argparse.Namespace) -> int:
+    from repro.io import kicad
+
+    if args.action == "inspect":
+        imp = kicad.load_file(args.board, pitch_mm=args.pitch_mm)
+        for key, value in imp.summary().items():
+            print(f"{key}: {value}")
+        return 0
+    if args.action == "import":
+        loaded = load_board(
+            args.board, format="kicad", pitch_mm=args.pitch_mm
+        )
+        save_board(loaded.board, args.out_board)
+        save_connections(loaded.connections, args.out_connections)
+        print(
+            f"wrote {args.out_board} ({len(loaded.board.parts)} parts, "
+            f"{len(loaded.board.nets)} nets) and {args.out_connections} "
+            f"({len(loaded.connections)} connections)"
+        )
+        if args.out_routes:
+            # Only restored route records survive the native dump; the
+            # dispersion traces are re-derived on any later import.
+            with open(args.out_routes, "w") as f:
+                from repro.io import save_route_dump
+
+                save_route_dump(loaded.workspace, f)
+            print(
+                f"wrote {args.out_routes} "
+                f"({len(loaded.restored)} restored routes)"
+            )
+        return 0
+    # export: write a native route dump back into the original document
+    imp = kicad.load_file(args.board, pitch_mm=args.pitch_mm)
+    with open(args.routes) as f:
+        restored = load_routes(imp.workspace, f)
+    kicad.save_file(imp, args.out, imp.workspace)
+    print(
+        f"wrote {args.out}: {len(restored) + len(imp.restored)} routed "
+        "connections as copper"
+    )
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -428,14 +577,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_generate)
 
     p = sub.add_parser("string", help="net stringing (Section 3)")
-    p.add_argument("board", help="input board file")
+    p.add_argument("board", help="input board file (native or .kicad_pcb)")
     p.add_argument("connections", help="output connection file")
+    p.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", "native", "kicad"],
+        help="input board format (default: by extension)",
+    )
     p.set_defaults(func=_cmd_string)
 
-    p = sub.add_parser("route", help="route a connection list")
-    p.add_argument("board", help="input board file")
-    p.add_argument("connections", help="input connection file")
-    p.add_argument("routes", help="output route dump")
+    p = sub.add_parser("route", help="route a board")
+    p.add_argument(
+        "board", help="input board file (native text or .kicad_pcb)"
+    )
+    p.add_argument(
+        "connections",
+        nargs="?",
+        default=None,
+        help="native: input connection file; kicad: optional output "
+        "document (default BOARD.routed.kicad_pcb)",
+    )
+    p.add_argument(
+        "routes",
+        nargs="?",
+        default=None,
+        help="native: output route dump (unused for kicad input)",
+    )
+    p.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", "native", "kicad"],
+        help="input board format (default: by extension)",
+    )
+    p.add_argument(
+        "--pitch-mm",
+        type=float,
+        default=None,
+        help="via-grid pitch for kicad import (default 2.54)",
+    )
     p.add_argument("--radius", type=int, default=1)
     p.add_argument(
         "--cost",
@@ -495,15 +675,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("render", help="Figure 20/21/22 artifacts")
     p.add_argument("board")
-    p.add_argument("connections")
-    p.add_argument("routes")
+    p.add_argument("connections", nargs="?", default=None)
+    p.add_argument("routes", nargs="?", default=None)
     p.add_argument("--prefix", default="grr")
     p.set_defaults(func=_cmd_render)
 
     p = sub.add_parser("verify", help="DRC + connectivity verification")
     p.add_argument("board")
-    p.add_argument("connections")
-    p.add_argument("routes")
+    p.add_argument("connections", nargs="?", default=None)
+    p.add_argument("routes", nargs="?", default=None)
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
@@ -511,10 +691,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply change orders to a routed board and reroute the "
         "residue incrementally",
     )
-    p.add_argument("board", help="input board file")
-    p.add_argument("connections", help="input connection file")
-    p.add_argument("routes_in", help="input route dump (the routed state)")
-    p.add_argument("routes_out", help="output route dump after the ECO")
+    p.add_argument(
+        "board", help="input board file (native text or .kicad_pcb)"
+    )
+    p.add_argument(
+        "connections",
+        nargs="?",
+        default=None,
+        help="native: input connection file; kicad: optional output "
+        "document (default BOARD.eco.kicad_pcb)",
+    )
+    p.add_argument(
+        "routes_in",
+        nargs="?",
+        default=None,
+        help="native: input route dump (unused for kicad input)",
+    )
+    p.add_argument(
+        "routes_out",
+        nargs="?",
+        default=None,
+        help="native: output route dump (unused for kicad input)",
+    )
     p.add_argument(
         "--move-part",
         action="append",
@@ -569,6 +767,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--audit", action="store_true")
     p.add_argument("--profile", action="store_true")
     p.set_defaults(func=_cmd_eco)
+
+    p = sub.add_parser(
+        "kicad",
+        help="KiCad board interchange: inspect/import/export "
+        ".kicad_pcb documents",
+    )
+    kicad_sub = p.add_subparsers(dest="action", required=True)
+
+    k = kicad_sub.add_parser(
+        "inspect", help="summarise how a .kicad_pcb maps onto the grid"
+    )
+    k.add_argument("board", help="input .kicad_pcb")
+    k.add_argument("--pitch-mm", type=float, default=None)
+    k.set_defaults(func=_cmd_kicad)
+
+    k = kicad_sub.add_parser(
+        "import", help="convert a .kicad_pcb to the native text formats"
+    )
+    k.add_argument("board", help="input .kicad_pcb")
+    k.add_argument("out_board", help="output native board file")
+    k.add_argument("out_connections", help="output native connection file")
+    k.add_argument(
+        "out_routes",
+        nargs="?",
+        default=None,
+        help="optional output route dump of routes embedded in the "
+        "document",
+    )
+    k.add_argument("--pitch-mm", type=float, default=None)
+    k.set_defaults(func=_cmd_kicad)
+
+    k = kicad_sub.add_parser(
+        "export",
+        help="write a native route dump back into a .kicad_pcb as "
+        "segment/via copper",
+    )
+    k.add_argument("board", help="the original .kicad_pcb")
+    k.add_argument("routes", help="native route dump for that board")
+    k.add_argument("out", help="output .kicad_pcb")
+    k.add_argument("--pitch-mm", type=float, default=None)
+    k.set_defaults(func=_cmd_kicad)
 
     p = sub.add_parser(
         "serve",

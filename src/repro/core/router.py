@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
-from dataclasses import InitVar, dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.board.board import Board
@@ -84,10 +83,9 @@ class RouterConfig:
 
     All effort and wall-clock limits live in the nested :attr:`budget`
     (:class:`repro.core.budget.RouteBudget`).  The pre-budget flat knobs
-    (``max_lee_expansions`` / ``max_gaps`` / ``max_ripup_rounds``) are
-    still accepted as constructor keywords and readable as attributes, but
-    both directions emit :class:`DeprecationWarning` — use
-    ``budget=RouteBudget(...)`` instead.
+    (``max_lee_expansions`` / ``max_gaps`` / ``max_ripup_rounds``),
+    deprecated through one release, are gone: pass
+    ``budget=RouteBudget(...)``.
     """
 
     radius: int = 1
@@ -147,35 +145,8 @@ class RouterConfig:
     #: routes), or ``"auto"`` (numpy when installed, else python).
     #: Defaults from the ``GRR_BACKEND`` environment variable.
     backend: str = field(default_factory=_backend_default)
-    #: Deprecated flat spellings of the :attr:`budget` effort caps; kept
-    #: as constructor keywords for back compatibility.
-    max_lee_expansions: InitVar[Optional[int]] = None
-    max_gaps: InitVar[Optional[int]] = None
-    max_ripup_rounds: InitVar[Optional[int]] = None
 
-    def __post_init__(
-        self,
-        max_lee_expansions: Optional[int],
-        max_gaps: Optional[int],
-        max_ripup_rounds: Optional[int],
-    ) -> None:
-        overrides = {
-            name: value
-            for name, value in (
-                ("max_lee_expansions", max_lee_expansions),
-                ("max_gaps", max_gaps),
-                ("max_ripup_rounds", max_ripup_rounds),
-            )
-            if value is not None
-        }
-        if overrides:
-            warnings.warn(
-                f"RouterConfig({', '.join(sorted(overrides))}) is "
-                "deprecated; pass budget=RouteBudget(...) instead",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-            self.budget = replace(self.budget, **overrides)
+    def __post_init__(self) -> None:
         if self.radius < 0:
             raise ValueError("radius must be non-negative")
         if self.workers < 1:
@@ -204,35 +175,6 @@ class RouterConfig:
         """The resolved wavefront cost function."""
         return COST_FUNCTIONS[self.cost]
 
-
-def _deprecated_budget_alias(name: str) -> property:
-    """Read-only ``cfg.<name>`` alias for ``cfg.budget.<name>`` (warns)."""
-
-    def getter(self: RouterConfig) -> int:
-        warnings.warn(
-            f"RouterConfig.{name} is deprecated; "
-            f"read RouterConfig.budget.{name} instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return getattr(self.budget, name)
-
-    getter.__name__ = name
-    return property(getter)
-
-
-# The InitVar keywords above never become instance attributes, so these
-# class-level properties serve attribute *reads* of the old flat knobs.
-# The InitVar entries are then dropped from ``__dataclass_fields__``:
-# ``dataclasses.replace`` re-passes defaulted InitVars via ``getattr``,
-# which would route every replace() through the deprecated properties and
-# re-trigger the keyword deprecation path.  ``fields()``/``asdict`` never
-# report InitVars, so the only observable change is that replace() leaves
-# them alone — exactly the behaviour we want.
-for _alias in ("max_lee_expansions", "max_gaps", "max_ripup_rounds"):
-    setattr(RouterConfig, _alias, _deprecated_budget_alias(_alias))
-    del RouterConfig.__dataclass_fields__[_alias]
-del _alias
 
 
 def make_router(

@@ -16,7 +16,7 @@ on-grid pin that the router treats like any through-hole pin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.board.board import Board
@@ -47,6 +47,10 @@ class DispersedPad:
     pin: Pin  # the on-grid pin the router will use
     via: ViaPoint
     trace_cells: int  # length of the top-layer dispersion trace
+    #: Exact installed occupancy of the dispersion trace, as
+    #: ``(layer_index, channel_index, lo, hi)`` pieces — what an exporter
+    #: (``repro.io.kicad``) needs to draw the pad-to-via link as copper.
+    segments: List[tuple] = field(default_factory=list)
 
 
 def _spiral_vias(
@@ -80,23 +84,33 @@ def disperse_pads(
     part_name: str = "smd",
     max_radius: int = 3,
     top_layer: int = 0,
+    avoid: Sequence[GridPoint] = (),
 ) -> List[DispersedPad]:
     """Connect surface pads to nearby via sites with top-layer traces.
 
     For each pad: pick the nearest free via site reachable by a top-layer
     trace, place a single-pin part there (the router's view of the pad),
     drill it, and install the dispersion trace under the pin's immovable
-    owner.  Raises :class:`DispersionError` if any pad cannot be placed —
-    "an irregular via pattern ... would almost certainly create blockages"
+    owner.  A dispersion trace never crosses another not-yet-dispersed
+    pad — neither a later entry of ``pads`` nor any point in ``avoid``
+    (pads a caller will disperse in a separate call) — because a trace
+    over a pending pad's cell would leave that pad unplaceable; this is
+    what makes fine-pitch rows (several pads per via pitch) work.
+    Raises :class:`DispersionError` if any pad cannot be placed — "an
+    irregular via pattern ... would almost certainly create blockages"
     is exactly what the nearest-first search avoids.
     """
     results: List[DispersedPad] = []
     layer = workspace.layers[top_layer]
+    pending = {(p.gx, p.gy) for p in avoid}
+    pending.update((p.position.gx, p.position.gy) for p in pads)
     for pad in pads:
         if not board.grid.contains_grid(pad.position):
             raise DispersionError(f"pad {pad.position} is off the board")
+        pending.discard((pad.position.gx, pad.position.gy))
         placed = _disperse_one(
-            board, workspace, layer, top_layer, pad, part_name, max_radius
+            board, workspace, layer, top_layer, pad, part_name,
+            max_radius, pending,
         )
         if placed is None:
             raise DispersionError(
@@ -104,6 +118,18 @@ def disperse_pads(
             )
         results.append(placed)
     return results
+
+
+def _covers_pending(layer, pieces, pending) -> bool:
+    """True if any cell of a candidate trace sits on a pending pad."""
+    if not pending:
+        return False
+    for channel_index, lo, hi in pieces:
+        for coord in range(lo, hi + 1):
+            point = layer.cc_point(channel_index, coord)
+            if (point.gx, point.gy) in pending:
+                return True
+    return False
 
 
 def _disperse_one(
@@ -114,6 +140,7 @@ def _disperse_one(
     pad: PadSpec,
     part_name: str,
     max_radius: int,
+    pending=frozenset(),
 ) -> Optional[DispersedPad]:
     package = sip_package(1)
     r = max_radius * board.grid.grid_per_via
@@ -130,7 +157,7 @@ def _disperse_one(
             continue
         via_point = board.grid.via_to_grid(via)
         pieces = trace(layer, pad.position, via_point, box)
-        if pieces is None:
+        if pieces is None or _covers_pending(layer, pieces, pending):
             continue
         part = board.add_part(
             package,
@@ -144,6 +171,7 @@ def _disperse_one(
         # under the same immovable owner.
         workspace.drill_via(via, pin.owner_token)
         cells = 0
+        segments: List[tuple] = []
         for channel_index, lo, hi in pieces:
             installed = workspace.add_segment(
                 top_layer,
@@ -154,5 +182,8 @@ def _disperse_one(
                 passable=frozenset((pin.owner_token,)),
             )
             cells += sum(seg[3] - seg[2] + 1 for seg in installed)
-        return DispersedPad(pad=pad, pin=pin, via=via, trace_cells=cells)
+            segments.extend(installed)
+        return DispersedPad(
+            pad=pad, pin=pin, via=via, trace_cells=cells, segments=segments
+        )
     return None

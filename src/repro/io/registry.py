@@ -1,0 +1,276 @@
+"""Format registry: one loading/saving path for every board format.
+
+Callers — the CLI, the service, :mod:`repro.api` — never pick a parser
+themselves.  They hand a path to :func:`load_board` (or text to
+:func:`load_board_text`) and get back a :class:`LoadedBoard` no matter
+whether the file was the native line-based format or a KiCad
+``.kicad_pcb``.  :func:`detect_format` maps extensions to format names,
+with ``format=`` as the explicit override; the writers
+(:func:`save_board`, :func:`save_connections`, :func:`save_routes`)
+apply the same extension rules so a ``--write-board out.kicad_pcb``
+lands in the format its name promises.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+from typing import TYPE_CHECKING
+
+from repro.board.board import Board
+from repro.board.nets import Connection
+
+if TYPE_CHECKING:
+    from repro.channels.workspace import RoutingWorkspace
+
+FORMAT_NATIVE = "native"
+FORMAT_KICAD = "kicad"
+
+#: Extension -> format name.  Anything unlisted loads as native text —
+#: the historical default for ``.board``/``.txt``/extension-less paths.
+_EXTENSIONS = {
+    ".kicad_pcb": FORMAT_KICAD,
+}
+
+_KNOWN_FORMATS = (FORMAT_NATIVE, FORMAT_KICAD)
+
+
+class FormatError(ValueError):
+    """A path/format combination the registry cannot satisfy."""
+
+
+@dataclass
+class LoadedBoard:
+    """A board plus everything a format's loader derived from the file.
+
+    ``workspace`` is non-None when the format carries routing state of
+    its own (a ``.kicad_pcb`` pre-seeds dispersion traces and any routes
+    restored from a previous export); ``restored`` lists the connection
+    ids already routed in that workspace.  ``source`` keeps the
+    format-specific import object (a
+    :class:`repro.io.kicad.KicadImport`) that the matching
+    :func:`save_routes` needs to write results back.
+    """
+
+    board: Board
+    connections: Tuple[Connection, ...]
+    format: str
+    path: Optional[str] = None
+    workspace: Optional["RoutingWorkspace"] = None
+    restored: Tuple[int, ...] = ()
+    source: Optional[object] = None
+
+    @property
+    def pending(self) -> Tuple[Connection, ...]:
+        """Connections not already routed in :attr:`workspace`."""
+        if self.workspace is None or not self.restored:
+            return self.connections
+        done = set(self.restored)
+        return tuple(
+            conn for conn in self.connections if conn.conn_id not in done
+        )
+
+
+def detect_format(path: Union[str, os.PathLike], format: str = "auto") -> str:
+    """The format a path resolves to: by extension, or the override.
+
+    ``format="auto"`` (the default) maps ``.kicad_pcb`` to ``"kicad"``
+    and everything else to ``"native"``.  Any other value names a format
+    explicitly and merely has to be one the registry knows.
+    """
+    if format != "auto":
+        if format not in _KNOWN_FORMATS:
+            raise FormatError(
+                f"unknown format {format!r}; expected one of "
+                f"{', '.join(_KNOWN_FORMATS)} or 'auto'"
+            )
+        return format
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    return _EXTENSIONS.get(ext, FORMAT_NATIVE)
+
+
+def load_board(
+    path: Union[str, os.PathLike],
+    *,
+    format: str = "auto",
+    connections_path: Optional[Union[str, os.PathLike]] = None,
+    pitch_mm: Optional[float] = None,
+) -> LoadedBoard:
+    """Load a board (and its connection list) from any known format.
+
+    Native boards take their connections from ``connections_path`` when
+    given, else from stringing the board's nets.  KiCad boards always
+    derive connections from the document's nets (``connections_path`` is
+    rejected), and arrive with a pre-seeded workspace: dispersion traces
+    for off-grid pads, plus any routes a previous export embedded.
+    """
+    path = os.fspath(path)
+    resolved = detect_format(path, format)
+    if resolved == FORMAT_KICAD:
+        if connections_path is not None:
+            raise FormatError(
+                "kicad boards embed their netlist; a separate "
+                "connections file cannot be combined with "
+                f"{os.path.basename(path)}"
+            )
+        from repro.io import kicad
+
+        imp = kicad.load_file(path, pitch_mm=pitch_mm)
+        return LoadedBoard(
+            board=imp.board,
+            connections=tuple(imp.connections),
+            format=FORMAT_KICAD,
+            path=path,
+            workspace=imp.workspace,
+            restored=tuple(imp.restored),
+            source=imp,
+        )
+    from repro.io.netlist import read_board, read_connections
+
+    with open(path, encoding="utf-8") as stream:
+        board = read_board(stream)
+    if connections_path is not None:
+        with open(os.fspath(connections_path), encoding="utf-8") as stream:
+            connections = tuple(read_connections(stream))
+    else:
+        from repro.stringer import Stringer
+
+        connections = tuple(Stringer(board).string_all())
+    return LoadedBoard(
+        board=board,
+        connections=connections,
+        format=FORMAT_NATIVE,
+        path=path,
+    )
+
+
+def load_board_text(
+    board_text: str,
+    connections_text: Optional[str] = None,
+    *,
+    format: str = FORMAT_NATIVE,
+    pitch_mm: Optional[float] = None,
+) -> LoadedBoard:
+    """Text-level counterpart of :func:`load_board` (the wire path).
+
+    The service boundary ships boards as text; this is the one place
+    that decoding happens, so the wire format and the file format can
+    never drift apart.  ``format`` must be explicit — text has no
+    extension to sniff.
+    """
+    if format == "auto":
+        raise FormatError("text input needs an explicit format")
+    if format == FORMAT_KICAD:
+        if connections_text is not None:
+            raise FormatError("kicad boards embed their netlist")
+        from repro.io import kicad
+
+        imp = kicad.import_board(board_text, pitch_mm=pitch_mm)
+        return LoadedBoard(
+            board=imp.board,
+            connections=tuple(imp.connections),
+            format=FORMAT_KICAD,
+            workspace=imp.workspace,
+            restored=tuple(imp.restored),
+            source=imp,
+        )
+    if format != FORMAT_NATIVE:
+        raise FormatError(f"unknown format {format!r}")
+    from repro.io.netlist import read_board, read_connections
+
+    board = read_board(_io.StringIO(board_text))
+    if connections_text is not None:
+        connections = tuple(
+            read_connections(_io.StringIO(connections_text))
+        )
+    else:
+        from repro.stringer import Stringer
+
+        connections = tuple(Stringer(board).string_all())
+    return LoadedBoard(
+        board=board,
+        connections=connections,
+        format=FORMAT_NATIVE,
+    )
+
+
+def save_board(
+    board: Board,
+    path: Union[str, os.PathLike],
+    *,
+    format: str = "auto",
+) -> None:
+    """Write a board in the format its destination path implies."""
+    path = os.fspath(path)
+    resolved = detect_format(path, format)
+    if resolved == FORMAT_KICAD:
+        from repro.io import kicad
+
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(kicad.write_board_sexp(board))
+        return
+    from repro.io.netlist import write_board
+
+    with open(path, "w", encoding="utf-8") as stream:
+        write_board(board, stream)
+
+
+def save_connections(
+    connections: Sequence[Connection],
+    path: Union[str, os.PathLike],
+    *,
+    format: str = "auto",
+) -> None:
+    """Write a connection list in the format the path implies.
+
+    KiCad has no standalone connection-list document — its netlist
+    lives inside the board — so a ``.kicad_pcb`` destination is
+    rejected with a pointer at ``save_board``.
+    """
+    path = os.fspath(path)
+    resolved = detect_format(path, format)
+    if resolved == FORMAT_KICAD:
+        raise FormatError(
+            "kicad has no standalone connection-list file; the netlist "
+            "is part of the board document (use save_board)"
+        )
+    from repro.io.netlist import write_connections
+
+    with open(path, "w", encoding="utf-8") as stream:
+        write_connections(connections, stream)
+
+
+def save_routes(
+    workspace: "RoutingWorkspace",
+    path: Union[str, os.PathLike],
+    *,
+    format: str = "auto",
+    source: Optional[object] = None,
+) -> None:
+    """Write routing results in the format the path implies.
+
+    Native destinations get the reloadable route dump.  A
+    ``.kicad_pcb`` destination writes the routed copper back into the
+    original document — which requires the :class:`LoadedBoard.source`
+    import object, so only boards loaded *from* kicad can export to it.
+    """
+    path = os.fspath(path)
+    resolved = detect_format(path, format)
+    if resolved == FORMAT_KICAD:
+        from repro.io import kicad
+
+        if source is None:
+            raise FormatError(
+                "exporting routes to .kicad_pcb needs the original "
+                "import (LoadedBoard.source); the board was not loaded "
+                "from a kicad document"
+            )
+        kicad.save_file(source, path, workspace)
+        return
+    from repro.io.dump import save_routes as save_dump
+
+    with open(path, "w", encoding="utf-8") as stream:
+        save_dump(workspace, stream)

@@ -40,7 +40,7 @@ from repro.core.result import Strategy
 from repro.core.router import RouterConfig
 from repro.eco import EcoError, EcoSession
 from repro.grid.coords import ViaPoint
-from repro.io import load_routes, save_routes
+from repro.io import load_routes, save_route_dump
 from repro.obs.events import ServeAccept, ServeAdmit, ServeEvict, ServeReject
 from repro.obs.sinks import NULL_SINK, EventSink
 from repro.serve.admission import AdmissionController, AdmissionRejected
@@ -95,6 +95,25 @@ def _require_str(body: Dict[str, object], field: str) -> str:
     if not isinstance(value, str) or not value:
         raise HttpError(400, f"missing or non-string field {field!r}")
     return value
+
+
+def _board_format(body: Dict[str, object]) -> str:
+    """The wire board format: native text unless the request says kicad."""
+    value = body.get("format", "native")
+    if not isinstance(value, str) or value not in ("native", "kicad"):
+        raise HttpError(400, "format must be 'native' or 'kicad'")
+    return value
+
+
+def _connections_text(body: Dict[str, object], board_format: str):
+    """Connections text: required for native boards, absent for kicad."""
+    if board_format == "kicad":
+        if body.get("connections"):
+            raise HttpError(
+                400, "kicad boards embed their netlist; omit 'connections'"
+            )
+        return None
+    return _require_str(body, "connections")
 
 
 def _router_config(body: Dict[str, object], default_workers: int):
@@ -342,7 +361,7 @@ class RoutingServer:
         }
         if include_routes:
             buffer = io.StringIO()
-            save_routes(workspace, buffer)
+            save_route_dump(workspace, buffer)
             payload["routes"] = buffer.getvalue()
         return payload
 
@@ -353,7 +372,8 @@ class RoutingServer:
     async def _handle_route(self, request: Request, writer) -> None:
         body = request.json()
         board_text = _require_str(body, "board")
-        connections_text = _require_str(body, "connections")
+        board_format = _board_format(body)
+        connections_text = _connections_text(body, board_format)
         router_config = _router_config(body, self.config.workers)
         include_routes = bool(body.get("include_routes", False))
         wait = bool(body.get("wait", True))
@@ -365,6 +385,7 @@ class RoutingServer:
             req = request_from_text(
                 board_text,
                 connections_text,
+                format=board_format,
                 budget=budget,
                 config=router_config,
                 sink=sink,
@@ -386,7 +407,8 @@ class RoutingServer:
         body = request.json()
         name = _require_str(body, "session")
         board_text = _require_str(body, "board")
-        connections_text = _require_str(body, "connections")
+        board_format = _board_format(body)
+        connections_text = _connections_text(body, board_format)
         routes_text = body.get("routes")
         router_config = _router_config(body, self.config.workers)
         include_routes = bool(body.get("include_routes", False))
@@ -403,6 +425,7 @@ class RoutingServer:
                 req = request_from_text(
                     board_text,
                     connections_text,
+                    format=board_format,
                     config=router_config,
                 )
                 workspace = RoutingWorkspace(req.board)
@@ -443,6 +466,7 @@ class RoutingServer:
             req = request_from_text(
                 board_text,
                 connections_text,
+                format=board_format,
                 budget=budget,
                 config=router_config,
                 sink=sink,

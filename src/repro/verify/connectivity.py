@@ -19,6 +19,7 @@ from repro.board.board import Board
 from repro.board.nets import Connection
 from repro.board.parts import PinRole
 from repro.channels.workspace import RouteRecord, RoutingWorkspace
+from repro.grid.coords import GridPoint
 from repro.grid.geometry import Orientation
 
 
@@ -65,12 +66,76 @@ def _link_cells(
     return cells
 
 
+def _occupancy_is_path(
+    workspace: RoutingWorkspace, conn: Connection, record: RouteRecord
+) -> bool:
+    """Flood-fill the record's installed copper from pin a to pin b.
+
+    In-layer adjacency is the same 4-neighbourhood the link-level check
+    uses (lateral jogs join adjacent channels); layers connect at via
+    sites drilled in the workspace — the record's own vias plus the
+    endpoint pins' holes.
+    """
+    grid = workspace.grid
+    cells: Set[Tuple[int, int, int]] = set()
+    for layer_index, channel_index, lo, hi in record.segments:
+        layer = workspace.layers[layer_index]
+        for coord in range(lo, hi + 1):
+            point = layer.cc_point(channel_index, coord)
+            cells.add((layer_index, point.gx, point.gy))
+    if not cells:
+        return conn.a == conn.b
+    start = grid.via_to_grid(conn.a)
+    goal = grid.via_to_grid(conn.b)
+    # Installed occupancy is clipped around the endpoint pins (the pin
+    # owns its own cell), so stand the pins back up as copper on every
+    # layer — their holes span the stack.
+    for point in (start, goal):
+        for layer_index in range(len(workspace.layers)):
+            cells.add((layer_index, point.gx, point.gy))
+    goals = {c for c in cells if (c[1], c[2]) == (goal.gx, goal.gy)}
+    frontier = [
+        c for c in cells if (c[1], c[2]) == (start.gx, start.gy)
+    ]
+    seen = set(frontier)
+    g = grid.grid_per_via
+    while frontier:
+        cell = frontier.pop()
+        if cell in goals:
+            return True
+        layer_index, x, y = cell
+        # Same 4-neighbourhood the link-level check uses: the routing
+        # model joins adjacent cells across channels (lateral jogs).
+        neighbours = [
+            (layer_index, nx, ny)
+            for nx, ny in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1))
+        ]
+        if x % g == 0 and y % g == 0 and workspace.via_map.is_drilled(
+            grid.grid_to_via(GridPoint(x, y))
+        ):
+            neighbours.extend(
+                (other, x, y)
+                for other in range(len(workspace.layers))
+                if other != layer_index
+            )
+        for nxt in neighbours:
+            if nxt in cells and nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
 def connection_is_path(
     workspace: RoutingWorkspace, conn: Connection, record: RouteRecord
 ) -> bool:
     """True if the record's links really connect pin a to pin b."""
     grid = workspace.grid
     if not record.links:
+        # Records restored from formats that carry no path metadata
+        # (a kicad export stores only copper) are checked at the
+        # occupancy level instead.
+        if record.segments:
+            return _occupancy_is_path(workspace, conn, record)
         return conn.a == conn.b
     if record.links[0].a != grid.via_to_grid(conn.a):
         return False

@@ -9,7 +9,7 @@ from repro.channels.workspace import RoutingWorkspace
 from repro.core.result import Strategy
 from repro.core.router import GreedyRouter
 from repro.extensions.power_plane import FeatureKind, generate_power_plane
-from repro.io import load_routes, read_board, save_routes, write_board
+from repro.io import load_routes, read_board, save_route_dump, write_board
 from repro.stringer import Stringer
 from repro.workloads import BoardSpec, generate_board, make_titan_board
 
@@ -76,7 +76,7 @@ class TestFullFlow:
         board_buf.seek(0)
         board2 = read_board(board_buf)
         route_buf = io.StringIO()
-        save_routes(router.workspace, route_buf)
+        save_route_dump(router.workspace, route_buf)
         route_buf.seek(0)
         ws2 = RoutingWorkspace(board2)
         restored = load_routes(ws2, route_buf)

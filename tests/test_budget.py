@@ -1,7 +1,7 @@
 """Deadline/budget enforcement: graceful degradation, never an exception.
 
 Covers :mod:`repro.core.budget` (value validation, tracker mechanics on
-a fake clock), the deprecated flat ``RouterConfig`` knobs, and the
+a fake clock), the removal of the flat ``RouterConfig`` knobs, and the
 routing-level contract: an exhausted budget yields a *partial but valid*
 result — auditor-clean workspace, ``stopped_reason`` set, per-connection
 failure reasons — at both ``workers=1`` and ``workers=4``.
@@ -69,21 +69,31 @@ class TestRouteBudget:
             RouteBudget(**kwargs)
 
 
-class TestDeprecatedConfigKnobs:
-    def test_flat_kwargs_still_work_with_warning(self):
-        with pytest.warns(DeprecationWarning, match="budget=RouteBudget"):
-            config = RouterConfig(max_gaps=123, max_lee_expansions=456)
-        assert config.budget.max_gaps == 123
-        assert config.budget.max_lee_expansions == 456
-        # Unspecified caps keep their defaults.
-        assert config.budget.max_ripup_rounds == 10
+class TestRemovedConfigKnobs:
+    """PR 4's deprecation cycle is complete: the flat spellings of the
+    budget caps are gone from ``RouterConfig`` in both directions."""
 
-    def test_flat_attribute_reads_alias_the_budget(self):
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_lee_expansions": 456},
+            {"max_gaps": 123},
+            {"max_ripup_rounds": 5},
+        ],
+    )
+    def test_flat_kwargs_rejected(self, kwargs):
+        with pytest.raises(TypeError):
+            RouterConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "name", ["max_lee_expansions", "max_gaps", "max_ripup_rounds"]
+    )
+    def test_flat_attribute_reads_rejected(self, name):
         config = RouterConfig(budget=RouteBudget(max_ripup_rounds=3))
-        with pytest.warns(DeprecationWarning):
-            assert config.max_ripup_rounds == 3
+        with pytest.raises(AttributeError):
+            getattr(config, name)
 
-    def test_replace_round_trips_without_warning(self, recwarn):
+    def test_nested_budget_is_the_only_spelling(self, recwarn):
         config = RouterConfig(budget=RouteBudget(max_gaps=77))
         clone = dataclasses.replace(config, workers=2)
         assert clone.budget.max_gaps == 77

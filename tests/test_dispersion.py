@@ -64,6 +64,31 @@ class TestDispersePads:
         assert owner == dispersed.pin.owner_token
         assert owner < 0
 
+    def test_fine_pitch_row_avoids_pending_pads(self, setup):
+        board, ws = setup
+        # Four adjacent cells in a column — denser than one via pitch.
+        # Without pending-pad avoidance the first pad's trace would run
+        # straight over the later pads and strand them.
+        pads = [PadSpec(GridPoint(7, gy)) for gy in (11, 10, 9, 8)]
+        dispersed = disperse_pads(board, ws, pads)
+        vias = [d.via for d in dispersed]
+        assert len(set(vias)) == len(vias)
+        assert_workspace_consistent(ws)
+
+    def test_avoid_points_block_trace_paths(self, setup):
+        board, ws = setup
+        # (6, 9) is the via site nearest the pad; declaring it a pending
+        # pad forces the dispersion trace elsewhere.
+        [dispersed] = disperse_pads(
+            board, ws, [PadSpec(GridPoint(7, 9))],
+            avoid=[GridPoint(6, 9)],
+        )
+        assert board.grid.via_to_grid(dispersed.via) != GridPoint(6, 9)
+        for _, channel, lo, hi in dispersed.segments:
+            for coord in range(lo, hi + 1):
+                point = ws.layers[0].cc_point(channel, coord)
+                assert (point.gx, point.gy) != (6, 9)
+
     def test_occupied_neighborhood_raises(self, setup):
         board, ws = setup
         # Drill every via site around the pad.

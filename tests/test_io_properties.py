@@ -113,3 +113,54 @@ def test_connections_roundtrip(connections):
         assert parsed.a == original.a
         assert parsed.b == original.b
         assert parsed.family is original.family
+
+
+@given(board_strategy())
+@settings(max_examples=scaled(40), deadline=None)
+def test_board_write_read_write_fixpoint(board):
+    """write -> read -> write is a fixpoint of the native board text."""
+    first = io.StringIO()
+    write_board(board, first)
+    second = io.StringIO()
+    write_board(read_board(io.StringIO(first.getvalue())), second)
+    assert second.getvalue() == first.getvalue()
+
+
+@given(st.lists(connection_strategy, max_size=30))
+@settings(max_examples=scaled(40), deadline=None)
+def test_connections_write_read_write_fixpoint(connections):
+    first = io.StringIO()
+    write_connections(connections, first)
+    second = io.StringIO()
+    write_connections(
+        read_connections(io.StringIO(first.getvalue())), second
+    )
+    assert second.getvalue() == first.getvalue()
+
+
+@given(board_strategy())
+@settings(max_examples=scaled(15), deadline=None)
+def test_kicad_synth_write_import_fixpoint(board):
+    """Synthesised kicad docs re-import to the same board structure,
+    and import -> write reaches a byte-stable fixpoint."""
+    from hypothesis import assume
+
+    from repro.io import kicad
+
+    assume(board.pins)
+    text = kicad.write_board_sexp(board)
+    imp = kicad.import_board(text, path=f"{board.name}.kicad_pcb")
+    assert imp.board.grid.via_nx == board.grid.via_nx
+    assert imp.board.grid.via_ny == board.grid.via_ny
+    assert imp.board.stack.n_signal == board.stack.n_signal
+    assert [tuple(p.position) for p in imp.board.pins] == [
+        tuple(p.position) for p in board.pins
+    ]
+    assert [n.pin_ids for n in imp.board.nets] == [
+        n.pin_ids for n in board.nets
+    ]
+    # Package names pick up a kicad_ prefix on first import; after that
+    # one normalisation, write -> import -> write is byte-stable.
+    stable = kicad.write_board_sexp(imp.board)
+    again = kicad.import_board(stable, path=f"{board.name}.kicad_pcb")
+    assert kicad.write_board_sexp(again.board) == stable

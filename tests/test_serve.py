@@ -19,7 +19,7 @@ import pytest
 
 from repro.api import request_from_text, route
 from repro.core.budget import RouteBudget
-from repro.io import save_routes, write_board, write_connections
+from repro.io import save_route_dump, write_board, write_connections
 from repro.obs.events import PassStart
 from repro.obs.sinks import JsonlSink
 from repro.serve import (
@@ -411,7 +411,7 @@ class TestHttpEndpoints:
         board_text, conn_text, board, connections = _board_texts()
         response = route(request_from_text(board_text, conn_text))
         dump = io.StringIO()
-        save_routes(response.result.workspace, dump)
+        save_route_dump(response.result.workspace, dump)
 
         async def scenario(server, host, port):
             status, payload = await _call(

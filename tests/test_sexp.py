@@ -1,0 +1,116 @@
+"""Unit tests for the offset-tracking s-expression reader/writer."""
+
+import pytest
+
+from repro.io.sexp import (
+    Raw,
+    SExpError,
+    format_expr,
+    format_mm,
+    parse,
+    quote_string,
+    splice,
+)
+
+DOC = """(kicad_pcb
+  (version 20240108)
+  (net 0 "")
+  (net 1 "GND")
+  (footprint "lib:Part" (at 20.32 22.86 90)
+    (pad "1" thru_hole circle (at 0 0) (net 1 "GND"))
+  )
+)
+"""
+
+
+class TestParse:
+    def test_tags_and_children(self):
+        root = parse(DOC)
+        assert root.tag == "kicad_pcb"
+        assert root.value_of("version") == "20240108"
+        nets = list(root.find_all("net"))
+        assert [n.atom(1) for n in nets] == ["0", "1"]
+        assert nets[1].atom(2) == "GND"
+        footprint = root.find("footprint")
+        assert footprint.atom(1) == "lib:Part"
+        assert footprint.find("at").atoms()[1:] == ["20.32", "22.86", "90"]
+
+    def test_offsets_cover_the_source_text(self):
+        root = parse(DOC)
+        assert DOC[root.start] == "(" and DOC[root.end - 1] == ")"
+        for net in root.find_all("net"):
+            assert DOC[net.start:net.end].startswith("(net ")
+            assert DOC[net.start:net.end].endswith(")")
+
+    def test_quoted_strings_decode_escapes(self):
+        root = parse(r'(a "x \"y\" \\ \n z")')
+        assert root.atom(1) == 'x "y" \\ \n z'
+
+    def test_atom_skips_child_lists(self):
+        root = parse('(pad "1" thru_hole (at 0 0) circle)')
+        # Child lists do not shift the atom indices.
+        assert root.atom(2) == "thru_hole"
+        assert root.atom(3) == "circle"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(a) (b)",  # trailing content
+            "(a",  # unterminated list
+            "(a \"x)",  # unterminated string
+            ")",  # unbalanced close
+            "atom",  # no top-level list
+        ],
+    )
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises(SExpError):
+            parse(text)
+
+
+class TestWrite:
+    def test_quote_string_matches_kicad_conventions(self):
+        assert quote_string("GND") == "GND"
+        assert quote_string("F.Cu") == "F.Cu"
+        assert quote_string("net 1") == '"net 1"'
+        assert quote_string("") == '""'
+        assert quote_string('say "hi"') == '"say \\"hi\\""'
+
+    def test_format_mm_trims_like_kicad(self):
+        assert format_mm(2.540000) == "2.54"
+        assert format_mm(0.0) == "0"
+        assert format_mm(-0.0000001) == "0"
+        assert format_mm(1.2345678) == "1.234568"
+
+    def test_format_expr(self):
+        assert format_expr("net", 3, "GND") == "(net 3 GND)"
+        assert format_expr("at", 1.27, 2.54) == "(at 1.27 2.54)"
+        assert (
+            format_expr("segment", Raw("(start 0 0)"), True)
+            == "(segment (start 0 0) yes)"
+        )
+
+
+class TestSplice:
+    def test_insert_before_close(self):
+        text = "(kicad_pcb\n  (net 0 \"\")\n)\n"
+        root = parse(text)
+        out = splice(text, [], root.end - 1, "  (via 1)\n")
+        assert out == "(kicad_pcb\n  (net 0 \"\")\n  (via 1)\n)\n"
+
+    def test_remove_previously_spliced_restores_bytes(self):
+        text = "(kicad_pcb\n  (net 0 \"\")\n)\n"
+        root = parse(text)
+        spliced = splice(text, [], root.end - 1, "  (via 9)\n")
+        via = parse(spliced).find("via")
+        restored = splice(
+            spliced, [(via.start, via.end)], parse(spliced).end - 1, ""
+        )
+        assert restored == text
+
+    def test_overlapping_removals_rejected(self):
+        with pytest.raises(ValueError):
+            splice("(a b c)", [(1, 4), (3, 6)], 6, "")
+
+    def test_insert_inside_removed_range_rejected(self):
+        with pytest.raises(ValueError):
+            splice("(a b c)", [(1, 6)], 3, "x")

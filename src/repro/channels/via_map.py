@@ -73,6 +73,14 @@ class ViaMap:
         #: than updates" (measured by benchmarks/bench_via_map.py).
         self.probe_count = 0
         self.update_count = 0
+        #: Per-via-row / per-via-column mutation generations, bumped by
+        #: every cover change at a site in that row/column.  The
+        #: :class:`repro.core.bounds.LowerBoundCache` stamps its entries
+        #: with these — the via-grid analogue of ``Channel.generation``
+        #: (both are bumped by the same add/remove-segment funnel), at
+        #: exactly the granularity a target's arrival bands depend on.
+        self.row_gen = array("l", [0]) * via_ny
+        self.col_gen = array("l", [0]) * via_nx
 
     # ------------------------------------------------------------------
     # probes (the hot path)
@@ -186,6 +194,8 @@ class ViaMap:
     def add_cover(self, via: ViaPoint, owner: int) -> None:
         """Record one more layer segment covering the site."""
         self.update_count += 1
+        self.row_gen[via.vy] += 1
+        self.col_gen[via.vx] += 1
         flat = via.vx * self.via_ny + via.vy
         count = self._count[flat]
         self._count[flat] = count + 1
@@ -208,6 +218,8 @@ class ViaMap:
         conservatively stays MIXED until it empties.
         """
         self.update_count += 1
+        self.row_gen[via.vy] += 1
+        self.col_gen[via.vx] += 1
         flat = via.vx * self.via_ny + via.vy
         count = self._count[flat]
         if count <= 0:

@@ -94,6 +94,9 @@ class RoutingWorkspace:
             board.grid.via_nx, board.grid.via_ny, len(self.layers)
         )
         self.records: Dict[int, RouteRecord] = {}
+        #: Lazily-built :class:`repro.core.bounds.LowerBoundCache` (the
+        #: import is deferred — repro.core sits above repro.channels).
+        self._lower_bounds = None
         #: Active delta recorder (see :meth:`begin_delta`); None when the
         #: route-level mutators are not being logged.
         self._delta_log = None
@@ -543,6 +546,29 @@ class RoutingWorkspace:
         misses = sum(layer.gap_cache.misses for layer in self.layers)
         bypassed = sum(layer.gap_cache.bypassed for layer in self.layers)
         return hits, misses, bypassed
+
+    @property
+    def lower_bounds(self):
+        """The goal-mode lower-bound cache, built on first use.
+
+        Shares the workspace's lifetime the way the per-layer gap caches
+        do: snapshots carry it (cold — entries are dropped in pickling,
+        and rebuilt values are pure functions of board state, so warm
+        and cold replicas can never disagree), and ECO edits or delta
+        replays invalidate entries purely through the via map's row and
+        column generation stamps.
+        """
+        if self._lower_bounds is None:
+            from repro.core.bounds import LowerBoundCache
+
+            self._lower_bounds = LowerBoundCache(self)
+        return self._lower_bounds
+
+    def bounds_stats(self) -> Tuple[int, int]:
+        """(hits, rebuilds) of the lower-bound cache; zeros when unused."""
+        if self._lower_bounds is None:
+            return (0, 0)
+        return self._lower_bounds.stats()
 
     def used_cells(self) -> int:
         """Grid cells covered by segments over all layers."""

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 from repro.analysis import format_table, table1_row
 from repro.channels.workspace import RoutingWorkspace
+from repro.core.bounds import SEARCH_MODES
 from repro.core.fastpath import BACKENDS
 from repro.core.router import GreedyRouter, RouterConfig, make_router
 from repro.io import (
@@ -77,6 +78,9 @@ def _cmd_route(args: argparse.Namespace) -> int:
     if args.backend is not None:
         # --backend forces it; otherwise the GRR_BACKEND env default holds.
         config = dataclasses.replace(config, backend=args.backend)
+    if args.search is not None:
+        # --search forces it; otherwise the GRR_SEARCH env default holds.
+        config = dataclasses.replace(config, search=args.search)
     if args.timeout is not None or args.per_connection_timeout is not None:
         config = dataclasses.replace(
             config,
@@ -203,9 +207,20 @@ def _print_profile(profile) -> None:
             f"  gap cache: {hits} hits / {misses} misses / "
             f"{bypassed} bypassed ({rate})"
         )
+    lb_hits = profile.counters.get("lb_hits", 0)
+    lb_rebuilds = profile.counters.get("lb_rebuilds", 0)
+    lb_total = lb_hits + lb_rebuilds
+    if lb_total:
+        print(
+            f"  lower bounds: {lb_hits} hits / {lb_rebuilds} rebuilds / "
+            f"{profile.counters.get('lb_prunes', 0)} prunes / "
+            f"{profile.counters.get('heap_stale', 0)} stale heap skips "
+            f"({100.0 * lb_hits / lb_total:.1f}% hit rate)"
+        )
     for counter, amount in sorted(profile.counters.items()):
         if counter not in (
-            "gap_cache_hits", "gap_cache_misses", "gap_cache_bypassed"
+            "gap_cache_hits", "gap_cache_misses", "gap_cache_bypassed",
+            "lb_hits", "lb_rebuilds", "lb_prunes", "heap_stale",
         ):
             print(f"  {counter}: {amount}")
 
@@ -331,6 +346,8 @@ def _cmd_eco(args: argparse.Namespace) -> int:
     )
     if args.backend is not None:
         config = dataclasses.replace(config, backend=args.backend)
+    if args.search is not None:
+        config = dataclasses.replace(config, search=args.search)
     if args.timeout is not None or args.per_connection_timeout is not None:
         config = dataclasses.replace(
             config,
@@ -639,6 +656,15 @@ def build_parser() -> argparse.ArgumentParser:
         "env, else python)",
     )
     p.add_argument(
+        "--search",
+        choices=SEARCH_MODES,
+        default=None,
+        help="Lee search mode: 'classic' is the paper's distance*hops "
+        "wavefront, 'goal' orders and prunes with cached admissible "
+        "distance lower bounds (fewer expansions, same completion; "
+        "default: GRR_SEARCH env, else classic)",
+    )
+    p.add_argument(
         "--timeout",
         type=float,
         metavar="SECS",
@@ -759,6 +785,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--backend", choices=BACKENDS, default=None)
+    p.add_argument("--search", choices=SEARCH_MODES, default=None)
     p.add_argument("--timeout", type=float, metavar="SECS", default=None)
     p.add_argument(
         "--per-connection-timeout", type=float, metavar="SECS", default=None

@@ -597,3 +597,20 @@ def _collect_sites(
             vy = vy[keep]
     mask = via_map.available_mask(vx, vy, passable)
     return list(map(ViaPoint, vx[mask].tolist(), vy[mask].tolist()))
+
+
+def band_available_kernel(
+    via_map: "ViaMap", xs: List[int], ys: List[int], passable: FrozenSet[int]
+) -> List[bool]:
+    """numpy twin of the lower-bound band scan's availability probes.
+
+    ``repro.core.bounds`` collects the candidate arrival-band sites for
+    a target and asks which are available; this kernel answers with one
+    :meth:`ViaMap.available_mask` sweep.  Bit-for-bit parity with the
+    scalar loop (one ``is_available_xy`` per site, same order) holds by
+    the mask's own contract — values and ``probe_count`` included — so
+    goal-mode routes cannot depend on which backend built the bounds.
+    """
+    vx = _np.asarray(xs, dtype=_np.int64)
+    vy = _np.asarray(ys, dtype=_np.int64)
+    return via_map.available_mask(vx, vy, passable).tolist()

@@ -27,6 +27,7 @@ from repro.core.budget import (
     RouteBudget,
 )
 from repro.core import fastpath
+from repro.core.bounds import SEARCH_MODES, TargetBounds
 from repro.core.cost import COST_FUNCTIONS, CostFunction
 from repro.core.lee import LeeSearchResult, lee_route
 from repro.core.optimal import try_one_via, try_two_via, try_zero_via
@@ -39,6 +40,7 @@ from repro.obs.audit import WorkspaceAuditor
 from repro.obs.events import (
     AuditRun,
     BackendSelected,
+    BoundsStats,
     CacheStats,
     ConnectionFailed,
     ConnectionRouted,
@@ -71,6 +73,16 @@ def _backend_default() -> str:
     happens to be importable.
     """
     return os.environ.get("GRR_BACKEND", "") or "python"
+
+
+def _search_default() -> str:
+    """Search mode from ``GRR_SEARCH`` (CI's goal-mode matrix leg).
+
+    Defaults to the paper's classic multiplicative heuristic; ``"goal"``
+    selects the A*-style search over reusable lower bounds
+    (:mod:`repro.core.bounds`).
+    """
+    return os.environ.get("GRR_SEARCH", "") or "classic"
 
 
 @dataclass
@@ -145,6 +157,13 @@ class RouterConfig:
     #: routes), or ``"auto"`` (numpy when installed, else python).
     #: Defaults from the ``GRR_BACKEND`` environment variable.
     backend: str = field(default_factory=_backend_default)
+    #: Lee wavefront mode: ``"classic"`` (the paper's ``distance *
+    #: hops`` heuristic, stop at first meet) or ``"goal"`` (A*-style
+    #: ``g + lb`` ordering over the reusable
+    #: :class:`repro.core.bounds.LowerBoundCache` lower bounds, with
+    #: meet-cost pruning and early bidirectional termination).
+    #: Defaults from the ``GRR_SEARCH`` environment variable.
+    search: str = field(default_factory=_search_default)
 
     def __post_init__(self) -> None:
         if self.radius < 0:
@@ -168,6 +187,11 @@ class RouterConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; "
                 f"choose from {fastpath.BACKENDS}"
+            )
+        if self.search not in SEARCH_MODES:
+            raise ValueError(
+                f"unknown search mode {self.search!r}; "
+                f"choose from {SEARCH_MODES}"
             )
 
     @property
@@ -264,6 +288,7 @@ class GreedyRouter:
         if sink.enabled:
             sink.emit(BackendSelected(cfg.backend, self.backend))
         cache_before = self.workspace.gap_cache_stats()
+        bounds_before = self.workspace.bounds_stats()
         while unrouted and result.passes < cfg.max_passes:
             if len(unrouted) < previous:
                 stalled = 0
@@ -317,6 +342,7 @@ class GreedyRouter:
         }
         result.cpu_seconds = time.perf_counter() - started
         self._note_cache_stats(cache_before, "route")
+        self._note_bounds_stats(bounds_before, "route")
         return result
 
     def _note_cache_stats(
@@ -346,6 +372,62 @@ class GreedyRouter:
                     bypassed,
                 )
             )
+
+    def _note_bounds_stats(
+        self, before: Tuple[int, int], context: str
+    ) -> None:
+        """Fold this run's lower-bound cache delta into profile counters
+        and emit one :class:`~repro.obs.events.BoundsStats` event.
+
+        A no-op under ``search="classic"`` (the cache is never consulted,
+        so the delta is zero and nothing is bumped or emitted)."""
+        hits_after, rebuilds_after = self.workspace.bounds_stats()
+        hits = hits_after - before[0]
+        rebuilds = rebuilds_after - before[1]
+        if not hits and not rebuilds:
+            return
+        self.profile.bump("lb_hits", hits)
+        self.profile.bump("lb_rebuilds", rebuilds)
+        if self.sink.enabled:
+            total = hits + rebuilds
+            self.sink.emit(
+                BoundsStats(
+                    context,
+                    hits,
+                    rebuilds,
+                    hits / total if total else 0.0,
+                )
+            )
+
+    def _note_search(self, search: LeeSearchResult) -> None:
+        """Fold per-search goal-mode counters into the profile."""
+        if search.heap_stale:
+            self.profile.bump("heap_stale", search.heap_stale)
+        if search.lb_prunes:
+            self.profile.bump("lb_prunes", search.lb_prunes)
+
+    def _bounds_for(
+        self, conn: Connection, passable: FrozenSet[int]
+    ) -> Optional[Tuple[TargetBounds, TargetBounds]]:
+        """Per-side distance lower bounds for goal-oriented search.
+
+        Returns None under ``search="classic"`` (the Lee search then runs
+        its historical cost-function ordering untouched).  In goal mode
+        the pair is (bounds toward ``conn.b``, bounds toward ``conn.a``) —
+        side 0 of the bidirectional search grows from ``a`` toward ``b``
+        and vice versa.  Lookups hit the workspace-resident
+        :class:`~repro.core.bounds.LowerBoundCache`, so retries, rip-up
+        rounds and ECO reroutes of the same connection reuse warm entries
+        until a cover change touches the target's arrival bands.
+        """
+        if self.config.search != "goal":
+            return None
+        cache = self.workspace.lower_bounds
+        radius = self.config.radius
+        return (
+            cache.lookup(conn.b, passable, radius),
+            cache.lookup(conn.a, passable, radius),
+        )
 
     def _audit(self, context: str) -> None:
         """Verify workspace invariants, emit the event, raise on breakage."""
@@ -451,6 +533,7 @@ class GreedyRouter:
                     max_gaps=caps.max_gaps,
                     sink=sink,
                     budget=budget,
+                    bounds=self._bounds_for(conn, passable),
                 )
             if sink.enabled:
                 sink.emit(
@@ -510,6 +593,7 @@ class GreedyRouter:
             )
             if search is not None:
                 result.lee_expansions += search.expansions
+                self._note_search(search)
                 if search.cap_hits:
                     self.profile.bump("cap_hits", search.cap_hits)
             still_truncated = False
@@ -536,8 +620,10 @@ class GreedyRouter:
                         max_gaps=cfg.budget.max_gaps * CAP_RETRY_FACTOR,
                         sink=sink,
                         budget=budget,
+                        bounds=self._bounds_for(conn, passable),
                     )
                 result.lee_expansions += search.expansions
+                self._note_search(search)
                 if search.cap_hits:
                     self.profile.bump("cap_hits", search.cap_hits)
                 if search.routed:

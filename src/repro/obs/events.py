@@ -26,6 +26,7 @@ kind                emitted when
 ``improve``         the improvement pass re-routes one detour
 ``audit``           a workspace audit ran (violation count included)
 ``cache_stats``     free-gap cache hit/miss totals for a routing phase
+``bounds_stats``    lower-bound cache hit/rebuild totals (goal search)
 ``budget_checkpoint``  a timed routing run passed a coarse checkpoint
 ``budget_exhausted``   a wall-clock budget scope ran out (once per scope)
 ``worker_retry``    a failed wave worker is being retried with backoff
@@ -345,6 +346,21 @@ class CacheStats(RouteEvent):
     misses: int
     hit_rate: float
     bypassed: int = 0
+
+
+@dataclass(frozen=True)
+class BoundsStats(RouteEvent):
+    """Distance lower-bound cache totals for one routing phase
+    (``repro.core.bounds``): target lookups served from a warm,
+    generation-valid entry (``hits``) vs. lookups that had to rescan
+    the target's arrival bands (``rebuilds``).  Only emitted when the
+    cache was consulted, i.e. under ``search="goal"``."""
+
+    kind: ClassVar[str] = "bounds_stats"
+    context: str
+    hits: int
+    rebuilds: int
+    hit_rate: float
 
 
 @dataclass(frozen=True)

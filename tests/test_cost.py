@@ -1,12 +1,26 @@
-"""Unit tests for the Lee cost functions (Section 8.2, Modification 3)."""
+"""Unit tests for the Lee cost functions (Section 8.2, Modification 3)
+and property tests for the goal-mode lower bound they order against
+(``repro.core.bounds``): admissibility against real routed chains,
+consistency (the Lipschitz condition that keeps ``g + lb`` monotone
+along any path), plus zero-distance-target and single-layer edge cases.
+"""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.board.board import Board
+from repro.channels.workspace import RoutingWorkspace
+from repro.core.bounds import HOPS_UNREACHABLE, chain_cost
 from repro.core.cost import (
     COST_FUNCTIONS,
     distance_cost,
     distance_hops_cost,
     unit_cost,
 )
-from repro.grid.coords import ViaPoint
+from repro.core.lee import lee_route
+from repro.grid.coords import ViaPoint, manhattan
+
+from tests.conftest import make_connection, scaled
 
 A = ViaPoint(0, 0)
 B = ViaPoint(10, 0)
@@ -59,3 +73,144 @@ class TestRegistry:
         assert COST_FUNCTIONS["unit"] is unit_cost
         assert COST_FUNCTIONS["distance"] is distance_cost
         assert COST_FUNCTIONS["distance_hops"] is distance_hops_cost
+
+
+# ----------------------------------------------------------------------
+# Property tests: cost functions
+# ----------------------------------------------------------------------
+
+_via = st.builds(
+    ViaPoint, st.integers(0, 11), st.integers(0, 9)
+)
+
+
+class TestCostProperties:
+    @given(p=_via, t=_via, hops=st.integers(1, 20))
+    @settings(max_examples=scaled(50), deadline=None)
+    def test_unit_cost_is_hop_count(self, p, t, hops):
+        assert unit_cost(p, t, hops) == hops
+
+    @given(p=_via, t=_via)
+    @settings(max_examples=scaled(50), deadline=None)
+    def test_distance_cost_is_symmetric_manhattan(self, p, t):
+        assert distance_cost(p, t, 1) == manhattan(p, t)
+        assert distance_cost(p, t, 1) == distance_cost(t, p, 1)
+        assert distance_cost(p, t, 1) >= 0
+
+    @given(n=_via, m=_via, t=_via)
+    @settings(max_examples=scaled(50), deadline=None)
+    def test_distance_cost_is_consistent(self, n, m, t):
+        # The triangle inequality form A* consistency reduces to on a
+        # rectilinear grid.
+        assert abs(
+            distance_cost(n, t, 1) - distance_cost(m, t, 1)
+        ) <= manhattan(n, m)
+
+    @given(p=_via, t=_via, hops=st.integers(1, 20))
+    @settings(max_examples=scaled(50), deadline=None)
+    def test_distance_hops_monotone_in_hops(self, p, t, hops):
+        assert distance_hops_cost(p, t, hops) == manhattan(p, t) * hops
+        assert (
+            distance_hops_cost(p, t, hops + 1)
+            >= distance_hops_cost(p, t, hops)
+        )
+
+    @given(t=_via, hops=st.integers(1, 20))
+    @settings(max_examples=scaled(25), deadline=None)
+    def test_zero_distance_target(self, t, hops):
+        # Standing on the target: distance-based costs vanish no matter
+        # the hop count; unit cost still charges the vias spent.
+        assert distance_cost(t, t, hops) == 0
+        assert distance_hops_cost(t, t, hops) == 0
+        assert unit_cost(t, t, hops) == hops
+
+
+# ----------------------------------------------------------------------
+# Property tests: the goal-mode lower bound (repro.core.bounds)
+# ----------------------------------------------------------------------
+
+
+def _passable_for(conn):
+    return frozenset((conn.conn_id, -(conn.pin_a + 1), -(conn.pin_b + 1)))
+
+
+def _obstructed_workspace(board, obstacles, avoid):
+    """Workspace with vias drilled at ``obstacles`` (skipping pins)."""
+    ws = RoutingWorkspace(board)
+    for via in obstacles:
+        if via not in avoid:
+            ws.drill_via(via, owner=99)
+    return ws
+
+
+class TestLowerBoundProperties:
+    @given(
+        a=_via,
+        b=_via,
+        obstacles=st.lists(_via, max_size=6, unique=True),
+    )
+    @settings(max_examples=scaled(25), deadline=None)
+    def test_admissible_against_routed_chain(self, a, b, obstacles):
+        """lb never exceeds the Manhattan length of any real route's
+        via-waypoint chain — the invariant goal-mode pruning needs."""
+        if a == b:
+            return
+        board = Board.create(via_nx=12, via_ny=10, n_signal_layers=4)
+        conn = make_connection(board, a, b)
+        ws = _obstructed_workspace(board, obstacles, {a, b})
+        passable = _passable_for(conn)
+        entry = ws.lower_bounds.lookup(conn.b, passable, 1)
+        result = lee_route(ws, conn, passable=passable)
+        if not result.routed:
+            return
+        chain = [conn.a] + list(result.record.vias) + [conn.b]
+        assert entry.lower_bound(conn.a) <= chain_cost(chain)
+        # ...and from every intermediate waypoint the bound stays under
+        # the remaining chain length.
+        for i, waypoint in enumerate(chain):
+            assert entry.lower_bound(waypoint) <= chain_cost(chain[i:])
+
+    @given(
+        t=_via,
+        n=_via,
+        m=_via,
+        obstacles=st.lists(_via, max_size=6, unique=True),
+    )
+    @settings(max_examples=scaled(25), deadline=None)
+    def test_consistency_and_manhattan_floor(self, t, n, m, obstacles):
+        board = Board.create(via_nx=12, via_ny=10, n_signal_layers=4)
+        ws = _obstructed_workspace(board, obstacles, set())
+        entry = ws.lower_bounds.lookup(t, frozenset(), 1)
+        lb_n = entry.lower_bound(n)
+        lb_m = entry.lower_bound(m)
+        # Consistency: lb changes by at most the cost of moving n -> m,
+        # so g + lb never decreases along a path.
+        assert abs(lb_n - lb_m) <= manhattan(n, m)
+        # Never weaker than the Manhattan floor; exact zero at target.
+        assert lb_n >= manhattan(n, t)
+        assert entry.lower_bound(t) == 0
+        assert entry.hop_bound(t) == 0
+
+    @given(t=_via, n=_via, radius=st.integers(1, 3))
+    @settings(max_examples=scaled(25), deadline=None)
+    def test_single_layer_board_hop_bound(self, t, n, radius):
+        """One horizontal layer: each hop shifts the via row by at most
+        ``radius``, so the hop bound is the exact ceiling — and with
+        radius 0 a cross-row target is provably unreachable."""
+        board = Board.create(via_nx=12, via_ny=10, n_signal_layers=1)
+        ws = RoutingWorkspace(board)
+        entry = ws.lower_bounds.lookup(t, frozenset(), radius)
+        dy = abs(n.vy - t.vy)
+        if n == t:
+            assert entry.hop_bound(n) == 0
+        elif dy == 0:
+            assert entry.hop_bound(n) == 1
+        else:
+            assert entry.hop_bound(n) == -(-dy // radius)
+        zero = ws.lower_bounds.lookup(t, frozenset(), 0)
+        if dy > 0:
+            assert zero.hop_bound(n) == HOPS_UNREACHABLE
+        # The distance bound stays admissible on one layer too: it can
+        # never exceed a straight horizontal run plus the row offset...
+        # but it must keep the Manhattan floor.
+        assert entry.lower_bound(n) >= manhattan(n, t)
